@@ -1,0 +1,136 @@
+package embench
+
+import (
+	"testing"
+
+	"embench/internal/bench"
+	"embench/internal/llm"
+	"embench/internal/multiagent"
+	"embench/internal/systems"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// One testing.B benchmark per paper table/figure. Each runs the real
+// experiment at a reduced episode count and reports the headline simulated
+// quantity as a custom metric, so `go test -bench=.` both exercises and
+// summarizes the reproduction.
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(systems.RenderTaxonomy()) == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+	b.ReportMetric(float64(len(systems.Taxonomy)), "systems")
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(systems.RenderSuite()) == 0 {
+			b.Fatal("empty suite table")
+		}
+	}
+	b.ReportMetric(float64(len(systems.Suite)), "workloads")
+}
+
+func BenchmarkFig2LatencyBreakdown(b *testing.B) {
+	var rows []bench.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig2(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	b.ReportMetric(100*bench.MeanLLMShare(rows), "llm-share-%")
+	b.ReportMetric(100*bench.MeanModuleShare(rows, trace.Reflection), "refl-share-%")
+}
+
+func BenchmarkFig3ModuleSensitivity(b *testing.B) {
+	var rows []bench.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig3(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	memRatio, _ := bench.AblationImpact(rows, bench.NoMem)
+	reflRatio, _ := bench.AblationImpact(rows, bench.NoRefl)
+	b.ReportMetric(memRatio, "noMem-steps-x")
+	b.ReportMetric(reflRatio, "noRefl-steps-x")
+}
+
+func BenchmarkFig4LocalModel(b *testing.B) {
+	var rows []bench.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig4(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	var g, l float64
+	for _, r := range rows {
+		g += r.GPT4Success
+		l += r.LlamaSuccess
+	}
+	b.ReportMetric(100*g/float64(len(rows)), "gpt4-success-%")
+	b.ReportMetric(100*l/float64(len(rows)), "llama-success-%")
+}
+
+func BenchmarkFig5MemoryCapacity(b *testing.B) {
+	var rows []bench.Fig5Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig5(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	b.ReportMetric(float64(len(rows)), "sweep-points")
+}
+
+func BenchmarkFig6TokenGrowth(b *testing.B) {
+	var series []bench.Fig6Series
+	for i := 0; i < b.N; i++ {
+		series = bench.Fig6(bench.Config{Seed: uint64(i) + 1})
+	}
+	peak := 0
+	for _, s := range series {
+		if p := s.PeakTokens(); p > peak {
+			peak = p
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-prompt-tokens")
+}
+
+func BenchmarkFig7Scalability(b *testing.B) {
+	var rows []bench.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig7(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	ma := bench.Select(rows, "MindAgent", world.Hard)
+	co := bench.Select(rows, "CoELA", world.Hard)
+	if len(ma) > 0 && len(co) > 0 {
+		b.ReportMetric(float64(co[len(co)-1].TaskLatency)/float64(co[0].TaskLatency), "decent-latency-x")
+		b.ReportMetric(float64(ma[len(ma)-1].TaskLatency)/float64(ma[0].TaskLatency), "central-latency-x")
+	}
+}
+
+func BenchmarkOptimizations(b *testing.B) {
+	var rows []bench.OptRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Optimizations(bench.Config{Episodes: 1, Seed: uint64(i) + 1})
+	}
+	for _, r := range rows {
+		if r.Name == "rec8 plan-then-comm" {
+			b.ReportMetric(r.Speedup(), "rec8-speedup-x")
+		}
+	}
+}
+
+func BenchmarkMessageEfficiency(b *testing.B) {
+	// Sec. V-D: fraction of generated messages that carried novel content.
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		w, _ := systems.Get("CoELA")
+		out := w.Run(world.Medium, 0, multiagent.Options{Seed: uint64(i) + 1})
+		rate = out.Episode.Messages.UsefulRate()
+	}
+	b.ReportMetric(100*rate, "useful-msg-%")
+}
+
+func BenchmarkBatchingSpeedup(b *testing.B) {
+	// Rec. 1: serving-level batching gains, straight from the model.
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = llm.BatchSpeedup(llm.GPT4, 4, 1200, 120)
+	}
+	b.ReportMetric(s, "batch4-speedup-x")
+}

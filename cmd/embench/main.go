@@ -1,0 +1,83 @@
+// Command embench runs workloads and regenerates the paper's tables and
+// figures.
+//
+// Usage:
+//
+//	embench -exp fig2 [-episodes 5] [-seed 1]       # regenerate a figure
+//	embench -run CoELA [-diff medium] [-agents 2]   # run one episode
+//	embench -list                                   # list workloads/experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"embench"
+	"embench/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment to regenerate (fig2..fig7, table1, table2, opts, calibrate)")
+		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
+		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
+		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
+		episodes = flag.Int("episodes", 5, "episodes per configuration")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		list     = flag.Bool("list", false, "list workloads and experiments")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
+		fmt.Println("experiments:", strings.Join(embench.Experiments(), ", "))
+	case *exp != "":
+		report, err := embench.Experiment(*exp, *episodes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+	case *run != "":
+		out, err := embench.Run(*run, *diff, *agents, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		e := out.Episode
+		fmt.Printf("workload    %s (%s, seed %d)\n", *run, *diff, *seed)
+		fmt.Printf("success     %v\n", e.Success)
+		fmt.Printf("steps       %d (cap hit: %v)\n", e.Steps, e.ReachedLimit)
+		fmt.Printf("sim time    %.1f min (%.1f s/step)\n",
+			e.SimDuration.Minutes(), e.SimDuration.Seconds()/float64(max(e.Steps, 1)))
+		fmt.Printf("llm         %d calls, %d prompt tokens, %d output tokens (%.0f%% of latency)\n",
+			e.LLMCalls, e.PromptTokens, e.OutputTokens, 100*e.LLMShare)
+		if e.Messages.Generated > 0 {
+			fmt.Printf("messages    %d generated, %.0f%% useful\n",
+				e.Messages.Generated, 100*e.Messages.UsefulRate())
+		}
+		fmt.Printf("breakdown  ")
+		for _, m := range trace.Modules {
+			if d, ok := e.Breakdown[m]; ok && d > 0 {
+				fmt.Printf(" %s=%.1fs", m, d.Seconds())
+			}
+		}
+		fmt.Println()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embench:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

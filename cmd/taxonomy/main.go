@@ -1,0 +1,25 @@
+// Command taxonomy prints the paper's Table I (the 42-system embodied-AI
+// taxonomy) and Table II (the 14-workload benchmark suite).
+package main
+
+import (
+	"fmt"
+
+	"embench"
+)
+
+func main() {
+	t1, err := embench.Experiment("table1", 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	t2, err := embench.Experiment("table2", 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Table I — embodied AI agent systems taxonomy")
+	fmt.Print(t1)
+	fmt.Println()
+	fmt.Println("Table II — benchmarked workload suite")
+	fmt.Print(t2)
+}

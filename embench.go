@@ -1,0 +1,112 @@
+// Package embench is an embodied-agent systems workload suite and
+// benchmarking harness — a from-scratch Go reproduction of "Generative AI
+// in Embodied Systems: System-Level Analysis of Performance, Efficiency
+// and Scalability" (ISPASS 2025).
+//
+// The suite implements the paper's fourteen workloads (Table II) over six
+// task environments, the six agent building blocks (sensing, planning,
+// communication, memory, reflection, execution), all four coordination
+// paradigms, and one experiment runner per table and figure in the paper's
+// evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for measured-vs-paper numbers.
+//
+// Quick start:
+//
+//	out, err := embench.Run("CoELA", "medium", 2, 1)
+//	fmt.Println(out.Episode.Success, out.Episode.SimDuration)
+//
+//	report, err := embench.Experiment("fig2", 5, 1)
+//	fmt.Println(report)
+package embench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embench/internal/bench"
+	"embench/internal/multiagent"
+	"embench/internal/systems"
+	"embench/internal/world"
+)
+
+// Outcome is one episode's metrics and trace.
+type Outcome = multiagent.Outcome
+
+// Options tunes a run; see multiagent.Options.
+type Options = multiagent.Options
+
+// Workloads lists the benchmark suite's fourteen systems in the paper's
+// order.
+func Workloads() []string {
+	return append([]string(nil), systems.SuiteNames...)
+}
+
+// ParseDifficulty converts "easy", "medium" or "hard".
+func ParseDifficulty(s string) (world.Difficulty, error) {
+	switch strings.ToLower(s) {
+	case "easy":
+		return world.Easy, nil
+	case "medium", "":
+		return world.Medium, nil
+	case "hard":
+		return world.Hard, nil
+	}
+	return world.Medium, fmt.Errorf("embench: unknown difficulty %q (easy|medium|hard)", s)
+}
+
+// Run executes one episode of a named workload. agents <= 0 uses the
+// workload's default team size.
+func Run(name, difficulty string, agents int, seed uint64) (Outcome, error) {
+	return RunOpt(name, difficulty, agents, Options{Seed: seed})
+}
+
+// RunOpt is Run with full runner options.
+func RunOpt(name, difficulty string, agents int, opt Options) (Outcome, error) {
+	w, ok := systems.Get(name)
+	if !ok {
+		return Outcome{}, fmt.Errorf("embench: unknown workload %q (see Workloads())", name)
+	}
+	diff, err := ParseDifficulty(difficulty)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return w.Run(diff, agents, opt), nil
+}
+
+// Experiments lists the runnable experiment ids: one per paper table and
+// figure, plus the optimization ablations and calibration report.
+func Experiments() []string {
+	var out []string
+	for name := range experiments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var experiments = map[string]func(cfg bench.Config) string{
+	"table1": func(bench.Config) string { return systems.RenderTaxonomy() },
+	"table2": func(bench.Config) string { return systems.RenderSuite() },
+	"fig2":   func(cfg bench.Config) string { return bench.RenderFig2(bench.Fig2(cfg)) },
+	"fig3":   func(cfg bench.Config) string { return bench.RenderFig3(bench.Fig3(cfg)) },
+	"fig4":   func(cfg bench.Config) string { return bench.RenderFig4(bench.Fig4(cfg)) },
+	"fig5":   func(cfg bench.Config) string { return bench.RenderFig5(bench.Fig5(cfg)) },
+	"fig6":   func(cfg bench.Config) string { return bench.RenderFig6(bench.Fig6(cfg)) },
+	"fig7":   func(cfg bench.Config) string { return bench.RenderFig7(bench.Fig7(cfg)) },
+	"opts": func(cfg bench.Config) string {
+		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
+	},
+	"calibrate": func(cfg bench.Config) string { return bench.CalibrationReport(bench.Fig2(cfg)) },
+}
+
+// Experiment regenerates one table/figure and returns the rendered report.
+// episodes <= 0 uses the default (5 per configuration).
+func Experiment(name string, episodes int, seed uint64) (string, error) {
+	fn, ok := experiments[strings.ToLower(name)]
+	if !ok {
+		return "", fmt.Errorf("embench: unknown experiment %q (one of %s)",
+			name, strings.Join(Experiments(), ", "))
+	}
+	return fn(bench.Config{Episodes: episodes, Seed: seed}), nil
+}

@@ -1,0 +1,94 @@
+package embench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("workloads = %d, want 14", len(ws))
+	}
+	if ws[0] != "EmbodiedGPT" || ws[13] != "HMAS" {
+		t.Fatalf("unexpected ordering: %v", ws)
+	}
+}
+
+func TestParseDifficulty(t *testing.T) {
+	for _, s := range []string{"easy", "Medium", "HARD", ""} {
+		if _, err := ParseDifficulty(s); err != nil {
+			t.Errorf("ParseDifficulty(%q) = %v", s, err)
+		}
+	}
+	if _, err := ParseDifficulty("impossible"); err == nil {
+		t.Fatal("bad difficulty should error")
+	}
+}
+
+func TestRun(t *testing.T) {
+	out, err := Run("JARVIS-1", "easy", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Episode.Steps == 0 || out.Episode.SimDuration == 0 {
+		t.Fatalf("empty episode: %+v", out.Episode)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("NotASystem", "easy", 0, 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	if _, err := Run("CoELA", "nope", 0, 1); err == nil {
+		t.Fatal("bad difficulty should error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, _ := Run("CMAS", "easy", 2, 42)
+	b, _ := Run("CMAS", "easy", 2, 42)
+	if a.Episode.SimDuration != b.Episode.SimDuration || a.Episode.Steps != b.Episode.Steps {
+		t.Fatal("same seed should reproduce the episode")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	want := []string{"calibrate", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "opts", "table1", "table2"}
+	if len(exps) != len(want) {
+		t.Fatalf("experiments = %v", exps)
+	}
+	for i, e := range want {
+		if exps[i] != e {
+			t.Fatalf("experiments[%d] = %s, want %s", i, exps[i], e)
+		}
+	}
+}
+
+func TestExperimentTables(t *testing.T) {
+	t1, err := Experiment("table1", 1, 1)
+	if err != nil || !strings.Contains(t1, "RT-2") {
+		t.Fatalf("table1: %v", err)
+	}
+	t2, err := Experiment("table2", 1, 1)
+	if err != nil || !strings.Contains(t2, "CoELA") {
+		t.Fatalf("table2: %v", err)
+	}
+}
+
+func TestExperimentFig6Small(t *testing.T) {
+	out, err := Experiment("fig6", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "token growth") {
+		t.Fatalf("fig6 output unexpected:\n%s", out)
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	if _, err := Experiment("fig99", 1, 1); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

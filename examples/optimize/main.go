@@ -1,0 +1,57 @@
+// Optimize: A/B the paper's system-level recommendations on a CoELA
+// transport team — plan-guided multi-step execution (Rec. 7),
+// planning-then-communication (Rec. 8), and the parallel pipeline
+// (Takeaway 6) — using the library's option surface directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embench"
+	"embench/internal/core"
+	"embench/internal/systems"
+)
+
+func main() {
+	base, ok := systems.Get("CoELA")
+	if !ok {
+		log.Fatal("CoELA missing from suite")
+	}
+
+	variants := []struct {
+		name string
+		mut  func(*core.AgentConfig)
+		opt  embench.Options
+	}{
+		{name: "baseline"},
+		{name: "rec7 plan-horizon=3", mut: func(c *core.AgentConfig) { c.PlanHorizon = 3 }},
+		{name: "rec8 plan-then-comm", mut: func(c *core.AgentConfig) { c.PlanThenComm = true }},
+		{name: "t6 parallel pipeline", opt: embench.Options{Parallel: true}},
+	}
+
+	fmt.Printf("%-22s %9s %8s %10s %10s\n", "variant", "success", "steps", "latency", "llm calls")
+	for _, v := range variants {
+		w := base
+		if v.mut != nil {
+			v.mut(&w.Config)
+		}
+		var mins, steps, calls float64
+		succ := 0
+		const episodes = 3
+		for seed := uint64(0); seed < episodes; seed++ {
+			opt := v.opt
+			opt.Seed = seed
+			diff, _ := embench.ParseDifficulty("medium")
+			out := w.Run(diff, 0, opt)
+			if out.Episode.Success {
+				succ++
+			}
+			mins += out.Episode.SimDuration.Minutes()
+			steps += float64(out.Episode.Steps)
+			calls += float64(out.Episode.LLMCalls)
+		}
+		fmt.Printf("%-22s %7d/%d %8.1f %9.1fm %10.0f\n",
+			v.name, succ, episodes, steps/episodes, mins/episodes, calls/episodes)
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: run one episode of a workload from the suite and read its
+// metrics — success, steps, simulated latency, per-module breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embench"
+	"embench/internal/trace"
+)
+
+func main() {
+	// JARVIS-1 on an easy craftworld task: obtain a wooden pickaxe.
+	out, err := embench.Run("JARVIS-1", "easy", 0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := out.Episode
+	fmt.Printf("success:   %v\n", e.Success)
+	fmt.Printf("steps:     %d\n", e.Steps)
+	fmt.Printf("sim time:  %.1f min (%.1f s/step)\n",
+		e.SimDuration.Minutes(), e.SimDuration.Seconds()/float64(e.Steps))
+	fmt.Printf("llm calls: %d (%.0f%% of latency)\n", e.LLMCalls, 100*e.LLMShare)
+	fmt.Println("per-module latency:")
+	for _, m := range trace.Modules {
+		if d := e.Breakdown[m]; d > 0 {
+			fmt.Printf("  %-14s %6.1fs\n", m, d.Seconds())
+		}
+	}
+}

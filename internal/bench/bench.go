@@ -1,0 +1,82 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: per-module latency breakdowns (Fig. 2), module-sensitivity
+// ablations (Fig. 3), local-vs-API model comparison (Fig. 4), memory
+// capacity sweeps (Fig. 5), prompt-token growth (Fig. 6), multi-agent
+// scalability (Fig. 7), and the optimization-recommendation ablations of
+// Secs. IV–VI. Absolute numbers come from the calibrated simulation
+// substrate; the paper's qualitative shapes are asserted in tests and the
+// measured-vs-paper comparison lives in EXPERIMENTS.md.
+package bench
+
+import (
+	"embench/internal/core"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/systems"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	Episodes int    // episodes per configuration (default 5)
+	Seed     uint64 // root seed
+}
+
+func (c Config) episodes() int {
+	if c.Episodes <= 0 {
+		return 5
+	}
+	return c.Episodes
+}
+
+// mutation rewrites a workload's agent configuration for an ablation.
+type mutation func(*core.AgentConfig)
+
+// batch runs several episodes of one configuration and returns per-episode
+// results with their traces.
+func batch(w systems.Workload, diff world.Difficulty, agents int,
+	mut mutation, opt multiagent.Options, episodes int, seed uint64) ([]metrics.Episode, []*trace.Trace) {
+
+	if mut != nil {
+		mut(&w.Config)
+	}
+	var eps []metrics.Episode
+	var traces []*trace.Trace
+	for i := 0; i < episodes; i++ {
+		o := opt
+		o.Seed = seed + uint64(i)*1000003
+		out := w.Run(diff, agents, o)
+		eps = append(eps, out.Episode)
+		traces = append(traces, out.Trace)
+	}
+	return eps, traces
+}
+
+// kindShare reports the latency fraction spent in events of the given
+// kind prefix across traces (e.g. CoELA's "message"/"plan"/"act-select"
+// split, paper Sec. IV-A).
+func kindShare(traces []*trace.Trace, kind string) float64 {
+	var total, match float64
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			total += ev.Latency.Seconds()
+			if ev.Kind == kind || (len(ev.Kind) > len(kind) && ev.Kind[:len(kind)] == kind) {
+				match += ev.Latency.Seconds()
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return match / total
+}
+
+// mustGet resolves a workload or panics — experiment tables are static.
+func mustGet(name string) systems.Workload {
+	w, ok := systems.Get(name)
+	if !ok {
+		panic("bench: unknown workload " + name)
+	}
+	return w
+}

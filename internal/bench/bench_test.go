@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// small keeps experiment tests fast while exercising the full pipeline.
+var small = Config{Episodes: 3, Seed: 7}
+
+func TestFig2ShapesHold(t *testing.T) {
+	rows := Fig2(small)
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	// Takeaway 1: steps cost seconds-to-tens-of-seconds; LLM modules
+	// dominate on average.
+	for _, r := range rows {
+		sec := r.MeanStepTime.Seconds()
+		if sec < 1 || sec > 60 {
+			t.Errorf("%s: per-step latency %.1fs outside plausible band", r.System, sec)
+		}
+		if r.TotalRuntime < time.Minute {
+			t.Errorf("%s: total runtime %.1fm implausibly small", r.System, r.TotalRuntime.Minutes())
+		}
+	}
+	if share := MeanLLMShare(rows); share < 0.55 || share > 0.9 {
+		t.Fatalf("mean LLM share = %.2f, want near paper's 0.70", share)
+	}
+	// Execution is a significant share where the paper says it is.
+	byName := map[string]Fig2Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	for _, sys := range []string{"RoCo", "DaDu-E", "EmbodiedGPT"} {
+		if byName[sys].ModuleShare[trace.Execution] < 0.12 {
+			t.Errorf("%s execution share = %.2f, paper reports it substantial",
+				sys, byName[sys].ModuleShare[trace.Execution])
+		}
+	}
+	// Reflection is cheap overall.
+	if refl := MeanModuleShare(rows, trace.Reflection); refl > 0.2 {
+		t.Errorf("mean reflection share = %.2f, should be small (paper 8.6%%)", refl)
+	}
+	out := RenderFig2(rows)
+	if !strings.Contains(out, "Fig. 2a") || !strings.Contains(out, "Fig. 2b") {
+		t.Fatal("render missing panels")
+	}
+}
+
+func TestFig3AblationDirections(t *testing.T) {
+	rows := Fig3(small)
+	// N/A cells exactly where the paper marks them.
+	na := map[string]Ablation{"JARVIS-1": NoComm, "CoELA": NoRefl, "COMBO": NoRefl}
+	for _, r := range rows {
+		if want, ok := na[r.System]; ok && r.Ablation == want && r.Applicable {
+			t.Errorf("%s %s should be not-applicable", r.System, r.Ablation)
+		}
+	}
+	memRatio, memDrop := AblationImpact(rows, NoMem)
+	if memRatio <= 1.05 {
+		t.Errorf("w/o memory steps ratio = %.2f, want > 1 (paper 1.61)", memRatio)
+	}
+	if memDrop <= 0 {
+		t.Errorf("w/o memory success drop = %.1f pts, want positive (paper 27.7)", memDrop)
+	}
+	reflRatio, reflDrop := AblationImpact(rows, NoRefl)
+	if reflRatio <= 1.05 {
+		t.Errorf("w/o reflection steps ratio = %.2f, want > 1 (paper 1.88)", reflRatio)
+	}
+	// Success may survive on lenient horizons at small sample sizes; it
+	// must never *improve* beyond noise.
+	if reflDrop < -5 {
+		t.Errorf("w/o reflection improved success by %.1f pts; should never help", -reflDrop)
+	}
+	// Execution ablation: tasks fail and hit Lmax.
+	for _, r := range rows {
+		if r.Ablation == NoExec && r.Applicable {
+			if r.SuccessRate > 0.35 {
+				t.Errorf("%s w/o execution success = %.2f, paper reports task failure", r.System, r.SuccessRate)
+			}
+		}
+	}
+	// Communication ablation: no large success impact (Takeaway 2).
+	commRatio, commDrop := AblationImpact(rows, NoComm)
+	if commDrop > 25 {
+		t.Errorf("w/o communication dropped success by %.1f pts; paper finds no significant impact", commDrop)
+	}
+	_ = commRatio
+	if out := RenderFig3(rows); !strings.Contains(out, "n/a") {
+		t.Fatal("render should mark not-applicable cells")
+	}
+}
+
+func TestFig4LocalModelTradeoff(t *testing.T) {
+	rows := Fig4(small)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	worseSuccess, fasterCalls, moreSteps := 0, 0, 0
+	var callRatio, runtimeRatio float64
+	for _, r := range rows {
+		if r.LlamaSuccess <= r.GPT4Success {
+			worseSuccess++
+		}
+		if r.LlamaCallTime < r.GPT4CallTime {
+			fasterCalls++
+		}
+		if r.LlamaSteps > r.GPT4Steps {
+			moreSteps++
+		}
+		callRatio += float64(r.LlamaCallTime) / float64(r.GPT4CallTime)
+		runtimeRatio += float64(r.LlamaRuntime) / float64(r.GPT4Runtime)
+	}
+	callRatio /= float64(len(rows))
+	runtimeRatio /= float64(len(rows))
+	// Takeaway 3 directions, allowing noise on a couple of systems: local
+	// inference is faster per call, decision quality is never better, the
+	// agent takes more actions, and the extra actions eat a large part of
+	// the per-call latency advantage end-to-end.
+	if worseSuccess < 7 {
+		t.Errorf("local model beat GPT-4 on %d/10 systems; expected lower success", 10-worseSuccess)
+	}
+	if fasterCalls < 9 {
+		t.Errorf("local per-call latency should be faster: %d/10", fasterCalls)
+	}
+	if moreSteps < 6 {
+		t.Errorf("local model should need more steps: %d/10", moreSteps)
+	}
+	if runtimeRatio <= callRatio {
+		t.Errorf("end-to-end runtime ratio (%.2f) should exceed per-call ratio (%.2f): extra actions must show",
+			runtimeRatio, callRatio)
+	}
+}
+
+func TestFig5MemoryShapes(t *testing.T) {
+	rows := Fig5(Config{Episodes: 3, Seed: 11})
+	// Retrieval latency grows with capacity on long tasks. Easy episodes
+	// can end before the smallest window even fills, so the growth
+	// assertion applies to medium and hard.
+	for _, sys := range fig5Systems {
+		for _, diff := range []world.Difficulty{world.Medium, world.Hard} {
+			var sel []Fig5Row
+			for _, r := range rows {
+				if r.System == sys && r.Difficulty == diff {
+					sel = append(sel, r)
+				}
+			}
+			if len(sel) < 2 {
+				t.Fatalf("missing sweep for %s/%s", sys, diff)
+			}
+			if sel[len(sel)-1].Retrieval < sel[0].Retrieval {
+				t.Errorf("%s/%s: retrieval latency shrank with capacity", sys, diff)
+			}
+		}
+	}
+	// Success at the sweep's sweet spot beats the smallest capacity for
+	// hard tasks (paper: complex tasks benefit from larger memory).
+	for _, sys := range fig5Systems {
+		var sel []Fig5Row
+		for _, r := range rows {
+			if r.System == sys && r.Difficulty == world.Hard {
+				sel = append(sel, r)
+			}
+		}
+		best := 0.0
+		for _, r := range sel[1:] {
+			if r.SuccessRate > best {
+				best = r.SuccessRate
+			}
+		}
+		if best < sel[0].SuccessRate {
+			t.Errorf("%s hard: larger memory never beat the smallest capacity", sys)
+		}
+	}
+}
+
+func TestFig6TokenGrowth(t *testing.T) {
+	series := Fig6(Config{Seed: 3})
+	if len(series) == 0 {
+		t.Fatal("no token series")
+	}
+	grew := 0
+	for _, s := range series {
+		if s.GrowthRatio() > 1.2 {
+			grew++
+		}
+		if s.PeakTokens() <= 0 {
+			t.Errorf("%s/%s: empty series", s.System, s.Stream)
+		}
+	}
+	if grew < len(series)/2 {
+		t.Fatalf("only %d/%d streams grew >1.2x; paper shows token growth over time", grew, len(series))
+	}
+	for _, name := range fig6Systems {
+		found := false
+		for _, s := range series {
+			if s.System == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing series for %s", name)
+		}
+	}
+}
+
+func TestFig7ScalabilityShapes(t *testing.T) {
+	rows := Fig7(Config{Episodes: 2, Seed: 5})
+	// Centralized: success collapses with team size on hard tasks.
+	ma := Select(rows, "MindAgent", world.Hard)
+	if len(ma) != len(Fig7Agents) {
+		t.Fatalf("MindAgent sweep incomplete: %d", len(ma))
+	}
+	if ma[len(ma)-1].SuccessRate >= ma[0].SuccessRate {
+		t.Errorf("centralized success should decline with agents: %.2f -> %.2f",
+			ma[0].SuccessRate, ma[len(ma)-1].SuccessRate)
+	}
+	// Decentralized latency grows much faster than centralized latency.
+	co := Select(rows, "CoELA", world.Hard)
+	maGrowth := float64(ma[len(ma)-1].TaskLatency) / float64(ma[0].TaskLatency)
+	coGrowth := float64(co[len(co)-1].TaskLatency) / float64(co[0].TaskLatency)
+	if coGrowth <= maGrowth {
+		t.Errorf("decentralized latency growth (%.2fx) should exceed centralized (%.2fx)", coGrowth, maGrowth)
+	}
+	// Decentralized LLM calls grow superlinearly vs centralized.
+	maCalls := ma[len(ma)-1].LLMCalls / ma[0].LLMCalls
+	coCalls := co[len(co)-1].LLMCalls / co[0].LLMCalls
+	if coCalls <= maCalls {
+		t.Errorf("decentralized LLM-call growth (%.2fx) should exceed centralized (%.2fx)", coCalls, maCalls)
+	}
+}
+
+func TestOptimizationsDirections(t *testing.T) {
+	rows := Optimizations(Config{Episodes: 3, Seed: 13})
+	byName := map[string]OptRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["rec7 plan-horizon"]; r.Speedup() <= 1 {
+		t.Errorf("plan-horizon should cut runtime: %.2fx", r.Speedup())
+	}
+	if r := byName["rec8 plan-then-comm"]; r.OptMsgs >= r.BaseMsgs {
+		t.Errorf("plan-then-comm should cut messages: %.0f -> %.0f", r.BaseMsgs, r.OptMsgs)
+	} else if r.Speedup() < 0.85 {
+		t.Errorf("plan-then-comm should not slow the system much: %.2fx", r.Speedup())
+	}
+	if r := byName["t6 parallel-pipeline"]; r.Speedup() <= 1 {
+		t.Errorf("parallel pipeline should cut runtime: %.2fx", r.Speedup())
+	}
+	if r := byName["rec4 multiple-choice"]; r.OptSuccess < r.BaseSuccess {
+		t.Errorf("multiple-choice should not hurt small-model success: %.2f -> %.2f",
+			r.BaseSuccess, r.OptSuccess)
+	}
+	// Dual memory trades a little recall for bounded context: runtime must
+	// stay in the same band (its headline win, lower retrieval latency and
+	// smaller prompts, is asserted in TestDualRetrievalCheaperThanFlat).
+	if r := byName["rec5 dual-memory"]; r.Speedup() < 0.85 {
+		t.Errorf("dual memory slowed the system too much: %.2fx", r.Speedup())
+	}
+	bat := Batching()
+	if len(bat) != 6 {
+		t.Fatalf("batching rows = %d", len(bat))
+	}
+	for _, r := range bat {
+		if r.Speedup <= 1 {
+			t.Errorf("%s batch=%d speedup %.2f, want >1", r.Profile, r.BatchSize, r.Speedup)
+		}
+	}
+	out := RenderOptimizations(rows, bat)
+	if !strings.Contains(out, "rec9 hierarchical") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestCalibrationReport(t *testing.T) {
+	rows := Fig2(Config{Episodes: 2, Seed: 17})
+	out := CalibrationReport(rows)
+	for _, want := range []string{"LLM latency share", "CoELA", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("calibration report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"embench/internal/trace"
+)
+
+// Paper holds the headline numbers from the paper's evaluation, used as
+// calibration targets. The suite reproduces shapes, not testbeds, so each
+// target carries a tolerance band; EXPERIMENTS.md records the comparison.
+var Paper = struct {
+	LLMShare          float64 // Sec. IV-A: mean LLM latency share
+	ReflectionShare   float64 // Sec. IV-B: mean reflection latency share
+	MemStepsRatio     float64 // Fig. 3: w/o memory steps multiplier
+	MemSuccessDrop    float64 // Fig. 3: w/o memory success drop, pts
+	ReflStepsRatio    float64 // Fig. 3: w/o reflection steps multiplier
+	ReflSuccessDrop   float64 // Fig. 3: w/o reflection success drop, pts
+	CoELAMsgShare     float64 // Sec. IV-A: CoELA message-generation share
+	CoELAPlanShare    float64 // Sec. IV-A: CoELA planning share
+	CoELAActShare     float64 // Sec. IV-A: CoELA action-selection share
+	MessageUseful     float64 // Sec. V-D: useful fraction of messages
+	StepSecondsLo     float64 // Fig. 2a: per-step latency band
+	StepSecondsHi     float64
+	TotalMinutesLo    float64 // Fig. 2b: total runtime band
+	TotalMinutesHi    float64
+	CoELATotalMinutes float64 // Sec. I: CoELA ≈18 min per task
+	COMBOTotalMinutes float64 // Sec. I: COMBO ≈23 min
+	MindATotalMinutes float64 // Sec. I: MindAgent ≈21 min
+}{
+	LLMShare:        0.702,
+	ReflectionShare: 0.0861,
+	MemStepsRatio:   1.61, MemSuccessDrop: 27.7,
+	ReflStepsRatio: 1.88, ReflSuccessDrop: 33.3,
+	CoELAMsgShare: 0.161, CoELAPlanShare: 0.365, CoELAActShare: 0.103,
+	MessageUseful: 0.20,
+	StepSecondsLo: 10, StepSecondsHi: 30,
+	TotalMinutesLo: 10, TotalMinutesHi: 40,
+	CoELATotalMinutes: 18, COMBOTotalMinutes: 23, MindATotalMinutes: 21,
+}
+
+// CalibrationReport compares a Fig. 2 run against the paper's headline
+// numbers.
+func CalibrationReport(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Calibration — measured vs paper\n")
+	line := func(name string, measured, paper float64, unit string) {
+		fmt.Fprintf(&b, "%-38s measured %7.2f%s   paper %7.2f%s\n", name, measured, unit, paper, unit)
+	}
+	line("mean LLM latency share", 100*MeanLLMShare(rows), 100*Paper.LLMShare, "%")
+	line("mean reflection latency share", 100*MeanModuleShare(rows, trace.Reflection), 100*Paper.ReflectionShare, "%")
+	var coela Fig2Row
+	for _, r := range rows {
+		if r.System == "CoELA" {
+			coela = r
+		}
+	}
+	line("CoELA message-generation share", 100*coela.KindShares["message"], 100*Paper.CoELAMsgShare, "%")
+	line("CoELA planning share", 100*coela.KindShares["plan"], 100*Paper.CoELAPlanShare, "%")
+	line("CoELA action-selection share", 100*coela.KindShares["act-select"], 100*Paper.CoELAActShare, "%")
+	line("CoELA total runtime", coela.TotalRuntime.Minutes(), Paper.CoELATotalMinutes, "m")
+	for _, r := range rows {
+		switch r.System {
+		case "COMBO":
+			line("COMBO total runtime", r.TotalRuntime.Minutes(), Paper.COMBOTotalMinutes, "m")
+		case "MindAgent":
+			line("MindAgent total runtime", r.TotalRuntime.Minutes(), Paper.MindATotalMinutes, "m")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Fig2Row is one workload's latency profile (paper Fig. 2a + 2b).
+type Fig2Row struct {
+	System       string
+	MeanStepTime time.Duration            // Fig. 2a bar length
+	ModuleShare  map[trace.Module]float64 // Fig. 2a bar segments
+	LLMShare     float64                  // Sec. IV-A: 70.2% average
+	TotalRuntime time.Duration            // Fig. 2b
+	MeanSteps    float64
+	SuccessRate  float64
+	KindShares   map[string]float64 // "plan"/"message"/"act-select" splits
+}
+
+// Fig2 benchmarks per-step latency breakdown and total task runtime for
+// all fourteen workloads on medium tasks.
+func Fig2(cfg Config) []Fig2Row {
+	var rows []Fig2Row
+	for _, name := range systemsOrder {
+		w := mustGet(name)
+		eps, traces := batch(w, world.Medium, 0, nil, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+		s := metrics.Summarize(eps)
+		rows = append(rows, Fig2Row{
+			System:       name,
+			MeanStepTime: s.MeanStepTime,
+			ModuleShare:  s.ModuleShare,
+			LLMShare:     s.LLMShare,
+			TotalRuntime: s.MeanDuration,
+			MeanSteps:    s.MeanSteps,
+			SuccessRate:  s.SuccessRate,
+			KindShares: map[string]float64{
+				"plan":       kindShare(traces, "plan"),
+				"message":    kindShare(traces, "message"),
+				"act-select": kindShare(traces, "act-select"),
+			},
+		})
+	}
+	return rows
+}
+
+var systemsOrder = []string{
+	"EmbodiedGPT", "JARVIS-1", "DaDu-E", "MP5", "DEPS",
+	"MindAgent", "OLA", "COHERENT", "CMAS",
+	"CoELA", "COMBO", "RoCo", "DMAS", "HMAS",
+}
+
+// MeanLLMShare averages the LLM latency share across rows (paper: 70.2%).
+func MeanLLMShare(rows []Fig2Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.LLMShare
+	}
+	return sum / float64(len(rows))
+}
+
+// MeanModuleShare averages one module's share across rows.
+func MeanModuleShare(rows []Fig2Row, m trace.Module) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.ModuleShare[m]
+	}
+	return sum / float64(len(rows))
+}
+
+// RenderFig2 formats both panels as text tables.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 2a — per-step latency breakdown (medium tasks)\n")
+	fmt.Fprintf(&b, "%-12s %9s  %6s %6s %6s %6s %6s %6s  %6s\n",
+		"System", "s/step", "sense", "plan", "comm", "mem", "refl", "exec", "LLM%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.1f  %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%  %5.1f%%\n",
+			r.System, r.MeanStepTime.Seconds(),
+			100*r.ModuleShare[trace.Sensing], 100*r.ModuleShare[trace.Planning],
+			100*r.ModuleShare[trace.Comms], 100*r.ModuleShare[trace.Memory],
+			100*r.ModuleShare[trace.Reflection], 100*r.ModuleShare[trace.Execution],
+			100*r.LLMShare)
+	}
+	fmt.Fprintf(&b, "mean LLM-module latency share: %.1f%% (paper: 70.2%%)\n\n", 100*MeanLLMShare(rows))
+	b.WriteString("Fig. 2b — total runtime per task\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s %9s\n", "System", "total", "steps", "success")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.1fm %8.1f %8.0f%%\n",
+			r.System, r.TotalRuntime.Minutes(), r.MeanSteps, 100*r.SuccessRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"embench/internal/core"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/world"
+)
+
+// Ablation names the Fig. 3 module-sensitivity variants.
+type Ablation string
+
+// The five Fig. 3 configurations.
+const (
+	Full   Ablation = "full"
+	NoComm Ablation = "w/o communication"
+	NoMem  Ablation = "w/o memory"
+	NoRefl Ablation = "w/o reflection"
+	NoExec Ablation = "w/o execution"
+)
+
+// Ablations lists the Fig. 3 variants in presentation order.
+var Ablations = []Ablation{Full, NoComm, NoMem, NoRefl, NoExec}
+
+// Fig3Row is one (system, ablation) cell of Fig. 3.
+type Fig3Row struct {
+	System      string
+	Ablation    Ablation
+	Applicable  bool // the paper marks some cells "Not Applicable"
+	SuccessRate float64
+	MeanSteps   float64
+	LimitRate   float64 // fraction of episodes hitting Lmax
+}
+
+// fig3Systems are the six systems the paper ablates.
+var fig3Systems = []string{"CoELA", "COMBO", "COHERENT", "RoCo", "HMAS", "JARVIS-1"}
+
+// Fig3 benchmarks module sensitivity: disable one module at a time and
+// measure success rate and steps on medium tasks.
+func Fig3(cfg Config) []Fig3Row {
+	var rows []Fig3Row
+	for _, name := range fig3Systems {
+		w := mustGet(name)
+		for _, ab := range Ablations {
+			mut, applicable := ablate(w.Config, ab)
+			row := Fig3Row{System: name, Ablation: ab, Applicable: applicable}
+			if applicable {
+				eps, _ := batch(w, world.Medium, 0, mut, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+				s := metrics.Summarize(eps)
+				row.SuccessRate = s.SuccessRate
+				row.MeanSteps = s.MeanSteps
+				row.LimitRate = s.LimitRate
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// ablate builds the config mutation for an ablation, reporting false when
+// the system lacks that module (the paper's "Not Applicable" cells).
+func ablate(base core.AgentConfig, ab Ablation) (mutation, bool) {
+	switch ab {
+	case Full:
+		return nil, true
+	case NoComm:
+		if base.Comms == nil {
+			return nil, false
+		}
+		return func(c *core.AgentConfig) { c.Comms = nil }, true
+	case NoMem:
+		if base.Memory.Capacity == 0 && !base.Memory.Dual {
+			return nil, false
+		}
+		return func(c *core.AgentConfig) { c.Memory = core.MemoryConfig{Capacity: 0} }, true
+	case NoRefl:
+		if base.Reflector == nil {
+			return nil, false
+		}
+		return func(c *core.AgentConfig) { c.Reflector = nil }, true
+	case NoExec:
+		return func(c *core.AgentConfig) { c.Execution = false }, true
+	}
+	return nil, false
+}
+
+// AblationImpact aggregates Fig. 3 into the paper's headline multipliers:
+// the mean steps ratio and success-rate drop (percentage points) of an
+// ablation relative to the full system, over systems where it applies.
+func AblationImpact(rows []Fig3Row, ab Ablation) (stepsRatio, successDropPts float64) {
+	full := map[string]Fig3Row{}
+	for _, r := range rows {
+		if r.Ablation == Full {
+			full[r.System] = r
+		}
+	}
+	n := 0.0
+	for _, r := range rows {
+		if r.Ablation != ab || !r.Applicable {
+			continue
+		}
+		f, ok := full[r.System]
+		if !ok || f.MeanSteps == 0 {
+			continue
+		}
+		stepsRatio += r.MeanSteps / f.MeanSteps
+		successDropPts += metrics.Pts(f.SuccessRate, r.SuccessRate)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return stepsRatio / n, successDropPts / n
+}
+
+// RenderFig3 formats the sensitivity table.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 3 — module sensitivity (medium tasks)\n")
+	fmt.Fprintf(&b, "%-10s %-19s %9s %8s %8s\n", "System", "Variant", "success", "steps", "@Lmax")
+	for _, r := range rows {
+		if !r.Applicable {
+			fmt.Fprintf(&b, "%-10s %-19s %9s\n", r.System, r.Ablation, "n/a")
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-19s %8.0f%% %8.1f %7.0f%%\n",
+			r.System, r.Ablation, 100*r.SuccessRate, r.MeanSteps, 100*r.LimitRate)
+	}
+	memRatio, memDrop := AblationImpact(rows, NoMem)
+	reflRatio, reflDrop := AblationImpact(rows, NoRefl)
+	fmt.Fprintf(&b, "w/o memory:     steps ×%.2f, success −%.1f pts (paper: ×1.61, −27.7)\n", memRatio, memDrop)
+	fmt.Fprintf(&b, "w/o reflection: steps ×%.2f, success −%.1f pts (paper: ×1.88, −33.3)\n", reflRatio, reflDrop)
+	return b.String()
+}

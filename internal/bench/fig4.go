@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/core"
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Fig4Row compares one workload under GPT-4 API planning vs local
+// Llama-3-8B planning (paper Fig. 4).
+type Fig4Row struct {
+	System        string
+	GPT4Success   float64
+	GPT4Runtime   time.Duration
+	LlamaSuccess  float64
+	LlamaRuntime  time.Duration
+	GPT4CallTime  time.Duration // mean latency per LLM call
+	LlamaCallTime time.Duration
+	GPT4Steps     float64
+	LlamaSteps    float64
+}
+
+// fig4Systems are the ten workloads the paper swaps models on.
+var fig4Systems = []string{
+	"JARVIS-1", "DaDu-E", "MP5", "DEPS", "MindAgent",
+	"OLA", "COMBO", "RoCo", "DMAS", "CoELA",
+}
+
+// Fig4 benchmarks the local-model trade-off: faster per-inference, lower
+// capability, longer end-to-end runtime.
+func Fig4(cfg Config) []Fig4Row {
+	var rows []Fig4Row
+	for _, name := range fig4Systems {
+		w := mustGet(name)
+		gpt := swapModels(llm.GPT4)
+		loc := swapModels(llm.Llama3_8B)
+		epsG, trG := batch(w, world.Medium, 0, gpt, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+		epsL, trL := batch(w, world.Medium, 0, loc, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+		sg, sl := metrics.Summarize(epsG), metrics.Summarize(epsL)
+		rows = append(rows, Fig4Row{
+			System:        name,
+			GPT4Success:   sg.SuccessRate,
+			GPT4Runtime:   sg.MeanDuration,
+			LlamaSuccess:  sl.SuccessRate,
+			LlamaRuntime:  sl.MeanDuration,
+			GPT4CallTime:  meanLLMCall(trG),
+			LlamaCallTime: meanLLMCall(trL),
+			GPT4Steps:     sg.MeanSteps,
+			LlamaSteps:    sl.MeanSteps,
+		})
+	}
+	return rows
+}
+
+// swapModels replaces every generative module (planner, comms, reflector)
+// with the given profile, mirroring the paper's whole-stack model swap.
+func swapModels(p llm.Profile) mutation {
+	return func(c *core.AgentConfig) {
+		c.Planner = p
+		if c.Comms != nil {
+			q := p
+			c.Comms = &q
+		}
+		if c.Reflector != nil && c.Reflector.FixedLatency == 0 {
+			q := p
+			c.Reflector = &q
+		}
+	}
+}
+
+// meanLLMCall averages the latency of LLM inference events across traces.
+func meanLLMCall(traces []*trace.Trace) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			if ev.LLMCall {
+				sum += ev.Latency
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// RenderFig4 formats the comparison.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — GPT-4 API vs local Llama-3-8B (medium tasks)\n")
+	fmt.Fprintf(&b, "%-10s  %-22s  %-22s\n", "", "GPT-4", "Llama-3-8B")
+	fmt.Fprintf(&b, "%-10s %9s %11s  %9s %11s\n", "System", "success", "runtime", "success", "runtime")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.0f%% %10.1fm  %8.0f%% %10.1fm\n",
+			r.System, 100*r.GPT4Success, r.GPT4Runtime.Minutes(),
+			100*r.LlamaSuccess, r.LlamaRuntime.Minutes())
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/core"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Fig5Row is one (system, difficulty, capacity) sample of the memory
+// capacity sweep (paper Fig. 5).
+type Fig5Row struct {
+	System      string
+	Difficulty  world.Difficulty
+	Capacity    int
+	SuccessRate float64
+	MeanSteps   float64
+	Retrieval   time.Duration // mean memory-module latency per step
+}
+
+// fig5Sweep defines the per-system capacity axes (matching the paper's
+// x-axes: MindAgent sweeps 10–35, the others 10–60).
+var fig5Sweep = map[string][]int{
+	"JARVIS-1":  {10, 20, 30, 40, 50, 60},
+	"MindAgent": {10, 15, 20, 25, 30, 35},
+	"CoELA":     {10, 20, 30, 40, 50, 60},
+}
+
+// fig5Systems in presentation order.
+var fig5Systems = []string{"JARVIS-1", "MindAgent", "CoELA"}
+
+// Fig5 sweeps memory capacity across difficulty levels.
+func Fig5(cfg Config) []Fig5Row {
+	var rows []Fig5Row
+	for _, name := range fig5Systems {
+		w := mustGet(name)
+		for _, diff := range world.Difficulties {
+			for _, cap := range fig5Sweep[name] {
+				capacity := cap
+				mut := func(c *core.AgentConfig) { c.Memory = core.MemoryConfig{Capacity: capacity} }
+				eps, traces := batch(w, diff, 0, mut, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+				s := metrics.Summarize(eps)
+				rows = append(rows, Fig5Row{
+					System: name, Difficulty: diff, Capacity: capacity,
+					SuccessRate: s.SuccessRate, MeanSteps: s.MeanSteps,
+					Retrieval: meanModuleLatencyPerStep(traces, trace.Memory),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// meanModuleLatencyPerStep averages one module's latency per environment
+// step across traces.
+func meanModuleLatencyPerStep(traces []*trace.Trace, m trace.Module) time.Duration {
+	var sum time.Duration
+	steps := 0
+	for _, tr := range traces {
+		sum += tr.Breakdown()[m]
+		steps += tr.Steps()
+	}
+	if steps == 0 {
+		return 0
+	}
+	return sum / time.Duration(steps)
+}
+
+// RenderFig5 formats the sweep.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — memory capacity sweep\n")
+	fmt.Fprintf(&b, "%-10s %-8s %9s %9s %8s %12s\n", "System", "Task", "capacity", "success", "steps", "retrieval/step")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s %9d %8.0f%% %8.1f %11.0fms\n",
+			r.System, r.Difficulty, r.Capacity, 100*r.SuccessRate, r.MeanSteps,
+			float64(r.Retrieval.Milliseconds()))
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embench/internal/multiagent"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Fig6Series is one per-agent token stream over time (paper Fig. 6):
+// prompt tokens of each plan/message LLM call, per step.
+type Fig6Series struct {
+	System string
+	Stream string // "agent0/planning", "agent1/communication", ...
+	Points []trace.SeriesPoint
+}
+
+// fig6Systems are the three workloads the paper plots.
+var fig6Systems = []string{"RoCo", "MindAgent", "CoELA"}
+
+// Fig6 runs one medium episode per system and extracts prompt-token
+// series for the LLM-based modules.
+func Fig6(cfg Config) []Fig6Series {
+	var out []Fig6Series
+	for _, name := range fig6Systems {
+		w := mustGet(name)
+		o := w.Run(world.Medium, 0, multiagent.Options{Seed: cfg.Seed})
+		series := o.Trace.TokenSeries()
+		var streams []string
+		for s := range series {
+			streams = append(streams, s)
+		}
+		sort.Strings(streams)
+		for _, s := range streams {
+			if !strings.Contains(s, string(trace.Planning)) && !strings.Contains(s, string(trace.Comms)) {
+				continue
+			}
+			out = append(out, Fig6Series{System: name, Stream: s, Points: series[s]})
+		}
+	}
+	return out
+}
+
+// GrowthRatio reports the series' final token count over its initial one —
+// the paper's "token length increases as tasks progress".
+func (s Fig6Series) GrowthRatio() float64 {
+	if len(s.Points) < 2 || s.Points[0].Tokens == 0 {
+		return 1
+	}
+	return float64(s.Points[len(s.Points)-1].Tokens) / float64(s.Points[0].Tokens)
+}
+
+// PeakTokens reports the series' maximum prompt size.
+func (s Fig6Series) PeakTokens() int {
+	peak := 0
+	for _, p := range s.Points {
+		if p.Tokens > peak {
+			peak = p.Tokens
+		}
+	}
+	return peak
+}
+
+// RenderFig6 formats compact per-stream summaries plus a sampled series.
+func RenderFig6(series []Fig6Series) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — prompt token growth over time (medium tasks)\n")
+	fmt.Fprintf(&b, "%-10s %-28s %7s %7s %7s %8s\n", "System", "Stream", "first", "last", "peak", "growth")
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		first := s.Points[0].Tokens
+		last := s.Points[len(s.Points)-1].Tokens
+		fmt.Fprintf(&b, "%-10s %-28s %7d %7d %7d %7.1fx\n",
+			s.System, s.Stream, first, last, s.PeakTokens(), s.GrowthRatio())
+	}
+	return b.String()
+}

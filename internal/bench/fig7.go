@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/world"
+)
+
+// Fig7Row is one (system, difficulty, team size) sample of the
+// scalability analysis (paper Fig. 7).
+type Fig7Row struct {
+	System      string
+	Paradigm    string
+	Difficulty  world.Difficulty
+	Agents      int
+	SuccessRate float64
+	TaskLatency time.Duration
+	LLMCalls    float64 // mean per episode
+	Tokens      float64 // mean prompt tokens per episode
+}
+
+// fig7Systems: one centralized (MindAgent) and two decentralized (CoELA,
+// COMBO) systems, as in the paper.
+var fig7Systems = []string{"MindAgent", "CoELA", "COMBO"}
+
+// Fig7Agents is the team-size axis.
+var Fig7Agents = []int{2, 4, 6, 8, 10, 12}
+
+// Fig7 sweeps team size across difficulty levels.
+func Fig7(cfg Config) []Fig7Row {
+	var rows []Fig7Row
+	for _, name := range fig7Systems {
+		w := mustGet(name)
+		for _, diff := range world.Difficulties {
+			for _, n := range Fig7Agents {
+				eps, _ := batch(w, diff, n, nil, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+				s := metrics.Summarize(eps)
+				rows = append(rows, Fig7Row{
+					System: name, Paradigm: string(w.Paradigm), Difficulty: diff, Agents: n,
+					SuccessRate: s.SuccessRate, TaskLatency: s.MeanDuration,
+					LLMCalls: s.MeanLLMCalls, Tokens: s.MeanPrompt,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Select filters rows for one system and difficulty, ordered by team size.
+func Select(rows []Fig7Row, system string, diff world.Difficulty) []Fig7Row {
+	var out []Fig7Row
+	for _, n := range Fig7Agents {
+		for _, r := range rows {
+			if r.System == system && r.Difficulty == diff && r.Agents == n {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// RenderFig7 formats the sweep.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — multi-agent scalability\n")
+	fmt.Fprintf(&b, "%-10s %-13s %-8s %7s %9s %10s %10s %10s\n",
+		"System", "Paradigm", "Task", "agents", "success", "latency", "LLM calls", "tokens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-13s %-8s %7d %8.0f%% %9.1fm %10.0f %10.0f\n",
+			r.System, r.Paradigm, r.Difficulty, r.Agents,
+			100*r.SuccessRate, r.TaskLatency.Minutes(), r.LLMCalls, r.Tokens)
+	}
+	return b.String()
+}

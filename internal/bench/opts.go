@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/core"
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/prompt"
+	"embench/internal/world"
+)
+
+// OptRow is one optimization A/B result (paper Recs. 1, 4–10 and
+// Takeaway 6).
+type OptRow struct {
+	Name        string
+	System      string
+	BaseSuccess float64
+	OptSuccess  float64
+	BaseRuntime time.Duration
+	OptRuntime  time.Duration
+	BaseMsgs    float64 // mean messages generated per episode
+	OptMsgs     float64
+	Note        string
+}
+
+// Speedup reports base/opt runtime.
+func (r OptRow) Speedup() float64 {
+	if r.OptRuntime == 0 {
+		return 1
+	}
+	return float64(r.BaseRuntime) / float64(r.OptRuntime)
+}
+
+// Optimizations benchmarks every recommendation the paper proposes, each
+// against its natural baseline workload.
+func Optimizations(cfg Config) []OptRow {
+	var rows []OptRow
+	ab := func(name, system string, diff world.Difficulty, agents int,
+		baseMut, optMut mutation, baseOpt, optOpt multiagent.Options, note string) {
+		w := mustGet(system)
+		baseEps, _ := batch(w, diff, agents, baseMut, baseOpt, cfg.episodes(), cfg.Seed)
+		optEps, _ := batch(w, diff, agents, optMut, optOpt, cfg.episodes(), cfg.Seed)
+		sb, so := metrics.Summarize(baseEps), metrics.Summarize(optEps)
+		msgs := func(eps []metrics.Episode) float64 {
+			total := 0
+			for _, e := range eps {
+				total += e.Messages.Generated
+			}
+			return float64(total) / float64(len(eps))
+		}
+		rows = append(rows, OptRow{
+			Name: name, System: system,
+			BaseSuccess: sb.SuccessRate, OptSuccess: so.SuccessRate,
+			BaseRuntime: sb.MeanDuration, OptRuntime: so.MeanDuration,
+			BaseMsgs: msgs(baseEps), OptMsgs: msgs(optEps),
+			Note: note,
+		})
+	}
+
+	// Rec 4: multiple-choice planning closes the small-model gap.
+	ab("rec4 multiple-choice", "DEPS", world.Medium, 0,
+		func(c *core.AgentConfig) { c.Planner = llm.Llama3_8B },
+		func(c *core.AgentConfig) {
+			c.Planner = llm.Llama3_8B
+			c.MultipleChoice = &prompt.MultipleChoice{Options: 4, ErrorDiscount: 0.45}
+		},
+		multiagent.Options{}, multiagent.Options{},
+		"Llama-3-8B planner, free-form vs 4-way multiple choice")
+
+	// Rec 5: dual memory vs full-history flat memory.
+	ab("rec5 dual-memory", "CoELA", world.Medium, 0,
+		func(c *core.AgentConfig) { c.Memory = core.MemoryConfig{Capacity: -1} },
+		func(c *core.AgentConfig) { c.Memory = core.MemoryConfig{Dual: true, ShortWindow: 8, LongBudget: 160} },
+		multiagent.Options{}, multiagent.Options{},
+		"full-history flat store vs long/short dual store")
+
+	// Rec 6: context compression.
+	ab("rec6 compression", "CoELA", world.Medium, 0,
+		nil,
+		func(c *core.AgentConfig) { c.Compressor = &prompt.Compressor{Ratio: 0.3, Threshold: 250} },
+		multiagent.Options{}, multiagent.Options{},
+		"summarize memory/dialogue sections beyond 250 tokens")
+
+	// Rec 7: planning-guided multi-step execution.
+	ab("rec7 plan-horizon", "JARVIS-1", world.Medium, 0,
+		nil,
+		func(c *core.AgentConfig) { c.PlanHorizon = 3 },
+		multiagent.Options{}, multiagent.Options{},
+		"one planning call guides 3 consecutive subgoals")
+
+	// Rec 8: planning-then-communication gating.
+	ab("rec8 plan-then-comm", "CoELA", world.Medium, 0,
+		nil,
+		func(c *core.AgentConfig) { c.PlanThenComm = true },
+		multiagent.Options{}, multiagent.Options{},
+		"gate message generation on the plan instead of pre-generating")
+
+	// Rec 9: hierarchical clusters at scale.
+	ab("rec9 hierarchical", "CoELA", world.Medium, 8,
+		nil, nil,
+		multiagent.Options{}, multiagent.Options{ClusterSize: 4},
+		"8 agents: flat broadcast vs clusters of 4")
+
+	// Rec 10: message filtering.
+	ab("rec10 msg-filter", "CoELA", world.Medium, 0,
+		nil,
+		func(c *core.AgentConfig) { c.MessageFilter = 4 },
+		multiagent.Options{}, multiagent.Options{},
+		"cap messages at the 4 newest records")
+
+	// Takeaway 6: parallel module pipeline.
+	ab("t6 parallel-pipeline", "CoELA", world.Medium, 4,
+		nil, nil,
+		multiagent.Options{}, multiagent.Options{Parallel: true},
+		"4 agents: sequential vs overlapped per-agent spans")
+
+	return rows
+}
+
+// BatchingRow reports Rec. 1 serving-level batching gains, computed from
+// the serving model directly (no episode needed).
+type BatchingRow struct {
+	Profile   string
+	BatchSize int
+	Speedup   float64
+}
+
+// Batching sweeps batch sizes for the API and local profiles.
+func Batching() []BatchingRow {
+	var rows []BatchingRow
+	for _, p := range []llm.Profile{llm.GPT4, llm.Llama3_8B} {
+		for _, n := range []int{2, 4, 8} {
+			rows = append(rows, BatchingRow{
+				Profile: p.Name, BatchSize: n,
+				Speedup: llm.BatchSpeedup(p, n, 1200, 120),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderOptimizations formats the A/B table plus batching gains.
+func RenderOptimizations(rows []OptRow, batching []BatchingRow) string {
+	var b strings.Builder
+	b.WriteString("Optimization recommendations — A/B on the suite\n")
+	fmt.Fprintf(&b, "%-22s %-10s %9s %9s %10s %10s %8s\n",
+		"Optimization", "System", "base ok", "opt ok", "base t", "opt t", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-10s %8.0f%% %8.0f%% %9.1fm %9.1fm %7.2fx\n",
+			r.Name, r.System, 100*r.BaseSuccess, 100*r.OptSuccess,
+			r.BaseRuntime.Minutes(), r.OptRuntime.Minutes(), r.Speedup())
+	}
+	b.WriteString("\nRec 1 — LLM serving batching speedup (1200 prompt / 120 output tokens)\n")
+	for _, r := range batching {
+		fmt.Fprintf(&b, "%-12s batch=%d  %.2fx\n", r.Profile, r.BatchSize, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package core
+
+// Joint-action complexity coefficients. The paper's scalability analysis
+// (Sec. VI) finds the number of coordinated actions and interdependencies
+// grows combinatorially with agent count; in the error channel that appears
+// as a per-call complexity addend linear in team size, much steeper for a
+// centralized planner that must reason over the full joint action space
+// than for a decentralized agent reasoning about its own next move.
+const (
+	decentralizedComplexityCoef = 0.012
+	centralizedComplexityCoef   = 0.045
+)
+
+// DecentralizedComplexity is the per-agent reasoning complexity addend in a
+// team of the given size (Fig. 1e paradigm).
+func DecentralizedComplexity(agents int) float64 {
+	if agents <= 1 {
+		return 0
+	}
+	return decentralizedComplexityCoef * float64(agents-1)
+}
+
+// CentralizedComplexity is the joint-planner reasoning complexity addend
+// for the given team size (Fig. 1d paradigm).
+func CentralizedComplexity(agents int) float64 {
+	if agents <= 1 {
+		return 0
+	}
+	return centralizedComplexityCoef * float64(agents-1)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"embench/internal/llm"
+	"embench/internal/modules/sensing"
+	"embench/internal/prompt"
+)
+
+// MemoryConfig selects the memory module's structure and capacity.
+type MemoryConfig struct {
+	// Capacity is the retention window in steps: 0 disables the module
+	// (the "w/o Memory" ablation), negative keeps the full history.
+	Capacity int
+	// Dual enables the long-term/short-term structure of Rec. 5.
+	Dual        bool
+	ShortWindow int // short-term window when Dual (default 6)
+	LongBudget  int // long-term summary token budget when Dual (default 160)
+}
+
+// AgentConfig describes which building blocks an agent has and how they
+// are parameterized — one row of the paper's Table II.
+type AgentConfig struct {
+	// Sensing is the perception backend; nil means no sensing module
+	// (symbolic systems like MindAgent read state directly).
+	Sensing *sensing.Backend
+	// Planner is the planning-module LLM. Required.
+	Planner llm.Profile
+	// Comms is the communication-module LLM; nil means no module.
+	Comms *llm.Profile
+	// Memory configures the memory module.
+	Memory MemoryConfig
+	// Reflector is the reflection-module model; nil means no module.
+	Reflector *llm.Profile
+	// Execution enables the low-level execution module. When false the
+	// planner LLM must emit primitive actions itself (Fig. 3 "w/o Exec").
+	Execution bool
+	// ActSelect adds CoELA's third per-step LLM call that picks the
+	// concrete action from a menu.
+	ActSelect bool
+
+	// SystemTokens and TaskTokens size the fixed prompt sections
+	// (defaults 220 and 90).
+	SystemTokens int
+	TaskTokens   int
+	// PlanOutTokens overrides the planning generation length (default
+	// 140); chain-of-thought-style planners generate longer.
+	PlanOutTokens int
+
+	// PlanHorizon K > 1 enables planning-guided multi-step execution
+	// (Rec. 7): one planning LLM call guides K consecutive subgoals.
+	PlanHorizon int
+	// PlanThenComm gates message generation on the plan needing it
+	// (Rec. 8) instead of pre-generating a message every step.
+	PlanThenComm bool
+	// MessageFilter caps records per message (Rec. 10); 0 = unfiltered.
+	MessageFilter int
+	// MultipleChoice reformulates planning queries as multiple choice
+	// (Rec. 4); nil = off.
+	MultipleChoice *prompt.MultipleChoice
+	// Compressor summarizes oversized context sections (Rec. 6); nil = off.
+	Compressor *prompt.Compressor
+}
+
+// withDefaults fills zero fields.
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.SystemTokens == 0 {
+		c.SystemTokens = 220
+	}
+	if c.TaskTokens == 0 {
+		c.TaskTokens = 90
+	}
+	if c.PlanHorizon <= 0 {
+		c.PlanHorizon = 1
+	}
+	if c.PlanOutTokens == 0 {
+		c.PlanOutTokens = 140
+	}
+	if c.Memory.Dual {
+		if c.Memory.ShortWindow == 0 {
+			c.Memory.ShortWindow = 6
+		}
+		if c.Memory.LongBudget == 0 {
+			c.Memory.LongBudget = 160
+		}
+	}
+	return c
+}
+
+// persistProb is the chance an uncorrected agent re-issues its failed plan
+// on the next step — the "stuck in loops of invalid operations" behaviour
+// the reflection module exists to break (paper Sec. IV-B). Without error
+// feedback the model sees the same context and makes the same call, so
+// loops run long.
+const persistProb = 0.85
+
+// maxLoopRepeats caps a single loop: fresh observations and shifting
+// dialogue eventually change the context enough that even an uncorrected
+// model moves on.
+const maxLoopRepeats = 6
+
+// primitiveCalls is how many LLM emissions one subgoal's worth of
+// low-level control takes when the execution module is disabled.
+const primitiveCalls = 4
+
+// primitiveComplexity is the extra error-channel complexity of emitting
+// raw primitives: the decision space is vastly larger than subgoal
+// selection, and a single wrong joint command voids the whole motion
+// (paper Sec. IV-B: disabling execution led to task failures at Lmax).
+const primitiveComplexity = 0.55

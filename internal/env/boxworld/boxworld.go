@@ -1,0 +1,600 @@
+// Package boxworld implements a reach-constrained cooperative box-moving
+// environment — the suite's stand-in for the BoxNet, WareHouse and BoxLift
+// tasks used by CMAS, DMAS and HMAS (paper Table II).
+//
+// Fixed robot arms line a corridor of cells; each arm reaches only its
+// three neighboring cells, so moving a box across the corridor requires a
+// relay through shared boundary cells, and heavy boxes move only when two
+// arms lift together in the same step. This reproduces the action-
+// interdependency explosion the paper identifies as the core multi-agent
+// scalability obstacle. Each arm sees only its own reach, so teammates'
+// box sightings arrive through memory and messages.
+package boxworld
+
+import (
+	"fmt"
+
+	"embench/internal/core"
+	"embench/internal/modules/execution"
+	"embench/internal/modules/memory"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+// Config parameterizes an episode.
+type Config struct {
+	Agents     int
+	Difficulty world.Difficulty
+	Horizon    int // 0 = difficulty default
+	Boxes      int // 0 = difficulty default
+	Seed       string
+}
+
+func defaults(d world.Difficulty) (boxes, heavy, horizon int) {
+	switch d {
+	case world.Easy:
+		return 4, 0, 40
+	case world.Medium:
+		return 8, 1, 55
+	default:
+		return 12, 2, 85
+	}
+}
+
+const (
+	boxFactTokens  = 12
+	goalFactTokens = 30
+)
+
+// box is one payload.
+type box struct {
+	id    int
+	cell  int
+	goal  int
+	heavy bool
+}
+
+// liftIntent is a pending cooperative lift registered during the step.
+type liftIntent struct {
+	agent, box, dest int
+}
+
+// Corridor is the environment. It implements core.Domain and
+// core.CentralDomain.
+type Corridor struct {
+	cfg     Config
+	agents  int
+	length  int
+	boxes   []*box
+	moved   map[int]bool // boxes already moved this step
+	lifts   []liftIntent
+	step    int
+	horizon int
+}
+
+// BoxFact is the payload of a box sighting. Gone marks negative evidence:
+// the arm reached for the box and it wasn't there.
+type BoxFact struct {
+	ID    int
+	Cell  int
+	Goal  int
+	Heavy bool
+	Gone  bool
+}
+
+// ClaimFact is an "agent is handling box B" intent.
+type ClaimFact struct {
+	Agent int
+	Box   int
+}
+
+// New builds an episode. The corridor has 2·agents+1 cells so that arm
+// reaches tile it completely with single-cell overlaps.
+func New(cfg Config, src *rng.Source) *Corridor {
+	if cfg.Agents <= 0 {
+		cfg.Agents = 2
+	}
+	boxes, heavy, horizon := defaults(cfg.Difficulty)
+	if cfg.Boxes > 0 {
+		boxes = cfg.Boxes
+	}
+	if cfg.Horizon > 0 {
+		horizon = cfg.Horizon
+	}
+	c := &Corridor{
+		cfg: cfg, agents: cfg.Agents, length: 2*cfg.Agents + 1,
+		horizon: horizon, moved: map[int]bool{},
+	}
+	st := src.NewStream("boxworld/" + cfg.Seed)
+	for i := 0; i < boxes; i++ {
+		isHeavy := i < heavy
+		pick := func() int {
+			if isHeavy {
+				// Heavy boxes need two arms; the exclusive end cells have
+				// only one, so keep heavy starts and goals interior.
+				return 1 + st.Pick(c.length-2)
+			}
+			return st.Pick(c.length)
+		}
+		start := pick()
+		goal := pick()
+		for goal == start {
+			goal = pick()
+		}
+		c.boxes = append(c.boxes, &box{id: i, cell: start, goal: goal, heavy: isHeavy})
+	}
+	return c
+}
+
+// ArmPos reports arm i's fixed cell (odd cells).
+func (c *Corridor) ArmPos(agent int) int { return 2*agent + 1 }
+
+// InReach reports whether cell is within agent's workspace.
+func (c *Corridor) InReach(agent, cell int) bool {
+	p := c.ArmPos(agent)
+	return cell >= p-1 && cell <= p+1 && cell >= 0 && cell < c.length
+}
+
+// Length reports the corridor size in cells.
+func (c *Corridor) Length() int { return c.length }
+
+// Name implements core.Domain.
+func (c *Corridor) Name() string { return "boxworld" }
+
+// Agents implements core.Domain.
+func (c *Corridor) Agents() int { return c.agents }
+
+// MaxSteps implements core.Domain.
+func (c *Corridor) MaxSteps() int { return c.horizon }
+
+// Step implements core.Domain.
+func (c *Corridor) Step() int { return c.step }
+
+// Done implements core.Domain.
+func (c *Corridor) Done() bool { return c.Success() || c.step >= c.horizon }
+
+// Success implements core.Domain.
+func (c *Corridor) Success() bool {
+	for _, b := range c.boxes {
+		if b.cell != b.goal {
+			return false
+		}
+	}
+	return true
+}
+
+// Progress implements core.Domain.
+func (c *Corridor) Progress() float64 {
+	if len(c.boxes) == 0 {
+		return 1
+	}
+	done := 0
+	for _, b := range c.boxes {
+		if b.cell == b.goal {
+			done++
+		}
+	}
+	return float64(done) / float64(len(c.boxes))
+}
+
+// BoxCell exposes a box's true cell (tests and examples).
+func (c *Corridor) BoxCell(id int) int { return c.boxes[id].cell }
+
+// StaticRecords implements core.Domain: goals are task knowledge.
+func (c *Corridor) StaticRecords() []memory.Record {
+	recs := []memory.Record{{
+		Kind: memory.Observation, Key: "map:corridor", Payload: c.length,
+		Tokens: goalFactTokens, Static: true,
+	}}
+	return recs
+}
+
+// Observe implements core.Domain: an arm sees only its own reach.
+func (c *Corridor) Observe(agent int) core.Observation {
+	obs := core.Observation{}
+	for _, b := range c.boxes {
+		if !c.InReach(agent, b.cell) {
+			continue
+		}
+		obs.Entities++
+		rec := memory.Record{
+			Step: c.step, Kind: memory.Observation, Key: fmt.Sprintf("box:%d", b.id),
+			Payload: BoxFact{ID: b.id, Cell: b.cell, Goal: b.goal, Heavy: b.heavy},
+			Tokens:  boxFactTokens,
+		}
+		obs.Records = append(obs.Records, rec)
+		obs.Tokens += rec.Tokens
+	}
+	return obs
+}
+
+// belief is the boxworld belief payload.
+type belief struct {
+	boxes  map[int]BoxFact
+	step   map[int]int
+	claims map[int]int // agent -> box
+}
+
+// BuildBelief implements core.Domain.
+func (c *Corridor) BuildBelief(agent int, recs []memory.Record) core.Belief {
+	b := belief{boxes: map[int]BoxFact{}, step: map[int]int{}, claims: map[int]int{}}
+	for _, r := range recs {
+		switch p := r.Payload.(type) {
+		case BoxFact:
+			if r.Step >= b.step[p.ID] {
+				if p.Gone {
+					delete(b.boxes, p.ID)
+				} else {
+					b.boxes[p.ID] = p
+				}
+				b.step[p.ID] = r.Step
+			}
+		case ClaimFact:
+			b.claims[p.Agent] = p.Box
+		}
+	}
+	known, stale := 0, 0
+	for id, f := range b.boxes {
+		if f.Cell == f.Goal {
+			continue
+		}
+		known++
+		if c.boxes[id].cell != f.Cell {
+			stale++
+		}
+	}
+	st := 0.0
+	if known > 0 {
+		st = float64(stale) / float64(known)
+	}
+	return core.Belief{Payload: b, Staleness: st}
+}
+
+// Move slides a (light) box one cell within the acting arm's reach.
+type Move struct {
+	Box  int
+	From int
+	To   int
+}
+
+// ID implements core.Subgoal.
+func (m Move) ID() string { return fmt.Sprintf("move:%d:%d", m.Box, m.To) }
+
+// Describe implements core.Subgoal.
+func (m Move) Describe() string { return fmt.Sprintf("move box %d from %d to %d", m.Box, m.From, m.To) }
+
+// Lift registers a cooperative lift of a heavy box; the box moves at the
+// end of the step when at least two arms lifted it toward the same cell.
+type Lift struct {
+	Box  int
+	From int
+	To   int
+}
+
+// ID implements core.Subgoal.
+func (l Lift) ID() string { return fmt.Sprintf("lift:%d:%d", l.Box, l.To) }
+
+// Describe implements core.Subgoal.
+func (l Lift) Describe() string { return fmt.Sprintf("lift box %d from %d to %d", l.Box, l.From, l.To) }
+
+// Idle is the do-nothing subgoal.
+type Idle struct{}
+
+// ID implements core.Subgoal.
+func (Idle) ID() string { return "idle" }
+
+// Describe implements core.Subgoal.
+func (Idle) Describe() string { return "wait" }
+
+// Propose implements core.Domain: act on the highest-priority believed box
+// inside this arm's reach, relaying toward its goal.
+func (c *Corridor) Propose(agent int, bel core.Belief) core.Proposal {
+	b, _ := bel.Payload.(belief)
+	prop := core.Proposal{Complexity: core.DecentralizedComplexity(c.agents)}
+	good := c.bestAction(agent, b)
+	prop.Good = good
+	prop.Corruptions = c.corruptions(agent, b, good)
+	return prop
+}
+
+// bestAction prefers heavy boxes (they need synchronized effort, so all
+// reaching arms converge on them by shared priority), then the lowest id —
+// a deterministic, commonly computable ordering.
+func (c *Corridor) bestAction(agent int, b belief) core.Subgoal {
+	var pick *BoxFact
+	for id := 0; id < len(c.boxes); id++ {
+		f, ok := b.boxes[id]
+		if !ok || f.Cell == f.Goal {
+			continue
+		}
+		if !f.Heavy && claimedByOther(b.claims, agent, id) {
+			continue
+		}
+		dest := stepToward(f.Cell, f.Goal)
+		if f.Heavy {
+			// A lifter needs a hold on either end of the move.
+			if !c.InReach(agent, f.Cell) && !c.InReach(agent, dest) {
+				continue
+			}
+		} else if !c.InReach(agent, f.Cell) || !c.InReach(agent, dest) {
+			continue // the neighbor arm's job
+		}
+		cp := f
+		if pick == nil || (cp.Heavy && !pick.Heavy) || (cp.Heavy == pick.Heavy && cp.ID < pick.ID) {
+			pick = &cp
+		}
+	}
+	if pick == nil {
+		return Idle{}
+	}
+	dest := stepToward(pick.Cell, pick.Goal)
+	if pick.Heavy {
+		return Lift{Box: pick.ID, From: pick.Cell, To: dest}
+	}
+	return Move{Box: pick.ID, From: pick.Cell, To: dest}
+}
+
+func stepToward(from, goal int) int {
+	if goal > from {
+		return from + 1
+	}
+	if goal < from {
+		return from - 1
+	}
+	return from
+}
+
+func claimedByOther(claims map[int]int, agent, boxID int) bool {
+	for a, bx := range claims {
+		if a != agent && bx == boxID {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptions: push a box away from its goal, grab an out-of-reach box,
+// lift a light box, or duplicate a teammate's claim.
+func (c *Corridor) corruptions(agent int, b belief, good core.Subgoal) []core.Subgoal {
+	var out []core.Subgoal
+	add := func(sg core.Subgoal) {
+		if sg != nil && (good == nil || sg.ID() != good.ID()) {
+			out = append(out, sg)
+		}
+	}
+	for id := 0; id < len(c.boxes); id++ {
+		f, ok := b.boxes[id]
+		if !ok || f.Cell == f.Goal {
+			continue
+		}
+		if c.InReach(agent, f.Cell) {
+			// Wrong direction.
+			away := 2*f.Cell - stepToward(f.Cell, f.Goal)
+			if away >= 0 && away < c.length && c.InReach(agent, away) {
+				add(Move{Box: id, From: f.Cell, To: away})
+			}
+			if !f.Heavy {
+				add(Lift{Box: id, From: f.Cell, To: stepToward(f.Cell, f.Goal)})
+			}
+		} else {
+			add(Move{Box: id, From: f.Cell, To: stepToward(f.Cell, f.Goal)})
+		}
+		if len(out) >= 3 {
+			break
+		}
+	}
+	add(Idle{})
+	return out
+}
+
+// ProposeJoint implements core.CentralDomain: assign each arm its best
+// feasible action, pairing arms on heavy boxes first.
+func (c *Corridor) ProposeJoint(bel core.Belief) core.Proposal {
+	b, _ := bel.Payload.(belief)
+	good := &core.Joint{Assign: map[int]core.Subgoal{}}
+	taken := map[int]bool{}
+	// Heavy boxes first: find the two arms that reach them.
+	for id := 0; id < len(c.boxes); id++ {
+		f, ok := b.boxes[id]
+		if !ok || !f.Heavy || f.Cell == f.Goal {
+			continue
+		}
+		dest := stepToward(f.Cell, f.Goal)
+		var lifters []int
+		for a := 0; a < c.agents; a++ {
+			if good.Assign[a] == nil && (c.InReach(a, f.Cell) || c.InReach(a, dest)) {
+				lifters = append(lifters, a)
+			}
+		}
+		if len(lifters) >= 2 {
+			for _, a := range lifters[:2] {
+				good.Assign[a] = Lift{Box: id, From: f.Cell, To: dest}
+			}
+			taken[id] = true
+		}
+	}
+	for a := 0; a < c.agents; a++ {
+		if good.Assign[a] != nil {
+			continue
+		}
+		assigned := false
+		for id := 0; id < len(c.boxes); id++ {
+			f, ok := b.boxes[id]
+			if !ok || f.Heavy || taken[id] || f.Cell == f.Goal || !c.InReach(a, f.Cell) {
+				continue
+			}
+			dest := stepToward(f.Cell, f.Goal)
+			if !c.InReach(a, dest) {
+				continue
+			}
+			good.Assign[a] = Move{Box: id, From: f.Cell, To: dest}
+			taken[id] = true
+			assigned = true
+			break
+		}
+		if !assigned {
+			good.Assign[a] = Idle{}
+		}
+	}
+	// Corruptions: everyone idles, or single-arm lifts that can't succeed.
+	lazy := &core.Joint{Assign: map[int]core.Subgoal{}}
+	soloLift := &core.Joint{Assign: map[int]core.Subgoal{}}
+	for a := 0; a < c.agents; a++ {
+		lazy.Assign[a] = Idle{}
+		soloLift.Assign[a] = Idle{}
+	}
+	for id := 0; id < len(c.boxes); id++ {
+		if f, ok := b.boxes[id]; ok && f.Heavy && f.Cell != f.Goal {
+			for a := 0; a < c.agents; a++ {
+				if c.InReach(a, f.Cell) {
+					soloLift.Assign[a] = Lift{Box: id, From: f.Cell, To: stepToward(f.Cell, f.Goal)}
+					break
+				}
+			}
+			break
+		}
+	}
+	return core.Proposal{
+		Good:        good,
+		Corruptions: []core.Subgoal{lazy, soloLift},
+		Complexity:  core.CentralizedComplexity(c.agents),
+	}
+}
+
+// Execute implements core.Domain.
+func (c *Corridor) Execute(agent int, sg core.Subgoal) execution.Result {
+	switch a := sg.(type) {
+	case Move:
+		return c.execMove(agent, a)
+	case Lift:
+		return c.execLift(agent, a)
+	case Idle, nil:
+		return execution.Result{Achieved: true, Note: "idle"}
+	default:
+		return execution.Result{Note: "unknown subgoal"}
+	}
+}
+
+func (c *Corridor) execMove(agent int, m Move) execution.Result {
+	res := execution.Result{Effort: execution.Effort{Primitives: 2}}
+	if m.Box < 0 || m.Box >= len(c.boxes) {
+		res.Note = "no such box"
+		return res
+	}
+	b := c.boxes[m.Box]
+	switch {
+	case b.heavy:
+		res.Note = "box too heavy for one arm"
+	case b.cell != m.From:
+		res.Note = "box not where expected"
+	case !c.InReach(agent, b.cell) || !c.InReach(agent, m.To):
+		res.Note = "out of reach"
+	case abs(m.To-b.cell) != 1 || m.To < 0 || m.To >= c.length:
+		res.Note = "invalid destination"
+	case c.moved[b.id]:
+		res.Note = "box already handled this step"
+	default:
+		b.cell = m.To
+		c.moved[b.id] = true
+		res.Achieved = true
+	}
+	return res
+}
+
+func (c *Corridor) execLift(agent int, l Lift) execution.Result {
+	res := execution.Result{Effort: execution.Effort{Primitives: 2}}
+	if l.Box < 0 || l.Box >= len(c.boxes) {
+		res.Note = "no such box"
+		return res
+	}
+	b := c.boxes[l.Box]
+	switch {
+	case !b.heavy:
+		res.Note = "box does not need a lift"
+	case b.cell != l.From:
+		res.Note = "box not where expected"
+	case !c.InReach(agent, b.cell) && !c.InReach(agent, l.To):
+		res.Note = "out of reach"
+	case abs(l.To-b.cell) != 1 || l.To < 0 || l.To >= c.length:
+		res.Note = "invalid destination"
+	default:
+		c.lifts = append(c.lifts, liftIntent{agent: agent, box: l.Box, dest: l.To})
+		res.Achieved = true
+		res.Note = "lift registered"
+	}
+	return res
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Tick implements core.Domain: resolve cooperative lifts, clear per-step
+// state, advance.
+func (c *Corridor) Tick() {
+	counts := map[[2]int]int{} // (box, dest) -> lifters
+	for _, li := range c.lifts {
+		counts[[2]int{li.box, li.dest}]++
+	}
+	for key, n := range counts {
+		if n >= 2 && !c.moved[key[0]] {
+			c.boxes[key[0]].cell = key[1]
+			c.moved[key[0]] = true
+		}
+	}
+	c.lifts = nil
+	c.moved = map[int]bool{}
+	c.step++
+}
+
+// ClaimRecord implements core.Claimer.
+func (c *Corridor) ClaimRecord(agent int, sg core.Subgoal) (memory.Record, bool) {
+	boxID := -1
+	switch g := sg.(type) {
+	case Move:
+		boxID = g.Box
+	case Lift:
+		boxID = g.Box
+	}
+	return memory.Record{
+		Kind: memory.Action, Key: fmt.Sprintf("claim:%d", agent),
+		Payload: ClaimFact{Agent: agent, Box: boxID}, Tokens: 6,
+	}, true
+}
+
+// CorrectionRecords implements core.Corrector: a failed move over a stale
+// sighting yields the box's true position when still in reach, otherwise
+// negative evidence.
+func (c *Corridor) CorrectionRecords(agent int, sg core.Subgoal, res execution.Result) []memory.Record {
+	var boxID int
+	switch g := sg.(type) {
+	case Move:
+		boxID = g.Box
+	case Lift:
+		boxID = g.Box
+	default:
+		return nil
+	}
+	if res.Achieved || boxID < 0 || boxID >= len(c.boxes) {
+		return nil
+	}
+	b := c.boxes[boxID]
+	fact := BoxFact{ID: b.id, Cell: b.cell, Goal: b.goal, Heavy: b.heavy}
+	if !c.InReach(agent, b.cell) {
+		fact = BoxFact{ID: b.id, Gone: true}
+	}
+	return []memory.Record{{
+		Step: c.step, Kind: memory.Action, Key: fmt.Sprintf("box:%d", b.id),
+		Payload: fact, Tokens: boxFactTokens,
+	}}
+}
+
+var (
+	_ core.Domain        = (*Corridor)(nil)
+	_ core.CentralDomain = (*Corridor)(nil)
+	_ core.Claimer       = (*Corridor)(nil)
+	_ core.Corrector     = (*Corridor)(nil)
+)

@@ -1,0 +1,289 @@
+package boxworld
+
+import (
+	"fmt"
+	"testing"
+
+	"embench/internal/core"
+	"embench/internal/modules/memory"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+func newCorridor(agents int, d world.Difficulty) *Corridor {
+	return New(Config{Agents: agents, Difficulty: d}, rng.New(3))
+}
+
+// fullView renders every box's true state — a perfectly informed belief.
+func fullView(c *Corridor) []memory.Record {
+	var recs []memory.Record
+	for _, b := range c.boxes {
+		recs = append(recs, memory.Record{
+			Step: c.Step(), Kind: memory.Observation, Key: fmt.Sprintf("box:%d", b.id),
+			Payload: BoxFact{ID: b.id, Cell: b.cell, Goal: b.goal, Heavy: b.heavy},
+			Tokens:  boxFactTokens,
+		})
+	}
+	return recs
+}
+
+func TestGeometry(t *testing.T) {
+	c := newCorridor(3, world.Easy)
+	if c.Length() != 7 {
+		t.Fatalf("corridor length = %d, want 7", c.Length())
+	}
+	// Arm reaches tile the corridor with overlaps at even cells.
+	for cell := 0; cell < c.Length(); cell++ {
+		covered := 0
+		for a := 0; a < 3; a++ {
+			if c.InReach(a, cell) {
+				covered++
+			}
+		}
+		if covered == 0 {
+			t.Fatalf("cell %d uncovered", cell)
+		}
+		if cell%2 == 0 && cell > 0 && cell < c.Length()-1 && covered != 2 {
+			t.Fatalf("boundary cell %d covered by %d arms, want 2", cell, covered)
+		}
+	}
+}
+
+func TestMoveValidation(t *testing.T) {
+	c := newCorridor(2, world.Easy)
+	b := c.boxes[0]
+	// Find the arm that reaches the box.
+	arm := -1
+	for a := 0; a < 2; a++ {
+		if c.InReach(a, b.cell) {
+			arm = a
+			break
+		}
+	}
+	if arm == -1 {
+		t.Fatal("no arm reaches box 0")
+	}
+	// Wrong from-cell.
+	if c.Execute(arm, Move{Box: 0, From: b.cell + 1, To: b.cell}).Achieved {
+		t.Fatal("stale from-cell should fail")
+	}
+	// Non-adjacent destination.
+	if c.Execute(arm, Move{Box: 0, From: b.cell, To: b.cell + 2}).Achieved {
+		t.Fatal("two-cell jump should fail")
+	}
+}
+
+func TestMoveOutOfReachFails(t *testing.T) {
+	c := New(Config{Agents: 4, Difficulty: world.Easy}, rng.New(3))
+	b := c.boxes[0]
+	// Find an arm that does NOT reach the box.
+	for a := 0; a < 4; a++ {
+		if !c.InReach(a, b.cell) {
+			dest := b.cell + 1
+			if dest >= c.Length() {
+				dest = b.cell - 1
+			}
+			res := c.Execute(a, Move{Box: 0, From: b.cell, To: dest})
+			if res.Achieved {
+				t.Fatal("out-of-reach move should fail")
+			}
+			return
+		}
+	}
+	t.Skip("all arms reach box 0 in this instance")
+}
+
+func TestBoxHandledOncePerStep(t *testing.T) {
+	c := New(Config{Agents: 3, Difficulty: world.Easy, Boxes: 1}, rng.New(9))
+	b := c.boxes[0]
+	// Put the box on a boundary cell so two arms reach it.
+	b.cell = 2
+	b.goal = 6
+	// Arm 1 (reach 2–4) does the moving.
+	if !c.Execute(1, Move{Box: 0, From: 2, To: 3}).Achieved {
+		t.Fatal("first move should succeed")
+	}
+	if c.Execute(1, Move{Box: 0, From: 3, To: 4}).Achieved {
+		t.Fatal("second handling in one step should fail")
+	}
+	c.Tick()
+	if !c.Execute(1, Move{Box: 0, From: 3, To: 4}).Achieved {
+		t.Fatal("move after Tick should succeed")
+	}
+}
+
+func TestHeavyBoxNeedsTwoArms(t *testing.T) {
+	c := New(Config{Agents: 2, Difficulty: world.Medium, Boxes: 2}, rng.New(3))
+	b := c.boxes[0] // heavy by construction (first box)
+	if !b.heavy {
+		t.Fatal("first medium box should be heavy")
+	}
+	b.cell = 2 // boundary: arms 0 and 1 both reach
+	b.goal = 4
+	// Single arm move fails outright.
+	if c.Execute(0, Move{Box: 0, From: 2, To: 3}).Achieved {
+		t.Fatal("single-arm move of heavy box should fail")
+	}
+	// Single lift registers but the box doesn't move.
+	if !c.Execute(0, Lift{Box: 0, From: 2, To: 3}).Achieved {
+		t.Fatal("lift intent should register")
+	}
+	c.Tick()
+	if c.BoxCell(0) != 2 {
+		t.Fatal("heavy box moved with only one lifter")
+	}
+	// Two lifts the same step move it.
+	c.Execute(0, Lift{Box: 0, From: 2, To: 3})
+	c.Execute(1, Lift{Box: 0, From: 2, To: 3})
+	c.Tick()
+	if c.BoxCell(0) != 3 {
+		t.Fatal("coordinated lift failed")
+	}
+}
+
+func TestLiftLightBoxFails(t *testing.T) {
+	c := newCorridor(2, world.Easy) // easy has no heavy boxes
+	b := c.boxes[0]
+	arm := 0
+	if !c.InReach(0, b.cell) {
+		arm = 1
+	}
+	if c.Execute(arm, Lift{Box: 0, From: b.cell, To: b.cell + 1}).Achieved {
+		t.Fatal("lifting a light box should fail")
+	}
+}
+
+func TestOracleRelaySolvesEasy(t *testing.T) {
+	c := newCorridor(3, world.Easy)
+	steps := drive(t, c, 80)
+	if !c.Success() {
+		t.Fatalf("easy oracle failed after %d steps (progress %.2f)", steps, c.Progress())
+	}
+}
+
+func TestOracleSolvesHard(t *testing.T) {
+	c := newCorridor(4, world.Hard)
+	steps := drive(t, c, 200)
+	if !c.Success() {
+		t.Fatalf("hard oracle failed after %d steps (progress %.2f)", steps, c.Progress())
+	}
+	if steps > c.MaxSteps() {
+		t.Fatalf("oracle used %d steps, horizon %d", steps, c.MaxSteps())
+	}
+}
+
+// drive runs the joint oracle with perfect knowledge.
+func drive(t *testing.T, c *Corridor, cap int) int {
+	t.Helper()
+	steps := 0
+	for !c.Done() && steps < cap {
+		bel := c.BuildBelief(core.CentralAgent, fullView(c))
+		joint := c.ProposeJoint(bel).Good.(*core.Joint)
+		for a := 0; a < c.Agents(); a++ {
+			c.Execute(a, joint.Assign[a])
+		}
+		c.Tick()
+		steps++
+	}
+	return steps
+}
+
+func TestDecentralizedOracleSolves(t *testing.T) {
+	c := newCorridor(3, world.Medium)
+	steps := 0
+	for !c.Done() && steps < 150 {
+		for a := 0; a < c.Agents(); a++ {
+			prop := c.Propose(a, c.BuildBelief(a, fullView(c)))
+			c.Execute(a, prop.Good)
+		}
+		c.Tick()
+		steps++
+	}
+	if !c.Success() {
+		t.Fatalf("decentralized oracle failed (progress %.2f)", c.Progress())
+	}
+}
+
+func TestObserveReachScoped(t *testing.T) {
+	c := newCorridor(3, world.Medium)
+	for a := 0; a < 3; a++ {
+		for _, r := range c.Observe(a).Records {
+			f := r.Payload.(BoxFact)
+			if !c.InReach(a, f.Cell) {
+				t.Fatalf("arm %d saw box %d outside reach", a, f.ID)
+			}
+		}
+	}
+}
+
+func TestBeliefStaleness(t *testing.T) {
+	c := New(Config{Agents: 2, Difficulty: world.Easy, Boxes: 1}, rng.New(4))
+	b := c.boxes[0]
+	b.cell = 2
+	b.goal = 0
+	recs := fullView(c)
+	// Move the box after the snapshot.
+	c.Execute(0, Move{Box: 0, From: 2, To: 1})
+	bel := c.BuildBelief(1, recs)
+	if bel.Staleness != 1 {
+		t.Fatalf("staleness = %v, want 1", bel.Staleness)
+	}
+}
+
+func TestProposeIdleWhenNothingKnown(t *testing.T) {
+	c := newCorridor(2, world.Easy)
+	prop := c.Propose(0, c.BuildBelief(0, nil))
+	if _, ok := prop.Good.(Idle); !ok {
+		t.Fatalf("blank belief should idle, got %s", prop.Good.Describe())
+	}
+}
+
+func TestProposeRespectsClaims(t *testing.T) {
+	c := New(Config{Agents: 2, Difficulty: world.Easy, Boxes: 1}, rng.New(3))
+	b := c.boxes[0]
+	b.cell = 2 // both arms reach
+	b.goal = 0
+	recs := fullView(c)
+	prop := c.Propose(0, c.BuildBelief(0, recs))
+	if _, ok := prop.Good.(Move); !ok {
+		t.Fatalf("expected a move, got %s", prop.Good.Describe())
+	}
+	recs = append(recs, memory.Record{
+		Step: 0, Kind: memory.Dialogue, Key: "claim:1",
+		Payload: ClaimFact{Agent: 1, Box: 0}, Tokens: 6,
+	})
+	prop = c.Propose(0, c.BuildBelief(0, recs))
+	if _, ok := prop.Good.(Idle); !ok {
+		t.Fatalf("claimed box should leave agent idle, got %s", prop.Good.Describe())
+	}
+}
+
+func TestJointPairsLifters(t *testing.T) {
+	c := New(Config{Agents: 3, Difficulty: world.Medium, Boxes: 3}, rng.New(3))
+	hb := c.boxes[0]
+	hb.cell = 2
+	hb.goal = 5
+	joint := c.ProposeJoint(c.BuildBelief(core.CentralAgent, fullView(c))).Good.(*core.Joint)
+	lifters := 0
+	for _, sg := range joint.Assign {
+		if l, ok := sg.(Lift); ok && l.Box == 0 {
+			lifters++
+		}
+	}
+	if lifters != 2 {
+		t.Fatalf("joint assigned %d lifters to the heavy box, want 2", lifters)
+	}
+}
+
+func TestCorruptionsDistinct(t *testing.T) {
+	c := newCorridor(3, world.Medium)
+	prop := c.Propose(0, c.BuildBelief(0, fullView(c)))
+	if len(prop.Corruptions) == 0 {
+		t.Fatal("no corruptions offered")
+	}
+	for _, cr := range prop.Corruptions {
+		if cr.ID() == prop.Good.ID() {
+			t.Fatal("corruption duplicates good action")
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package craftworld
+
+import (
+	"fmt"
+	"testing"
+
+	"embench/internal/modules/memory"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+func newWorld(d world.Difficulty) *World {
+	return New(Config{Difficulty: d}, rng.New(11))
+}
+
+// omniscient returns records revealing every node plus the live inventory.
+func omniscient(w *World) []memory.Record {
+	var recs []memory.Record
+	for _, n := range w.nodes {
+		recs = append(recs, memory.Record{
+			Step: w.Step(), Kind: memory.Observation, Key: fmt.Sprintf("node:%d", n.id),
+			Payload: NodeFact{ID: n.id, Kind: n.kind.Yields, Cell: n.cell, Tier: n.kind.ToolTier},
+			Tokens:  nodeFactTokens,
+		})
+	}
+	inv := map[Item]int{}
+	for k, v := range w.inv {
+		inv[k] = v
+	}
+	recs = append(recs, memory.Record{
+		Step: w.Step(), Kind: memory.Observation, Key: "inventory", Payload: inv, Tokens: invFactTokens,
+	})
+	return recs
+}
+
+func TestTargetsByDifficulty(t *testing.T) {
+	if newWorld(world.Easy).Target() != WoodenPickaxe {
+		t.Fatal("easy target should be wooden pickaxe")
+	}
+	if newWorld(world.Medium).Target() != IronPickaxe {
+		t.Fatal("medium target should be iron pickaxe")
+	}
+	if newWorld(world.Hard).Target() != DiamondPickaxe {
+		t.Fatal("hard target should be diamond pickaxe")
+	}
+}
+
+func TestRecipesFormDAG(t *testing.T) {
+	closure := dependencyClosure(DiamondPickaxe)
+	if len(closure) < 6 {
+		t.Fatalf("diamond closure too small: %v", closure)
+	}
+	// Every recipe input is either raw or itself in Recipes.
+	raw := map[Item]bool{Log: true, Cobblestone: true, IronOre: true, Diamond: true}
+	for out, r := range Recipes {
+		if r.OutQty <= 0 {
+			t.Fatalf("recipe %s yields nothing", out)
+		}
+		for in := range r.In {
+			if _, ok := Recipes[in]; !ok && !raw[in] {
+				t.Fatalf("recipe %s input %s is neither raw nor craftable", out, in)
+			}
+		}
+	}
+}
+
+func TestToolTiers(t *testing.T) {
+	inv := map[Item]int{}
+	if tierOf(inv) != 0 {
+		t.Fatal("empty inventory should be tier 0")
+	}
+	inv[WoodenPickaxe] = 1
+	if tierOf(inv) != 1 {
+		t.Fatal("wooden = tier 1")
+	}
+	inv[IronPickaxe] = 1
+	if tierOf(inv) != 3 {
+		t.Fatal("iron = tier 3")
+	}
+}
+
+func TestCraftRequiresIngredients(t *testing.T) {
+	w := newWorld(world.Easy)
+	if w.Execute(0, Craft{Out: Planks}).Achieved {
+		t.Fatal("crafting planks without logs should fail")
+	}
+	w.inv[Log] = 1
+	res := w.Execute(0, Craft{Out: Planks})
+	if !res.Achieved || w.Inventory(Planks) != 4 || w.Inventory(Log) != 0 {
+		t.Fatalf("plank craft wrong: %+v planks=%d", res, w.Inventory(Planks))
+	}
+}
+
+func TestCraftRequiresStation(t *testing.T) {
+	w := newWorld(world.Easy)
+	w.inv[Planks] = 3
+	w.inv[Stick] = 2
+	if w.Execute(0, Craft{Out: WoodenPickaxe}).Achieved {
+		t.Fatal("pickaxe without crafting table should fail")
+	}
+	w.inv[CraftingTable] = 1
+	if !w.Execute(0, Craft{Out: WoodenPickaxe}).Achieved {
+		t.Fatal("pickaxe with table should succeed")
+	}
+}
+
+func TestGatherRespectsToolTier(t *testing.T) {
+	w := newWorld(world.Hard)
+	var diamond *node
+	for i := range w.nodes {
+		if w.nodes[i].kind == DiamondNode {
+			diamond = &w.nodes[i]
+			break
+		}
+	}
+	res := w.Execute(0, Gather{Node: diamond.id, Cell: diamond.cell, Want: Diamond})
+	if res.Achieved {
+		t.Fatal("mining diamond bare-handed should fail")
+	}
+	if res.Note != "tool tier too low" {
+		t.Fatalf("note = %q", res.Note)
+	}
+	w.inv[IronPickaxe] = 1
+	if !w.Execute(0, Gather{Node: diamond.id, Cell: diamond.cell, Want: Diamond}).Achieved {
+		t.Fatal("mining diamond with iron pickaxe should succeed")
+	}
+	if w.Inventory(Diamond) != 1 {
+		t.Fatal("diamond not collected")
+	}
+}
+
+func TestGatherWrongCellFails(t *testing.T) {
+	w := newWorld(world.Easy)
+	n := w.nodes[0]
+	wrong := world.C((n.cell.X+3)%gridSize, n.cell.Y)
+	if w.Execute(0, Gather{Node: n.id, Cell: wrong, Want: n.kind.Yields}).Achieved {
+		t.Fatal("gathering at the wrong cell should fail")
+	}
+}
+
+func TestOracleSolvesEasy(t *testing.T) {
+	w := newWorld(world.Easy)
+	steps := driveOracle(t, w, 60)
+	if !w.Success() {
+		t.Fatalf("easy oracle run failed after %d steps", steps)
+	}
+}
+
+func TestOracleSolvesHardWithinHorizon(t *testing.T) {
+	w := newWorld(world.Hard)
+	steps := driveOracle(t, w, 160)
+	if !w.Success() {
+		t.Fatalf("hard oracle run failed after %d steps (progress %.2f)", steps, w.Progress())
+	}
+	if steps > w.MaxSteps() {
+		t.Fatalf("oracle needed %d steps, horizon is %d", steps, w.MaxSteps())
+	}
+}
+
+func driveOracle(t *testing.T, w *World, cap int) int {
+	t.Helper()
+	steps := 0
+	for !w.Done() && steps < cap {
+		bel := w.BuildBelief(0, omniscient(w))
+		prop := w.Propose(0, bel)
+		res := w.Execute(0, prop.Good)
+		if !res.Achieved {
+			t.Fatalf("oracle action %s failed: %s", prop.Good.Describe(), res.Note)
+		}
+		w.Tick()
+		steps++
+	}
+	return steps
+}
+
+func TestPlanOrdersTechTree(t *testing.T) {
+	w := newWorld(world.Hard)
+	bel := w.BuildBelief(0, omniscient(w))
+	prop := w.Propose(0, bel)
+	// With nothing in inventory, the first decision must target wood.
+	g, ok := prop.Good.(Gather)
+	if !ok || g.Want != Log {
+		t.Fatalf("first oracle action should gather logs, got %s", prop.Good.Describe())
+	}
+}
+
+func TestPlanExploresWhenNodesUnknown(t *testing.T) {
+	w := newWorld(world.Easy)
+	prop := w.Propose(0, w.BuildBelief(0, nil))
+	if _, ok := prop.Good.(ExploreSector); !ok {
+		t.Fatalf("blank belief should explore, got %s", prop.Good.Describe())
+	}
+}
+
+func TestCorruptionsPlausibleAndDistinct(t *testing.T) {
+	w := newWorld(world.Medium)
+	bel := w.BuildBelief(0, omniscient(w))
+	prop := w.Propose(0, bel)
+	if len(prop.Corruptions) == 0 {
+		t.Fatal("no corruptions offered")
+	}
+	for _, c := range prop.Corruptions {
+		if c.ID() == prop.Good.ID() {
+			t.Fatal("corruption equals good decision")
+		}
+	}
+}
+
+func TestPrematureCraftCorruptionFails(t *testing.T) {
+	w := newWorld(world.Medium)
+	bel := w.BuildBelief(0, omniscient(w))
+	prop := w.Propose(0, bel)
+	for _, c := range prop.Corruptions {
+		if cr, ok := c.(Craft); ok && cr.Out == w.Target() {
+			if w.Execute(0, cr).Achieved {
+				t.Fatal("premature target craft should fail")
+			}
+			return
+		}
+	}
+	t.Skip("no premature-craft corruption in this instance")
+}
+
+func TestProgressMonotone(t *testing.T) {
+	w := newWorld(world.Easy)
+	if w.Progress() != 0 {
+		t.Fatalf("initial progress = %v", w.Progress())
+	}
+	prev := w.Progress()
+	for !w.Done() {
+		bel := w.BuildBelief(0, omniscient(w))
+		prop := w.Propose(0, bel)
+		w.Execute(0, prop.Good)
+		w.Tick()
+		if p := w.Progress(); p < prev {
+			t.Fatalf("progress regressed: %v -> %v", prev, p)
+		} else {
+			prev = p
+		}
+	}
+	if w.Progress() != 1 {
+		t.Fatalf("final progress = %v", w.Progress())
+	}
+}
+
+func TestObserveRadiusLimited(t *testing.T) {
+	w := newWorld(world.Easy)
+	obs := w.Observe(0)
+	for _, r := range obs.Records {
+		if f, ok := r.Payload.(NodeFact); ok {
+			if world.Manhattan(f.Cell, w.agent) > viewRadius {
+				t.Fatalf("saw node %d beyond view radius", f.ID)
+			}
+		}
+	}
+	// Inventory is always in the observation.
+	found := false
+	for _, r := range obs.Records {
+		if r.Key == "inventory" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("observation must include inventory")
+	}
+}
+
+func TestBeliefStalenessFromOldInventory(t *testing.T) {
+	w := newWorld(world.Easy)
+	recs := omniscient(w)
+	w.Tick()
+	w.Tick()
+	w.Tick()
+	bel := w.BuildBelief(0, recs)
+	if bel.Staleness == 0 {
+		t.Fatal("old inventory record should induce staleness")
+	}
+}

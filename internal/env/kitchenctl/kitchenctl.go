@@ -1,0 +1,294 @@
+// Package kitchenctl implements a short-horizon continuous-control
+// micro-world — the suite's stand-in for Franka Kitchen / Meta-World as
+// used by EmbodiedGPT (paper Table II).
+//
+// An episode is a sequence of manipulation subtasks (open the microwave,
+// move the kettle, flip the light switch, ...), each driving one scalar
+// degree of freedom to a target through a feedback-controller policy head.
+// Each planned step triggers many controller iterations, which is why
+// execution is 24.1% of EmbodiedGPT's per-step latency despite the tasks
+// being short (Fig. 2a).
+package kitchenctl
+
+import (
+	"fmt"
+
+	"embench/internal/core"
+	"embench/internal/modules/execution"
+	"embench/internal/modules/memory"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+// Elements are the controllable degrees of freedom, named after the Franka
+// Kitchen task set.
+var Elements = []string{
+	"microwave", "kettle", "burner", "light-switch", "slide-cabinet", "hinge-cabinet", "faucet",
+}
+
+// Controller parameters.
+const (
+	ctrlRate  = 0.15 // proportional gain per iteration
+	ctrlTol   = 0.05 // convergence tolerance
+	ctrlMax   = 40   // iteration cap per execution
+	slipProb  = 0.08 // chance the grasp slips mid-motion
+	elemToken = 9
+)
+
+// Config parameterizes an episode.
+type Config struct {
+	Difficulty world.Difficulty
+	Horizon    int // 0 = difficulty default
+	Seed       string
+}
+
+func defaults(d world.Difficulty) (subtasks, horizon int) {
+	switch d {
+	case world.Easy:
+		return 3, 10
+	case world.Medium:
+		return 5, 16
+	default:
+		return 7, 22
+	}
+}
+
+// Kitchen is the environment; single-agent, implements core.Domain.
+type Kitchen struct {
+	cfg      Config
+	values   []float64 // current DOF values in [0,1]
+	subtasks []int     // element indices to drive to 1.0
+	stream   *rng.Stream
+	step     int
+	horizon  int
+}
+
+// ElemFact is the payload of a DOF observation.
+type ElemFact struct {
+	Element int
+	Value   float64
+}
+
+// New builds an episode; the subtask set derives from src.
+func New(cfg Config, src *rng.Source) *Kitchen {
+	n, horizon := defaults(cfg.Difficulty)
+	if cfg.Horizon > 0 {
+		horizon = cfg.Horizon
+	}
+	k := &Kitchen{
+		cfg:     cfg,
+		values:  make([]float64, len(Elements)),
+		stream:  src.NewStream("kitchenctl/" + cfg.Seed),
+		horizon: horizon,
+	}
+	perm := k.stream.Perm(len(Elements))
+	for i := 0; i < n && i < len(perm); i++ {
+		k.subtasks = append(k.subtasks, perm[i])
+	}
+	return k
+}
+
+// Name implements core.Domain.
+func (k *Kitchen) Name() string { return "kitchenctl" }
+
+// Agents implements core.Domain.
+func (k *Kitchen) Agents() int { return 1 }
+
+// MaxSteps implements core.Domain.
+func (k *Kitchen) MaxSteps() int { return k.horizon }
+
+// Step implements core.Domain.
+func (k *Kitchen) Step() int { return k.step }
+
+// Done implements core.Domain.
+func (k *Kitchen) Done() bool { return k.Success() || k.step >= k.horizon }
+
+// Success implements core.Domain.
+func (k *Kitchen) Success() bool {
+	for _, e := range k.subtasks {
+		if !k.subtaskDone(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *Kitchen) subtaskDone(element int) bool { return k.values[element] >= 1-ctrlTol }
+
+// Progress implements core.Domain.
+func (k *Kitchen) Progress() float64 {
+	if len(k.subtasks) == 0 {
+		return 1
+	}
+	done := 0
+	for _, e := range k.subtasks {
+		if k.subtaskDone(e) {
+			done++
+		}
+	}
+	return float64(done) / float64(len(k.subtasks))
+}
+
+// Subtasks reports the episode's element indices in order.
+func (k *Kitchen) Subtasks() []int { return append([]int(nil), k.subtasks...) }
+
+// Value reports a DOF's current value (tests and examples).
+func (k *Kitchen) Value(element int) float64 { return k.values[element] }
+
+// StaticRecords implements core.Domain: the subtask list is the task spec.
+func (k *Kitchen) StaticRecords() []memory.Record {
+	return []memory.Record{{
+		Kind: memory.Observation, Key: "task:subtasks", Payload: k.Subtasks(),
+		Tokens: 10 + 6*len(k.subtasks), Static: true,
+	}}
+}
+
+// Observe implements core.Domain: the whole state is visible each frame
+// (fixed ego camera), so EmbodiedGPT needs no memory module (Table II).
+func (k *Kitchen) Observe(agent int) core.Observation {
+	obs := core.Observation{}
+	for i, v := range k.values {
+		obs.Entities++
+		rec := memory.Record{
+			Step: k.step, Kind: memory.Observation, Key: fmt.Sprintf("elem:%d", i),
+			Payload: ElemFact{Element: i, Value: v}, Tokens: elemToken,
+		}
+		obs.Records = append(obs.Records, rec)
+		obs.Tokens += rec.Tokens
+	}
+	return obs
+}
+
+// belief is the kitchenctl belief payload.
+type belief struct {
+	values   map[int]float64
+	subtasks []int
+}
+
+// BuildBelief implements core.Domain.
+func (k *Kitchen) BuildBelief(agent int, recs []memory.Record) core.Belief {
+	b := belief{values: map[int]float64{}}
+	for _, r := range recs {
+		switch p := r.Payload.(type) {
+		case ElemFact:
+			b.values[p.Element] = p.Value
+		case []int:
+			b.subtasks = p
+		}
+	}
+	if b.subtasks == nil {
+		b.subtasks = k.subtasks // the task sheet is always at hand
+	}
+	return core.Belief{Payload: b}
+}
+
+// DoSubtask drives one element to its target.
+type DoSubtask struct{ Element int }
+
+// ID implements core.Subgoal.
+func (d DoSubtask) ID() string { return fmt.Sprintf("do:%d", d.Element) }
+
+// Describe implements core.Subgoal.
+func (d DoSubtask) Describe() string {
+	if d.Element >= 0 && d.Element < len(Elements) {
+		return "manipulate " + Elements[d.Element]
+	}
+	return fmt.Sprintf("manipulate element %d", d.Element)
+}
+
+// Idle is the do-nothing subgoal.
+type Idle struct{}
+
+// ID implements core.Subgoal.
+func (Idle) ID() string { return "idle" }
+
+// Describe implements core.Subgoal.
+func (Idle) Describe() string { return "wait" }
+
+// Propose implements core.Domain: the first unfinished subtask in order.
+func (k *Kitchen) Propose(agent int, bel core.Belief) core.Proposal {
+	b, _ := bel.Payload.(belief)
+	prop := core.Proposal{}
+	var good core.Subgoal = Idle{}
+	for _, e := range b.subtasks {
+		if v, ok := b.values[e]; !ok || v < 1-ctrlTol {
+			good = DoSubtask{Element: e}
+			break
+		}
+	}
+	prop.Good = good
+	// Corruptions: redo a finished subtask or fiddle with an unrelated DOF.
+	var corr []core.Subgoal
+	for _, e := range b.subtasks {
+		if v, ok := b.values[e]; ok && v >= 1-ctrlTol {
+			if g := (DoSubtask{Element: e}); g.ID() != good.ID() {
+				corr = append(corr, g)
+			}
+			break
+		}
+	}
+	inTask := map[int]bool{}
+	for _, e := range b.subtasks {
+		inTask[e] = true
+	}
+	for e := range Elements {
+		if !inTask[e] {
+			if g := (DoSubtask{Element: e}); g.ID() != good.ID() {
+				corr = append(corr, g)
+			}
+			break
+		}
+	}
+	if len(corr) == 0 {
+		corr = append(corr, Idle{})
+	}
+	prop.Corruptions = corr
+	return prop
+}
+
+// Execute implements core.Domain: run the feedback controller until the
+// DOF converges, slips, or the iteration budget runs out.
+func (k *Kitchen) Execute(agent int, sg core.Subgoal) execution.Result {
+	d, ok := sg.(DoSubtask)
+	if !ok {
+		if _, idle := sg.(Idle); idle || sg == nil {
+			return execution.Result{Achieved: true, Note: "idle"}
+		}
+		return execution.Result{Note: "unknown subgoal"}
+	}
+	if d.Element < 0 || d.Element >= len(Elements) {
+		return execution.Result{Note: "no such element"}
+	}
+	res := execution.Result{}
+	v := k.values[d.Element]
+	slipped := k.stream.Bernoulli(slipProb)
+	slipAt := 0
+	if slipped {
+		slipAt = 3 + k.stream.Pick(8)
+	}
+	for it := 0; it < ctrlMax; it++ {
+		res.Effort.ControlIters++
+		res.Effort.Primitives = 1
+		if slipped && it == slipAt {
+			v *= 0.5 // grasp slipped; partial motion lost
+			res.Effort.Replans++
+			res.Note = "grasp slipped"
+			k.values[d.Element] = v
+			return res
+		}
+		v += ctrlRate * (1 - v)
+		if v >= 1-ctrlTol {
+			k.values[d.Element] = 1 - ctrlTol/2
+			res.Achieved = true
+			return res
+		}
+	}
+	k.values[d.Element] = v
+	res.Note = "controller did not converge"
+	return res
+}
+
+// Tick implements core.Domain.
+func (k *Kitchen) Tick() { k.step++ }
+
+var _ core.Domain = (*Kitchen)(nil)

@@ -1,0 +1,150 @@
+package kitchenctl
+
+import (
+	"testing"
+
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+func newKitchen(d world.Difficulty) *Kitchen {
+	return New(Config{Difficulty: d}, rng.New(13))
+}
+
+func TestConstruction(t *testing.T) {
+	k := newKitchen(world.Medium)
+	if len(k.Subtasks()) != 5 {
+		t.Fatalf("subtasks = %d, want 5", len(k.Subtasks()))
+	}
+	seen := map[int]bool{}
+	for _, e := range k.Subtasks() {
+		if e < 0 || e >= len(Elements) {
+			t.Fatalf("bad element %d", e)
+		}
+		if seen[e] {
+			t.Fatal("duplicate subtask element")
+		}
+		seen[e] = true
+	}
+}
+
+func TestDifficultyScaling(t *testing.T) {
+	if len(newKitchen(world.Easy).Subtasks()) >= len(newKitchen(world.Hard).Subtasks()) {
+		t.Fatal("hard should have more subtasks")
+	}
+}
+
+func TestControllerConverges(t *testing.T) {
+	k := newKitchen(world.Easy)
+	e := k.Subtasks()[0]
+	// Retry through occasional slips; convergence must happen quickly.
+	for attempt := 0; attempt < 10; attempt++ {
+		res := k.Execute(0, DoSubtask{Element: e})
+		if res.Achieved {
+			if res.Effort.ControlIters < 5 || res.Effort.ControlIters > ctrlMax {
+				t.Fatalf("controller iterations = %d, want 5..%d", res.Effort.ControlIters, ctrlMax)
+			}
+			if !k.subtaskDone(e) {
+				t.Fatal("subtask not marked done after convergence")
+			}
+			return
+		}
+	}
+	t.Fatal("controller never converged in 10 attempts")
+}
+
+func TestSlipLeavesPartialProgressAndReplans(t *testing.T) {
+	// Hunt for a slip across seeds; verify its bookkeeping.
+	for seed := uint64(0); seed < 40; seed++ {
+		k := New(Config{Difficulty: world.Easy}, rng.New(seed))
+		e := k.Subtasks()[0]
+		res := k.Execute(0, DoSubtask{Element: e})
+		if !res.Achieved {
+			if res.Effort.Replans != 1 {
+				t.Fatalf("slip should count one replan: %+v", res.Effort)
+			}
+			if k.Value(e) <= 0 {
+				t.Fatal("slip should leave partial progress")
+			}
+			return
+		}
+	}
+	t.Fatal("no slip in 40 seeds; slipProb looks broken")
+}
+
+func TestOracleSolvesEpisode(t *testing.T) {
+	k := newKitchen(world.Hard)
+	steps := 0
+	for !k.Done() && steps < 40 {
+		obs := k.Observe(0)
+		prop := k.Propose(0, k.BuildBelief(0, obs.Records))
+		k.Execute(0, prop.Good)
+		k.Tick()
+		steps++
+	}
+	if !k.Success() {
+		t.Fatalf("oracle failed (progress %.2f)", k.Progress())
+	}
+	if steps > k.MaxSteps() {
+		t.Fatalf("oracle used %d steps, horizon %d", steps, k.MaxSteps())
+	}
+}
+
+func TestProposeSkipsFinished(t *testing.T) {
+	k := newKitchen(world.Easy)
+	first := k.Subtasks()[0]
+	for i := 0; i < 5; i++ {
+		if k.Execute(0, DoSubtask{Element: first}).Achieved {
+			break
+		}
+	}
+	obs := k.Observe(0)
+	prop := k.Propose(0, k.BuildBelief(0, obs.Records))
+	if d, ok := prop.Good.(DoSubtask); ok && d.Element == first {
+		t.Fatal("oracle re-proposed a finished subtask")
+	}
+}
+
+func TestProposeIdleWhenAllDone(t *testing.T) {
+	k := newKitchen(world.Easy)
+	for _, e := range k.Subtasks() {
+		for i := 0; i < 6 && !k.subtaskDone(e); i++ {
+			k.Execute(0, DoSubtask{Element: e})
+		}
+	}
+	prop := k.Propose(0, k.BuildBelief(0, k.Observe(0).Records))
+	if _, ok := prop.Good.(Idle); !ok {
+		t.Fatalf("all-done episode should idle, got %s", prop.Good.Describe())
+	}
+	if !k.Success() {
+		t.Fatal("episode should be successful")
+	}
+}
+
+func TestCorruptionsDistinct(t *testing.T) {
+	k := newKitchen(world.Medium)
+	prop := k.Propose(0, k.BuildBelief(0, k.Observe(0).Records))
+	if len(prop.Corruptions) == 0 {
+		t.Fatal("no corruptions")
+	}
+	for _, c := range prop.Corruptions {
+		if c.ID() == prop.Good.ID() {
+			t.Fatal("corruption duplicates good decision")
+		}
+	}
+}
+
+func TestExecuteBadElement(t *testing.T) {
+	k := newKitchen(world.Easy)
+	if k.Execute(0, DoSubtask{Element: 99}).Achieved {
+		t.Fatal("bad element should fail")
+	}
+}
+
+func TestObservationCoversAllElements(t *testing.T) {
+	k := newKitchen(world.Easy)
+	obs := k.Observe(0)
+	if obs.Entities != len(Elements) {
+		t.Fatalf("entities = %d, want %d", obs.Entities, len(Elements))
+	}
+}

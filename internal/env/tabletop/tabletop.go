@@ -1,0 +1,627 @@
+// Package tabletop implements a continuous-space multi-arm manipulation
+// environment — the suite's stand-in for RoCoBench (RoCo) and the
+// BEHAVIOR-1K style heterogeneous manipulation of COHERENT (paper
+// Table II).
+//
+// Fixed-base arms with bounded reach move objects to goal positions,
+// handing objects over in reach-overlap zones when no single arm covers
+// both pick and place. Motion is planned with a real RRT over circular
+// obstacles; its sample counts convert into the execution latency that
+// makes low-level planning 49.4% of RoCo's per-step time (Fig. 2a).
+package tabletop
+
+import (
+	"fmt"
+	"math"
+
+	"embench/internal/core"
+	"embench/internal/geom"
+	"embench/internal/modules/execution"
+	"embench/internal/modules/memory"
+	"embench/internal/path/rrt"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+// Placement/achievement tolerance.
+const (
+	goalTol   = 0.03
+	senseMult = 1.3  // sensing range = reach × senseMult
+	armSpeed  = 0.16 // max object transfer distance per step
+)
+
+const objFactTokens = 14
+
+// Config parameterizes an episode.
+type Config struct {
+	Agents     int
+	Difficulty world.Difficulty
+	Horizon    int       // 0 = difficulty default
+	Objects    int       // 0 = difficulty default
+	Reaches    []float64 // per-arm reach radii; empty = homogeneous 0.38
+	// PlanCost scales reported RRT samples: each 2D workspace sample
+	// stands for that many configuration-space collision checks (a 7-DOF
+	// arm costs more per sample than a mobile base). Default 1.
+	PlanCost float64
+	Seed     string
+}
+
+func defaults(d world.Difficulty) (objects, horizon int) {
+	switch d {
+	case world.Easy:
+		return 3, 30
+	case world.Medium:
+		return 5, 55
+	default:
+		return 8, 90
+	}
+}
+
+// arm is one manipulator.
+type arm struct {
+	base     geom.Point
+	reach    float64
+	effector geom.Point
+}
+
+// object is one manipulable item.
+type object struct {
+	id        int
+	pos       geom.Point
+	goal      geom.Point
+	delivered bool
+}
+
+// Table is the environment. It implements core.Domain and
+// core.CentralDomain.
+type Table struct {
+	cfg       Config
+	arms      []arm
+	objects   []*object
+	obstacles []geom.Circle
+	bounds    geom.Rect
+	planner   rrt.Planner
+	stream    *rng.Stream
+	step      int
+	horizon   int
+}
+
+// ObjFact is the payload of an object sighting. Gone marks negative
+// evidence: the arm reached the pick point and found nothing.
+type ObjFact struct {
+	ID        int
+	Pos       geom.Point
+	Goal      geom.Point
+	Delivered bool
+	Gone      bool
+}
+
+// ClaimFact is an "arm is handling object O" intent.
+type ClaimFact struct {
+	Agent  int
+	Object int
+}
+
+// New builds an episode; object placement derives from src and is
+// guaranteed reachable (every object and goal lies in some arm's reach).
+func New(cfg Config, src *rng.Source) *Table {
+	if cfg.Agents <= 0 {
+		cfg.Agents = 2
+	}
+	objects, horizon := defaults(cfg.Difficulty)
+	if cfg.Objects > 0 {
+		objects = cfg.Objects
+	}
+	if cfg.Horizon > 0 {
+		horizon = cfg.Horizon
+	}
+	t := &Table{
+		cfg:     cfg,
+		bounds:  geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)},
+		planner: rrt.New(),
+		stream:  src.NewStream("tabletop/" + cfg.Seed),
+		horizon: horizon,
+	}
+	t.obstacles = []geom.Circle{
+		{C: geom.Pt(0.5, 0.16), R: 0.07},
+		{C: geom.Pt(0.5, 0.84), R: 0.07},
+	}
+	for i := 0; i < cfg.Agents; i++ {
+		base := geom.Pt(float64(i+1)/float64(cfg.Agents+1), 0.5)
+		reach := 0.38
+		if i < len(cfg.Reaches) {
+			reach = cfg.Reaches[i]
+		}
+		t.arms = append(t.arms, arm{base: base, reach: reach, effector: base})
+	}
+	for i := 0; i < objects; i++ {
+		t.objects = append(t.objects, &object{
+			id:   i,
+			pos:  t.samplePointInSomeReach(),
+			goal: t.samplePointInSomeReach(),
+		})
+	}
+	return t
+}
+
+// samplePointInSomeReach draws a collision-free point covered by at least
+// one arm.
+func (t *Table) samplePointInSomeReach() geom.Point {
+	for {
+		a := t.arms[t.stream.Pick(len(t.arms))]
+		ang := t.stream.Range(0, 2*math.Pi)
+		rad := t.stream.Range(0.05, a.reach*0.9)
+		p := geom.Pt(a.base.X+rad*math.Cos(ang), a.base.Y+rad*math.Sin(ang))
+		p = t.bounds.Clamp(p)
+		if !t.inSomeReach(p) {
+			continue
+		}
+		clear := true
+		for _, o := range t.obstacles {
+			if o.Contains(p) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return p
+		}
+	}
+}
+
+func (t *Table) inSomeReach(p geom.Point) bool {
+	for _, a := range t.arms {
+		if geom.Dist(a.base, p) <= a.reach {
+			return true
+		}
+	}
+	return false
+}
+
+// InReach reports whether p is inside agent's workspace.
+func (t *Table) InReach(agent int, p geom.Point) bool {
+	a := t.arms[agent]
+	return geom.Dist(a.base, p) <= a.reach
+}
+
+// Name implements core.Domain.
+func (t *Table) Name() string { return "tabletop" }
+
+// Agents implements core.Domain.
+func (t *Table) Agents() int { return len(t.arms) }
+
+// MaxSteps implements core.Domain.
+func (t *Table) MaxSteps() int { return t.horizon }
+
+// Step implements core.Domain.
+func (t *Table) Step() int { return t.step }
+
+// Done implements core.Domain.
+func (t *Table) Done() bool { return t.Success() || t.step >= t.horizon }
+
+// Success implements core.Domain.
+func (t *Table) Success() bool {
+	for _, o := range t.objects {
+		if !o.delivered {
+			return false
+		}
+	}
+	return true
+}
+
+// Progress implements core.Domain.
+func (t *Table) Progress() float64 {
+	if len(t.objects) == 0 {
+		return 1
+	}
+	done := 0
+	for _, o := range t.objects {
+		if o.delivered {
+			done++
+		}
+	}
+	return float64(done) / float64(len(t.objects))
+}
+
+// ObjectPos exposes an object's true position (tests and examples).
+func (t *Table) ObjectPos(id int) geom.Point { return t.objects[id].pos }
+
+// StaticRecords implements core.Domain.
+func (t *Table) StaticRecords() []memory.Record {
+	return []memory.Record{{
+		Kind: memory.Observation, Key: "map:workspace", Payload: "arms+obstacles",
+		Tokens: 50, Static: true,
+	}}
+}
+
+// Observe implements core.Domain: an arm senses objects within
+// reach × senseMult of its base.
+func (t *Table) Observe(agent int) core.Observation {
+	a := t.arms[agent]
+	obs := core.Observation{}
+	for _, o := range t.objects {
+		if geom.Dist(a.base, o.pos) > a.reach*senseMult {
+			continue
+		}
+		obs.Entities++
+		rec := memory.Record{
+			Step: t.step, Kind: memory.Observation, Key: fmt.Sprintf("obj:%d", o.id),
+			Payload: ObjFact{ID: o.id, Pos: o.pos, Goal: o.goal, Delivered: o.delivered},
+			Tokens:  objFactTokens,
+		}
+		obs.Records = append(obs.Records, rec)
+		obs.Tokens += rec.Tokens
+	}
+	return obs
+}
+
+// belief is the tabletop belief payload.
+type belief struct {
+	objects map[int]ObjFact
+	objStep map[int]int
+	claims  map[int]int
+}
+
+// BuildBelief implements core.Domain.
+func (t *Table) BuildBelief(agent int, recs []memory.Record) core.Belief {
+	b := belief{objects: map[int]ObjFact{}, objStep: map[int]int{}, claims: map[int]int{}}
+	for _, r := range recs {
+		switch p := r.Payload.(type) {
+		case ObjFact:
+			if r.Step >= b.objStep[p.ID] {
+				if p.Gone {
+					delete(b.objects, p.ID)
+				} else {
+					b.objects[p.ID] = p
+				}
+				b.objStep[p.ID] = r.Step
+			}
+		case ClaimFact:
+			b.claims[p.Agent] = p.Object
+		}
+	}
+	known, stale := 0, 0
+	for id, f := range b.objects {
+		if f.Delivered {
+			continue
+		}
+		known++
+		truth := t.objects[id]
+		if truth.delivered || geom.Dist(truth.pos, f.Pos) > goalTol {
+			stale++
+		}
+	}
+	st := 0.0
+	if known > 0 {
+		st = float64(stale) / float64(known)
+	}
+	return core.Belief{Payload: b, Staleness: st}
+}
+
+// MoveObj picks an object at Pick and places it at Place — possibly a
+// handover waypoint rather than the final goal.
+type MoveObj struct {
+	Obj   int
+	Pick  geom.Point
+	Place geom.Point
+}
+
+// ID implements core.Subgoal.
+func (m MoveObj) ID() string {
+	return fmt.Sprintf("move:%d:%.2f,%.2f", m.Obj, m.Place.X, m.Place.Y)
+}
+
+// Describe implements core.Subgoal.
+func (m MoveObj) Describe() string {
+	return fmt.Sprintf("move object %d to (%.2f,%.2f)", m.Obj, m.Place.X, m.Place.Y)
+}
+
+// Idle is the do-nothing subgoal.
+type Idle struct{}
+
+// ID implements core.Subgoal.
+func (Idle) ID() string { return "idle" }
+
+// Describe implements core.Subgoal.
+func (Idle) Describe() string { return "wait" }
+
+// Propose implements core.Domain.
+func (t *Table) Propose(agent int, bel core.Belief) core.Proposal {
+	b, _ := bel.Payload.(belief)
+	prop := core.Proposal{Complexity: core.DecentralizedComplexity(len(t.arms))}
+	prop.Good = t.bestMove(agent, b)
+	prop.Corruptions = t.corruptions(agent, b, prop.Good)
+	return prop
+}
+
+// bestMove: nearest believed-open object in reach; place at its goal if
+// reachable, otherwise at the overlap waypoint toward the arm that covers
+// the goal.
+func (t *Table) bestMove(agent int, b belief) core.Subgoal {
+	a := t.arms[agent]
+	best := -1
+	bestD := 1e18
+	var bestAction MoveObj
+	for id, f := range b.objects {
+		if f.Delivered || claimedByOther(b.claims, agent, id) {
+			continue
+		}
+		if !t.InReach(agent, f.Pos) {
+			continue
+		}
+		action, ok := t.planFor(agent, id, f)
+		if !ok {
+			continue
+		}
+		if d := geom.Dist(a.effector, f.Pos); d < bestD {
+			best, bestD, bestAction = id, d, action
+		}
+	}
+	if best < 0 {
+		return Idle{}
+	}
+	return bestAction
+}
+
+// planFor decides how agent would handle object f: deliver directly when
+// the goal is in reach, otherwise pass it one arm toward the goal — unless
+// the downstream arm can already reach it, in which case the object is the
+// downstream arm's responsibility and this arm leaves it alone.
+func (t *Table) planFor(agent, id int, f ObjFact) (MoveObj, bool) {
+	if t.InReach(agent, f.Goal) {
+		return MoveObj{Obj: id, Pick: f.Pos, Place: f.Goal}, true
+	}
+	target := t.armCovering(f.Goal)
+	if target < 0 {
+		return MoveObj{}, false
+	}
+	next := t.neighborToward(agent, target)
+	if next == agent {
+		return MoveObj{}, false
+	}
+	if t.InReach(next, f.Pos) {
+		return MoveObj{}, false // already in the overlap: downstream's job
+	}
+	via, ok := t.overlapPoint(agent, next)
+	if !ok {
+		return MoveObj{}, false
+	}
+	return MoveObj{Obj: id, Pick: f.Pos, Place: via}, true
+}
+
+func (t *Table) armCovering(p geom.Point) int {
+	bestArm, bestD := -1, 1e18
+	for i := range t.arms {
+		if d := geom.Dist(t.arms[i].base, p); d <= t.arms[i].reach && d < bestD {
+			bestArm, bestD = i, d
+		}
+	}
+	return bestArm
+}
+
+// neighborToward returns the adjacent arm index stepping from a toward b.
+func (t *Table) neighborToward(a, b int) int {
+	if b > a {
+		return a + 1
+	}
+	if b < a {
+		return a - 1
+	}
+	return a
+}
+
+// overlapPoint finds a point both arms reach, clear of obstacles.
+func (t *Table) overlapPoint(a, b int) (geom.Point, bool) {
+	if a < 0 || b < 0 || a >= len(t.arms) || b >= len(t.arms) || a == b {
+		return geom.Point{}, false
+	}
+	aa, ab := t.arms[a], t.arms[b]
+	if geom.Dist(aa.base, ab.base) > aa.reach+ab.reach {
+		return geom.Point{}, false
+	}
+	// Walk the segment between bases; pick the first point both reach.
+	for i := 0; i <= 20; i++ {
+		p := geom.Lerp(aa.base, ab.base, float64(i)/20)
+		if geom.Dist(aa.base, p) <= aa.reach && geom.Dist(ab.base, p) <= ab.reach {
+			blocked := false
+			for _, o := range t.obstacles {
+				if o.Contains(p) {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				return p, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}
+
+func claimedByOther(claims map[int]int, agent, obj int) bool {
+	for a, o := range claims {
+		if a != agent && o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptions: place outside reach, re-handle a delivered object, or grab a
+// teammate's claim.
+func (t *Table) corruptions(agent int, b belief, good core.Subgoal) []core.Subgoal {
+	var out []core.Subgoal
+	add := func(sg core.Subgoal) {
+		if sg != nil && (good == nil || sg.ID() != good.ID()) {
+			out = append(out, sg)
+		}
+	}
+	a := t.arms[agent]
+	// Out-of-reach placement: mirror the goal across the workspace.
+	for id, f := range b.objects {
+		if f.Delivered || !t.InReach(agent, f.Pos) {
+			continue
+		}
+		far := geom.Pt(1-a.base.X, 1-a.base.Y)
+		if !t.InReach(agent, far) {
+			add(MoveObj{Obj: id, Pick: f.Pos, Place: far})
+			break
+		}
+	}
+	for id, f := range b.objects {
+		if f.Delivered {
+			add(MoveObj{Obj: id, Pick: f.Pos, Place: f.Goal})
+			break
+		}
+	}
+	for _, claimedObj := range b.claims {
+		if f, ok := b.objects[claimedObj]; ok && !f.Delivered && t.InReach(agent, f.Pos) {
+			add(MoveObj{Obj: claimedObj, Pick: f.Pos, Place: f.Goal})
+			break
+		}
+	}
+	add(Idle{})
+	return out
+}
+
+// ProposeJoint implements core.CentralDomain.
+func (t *Table) ProposeJoint(bel core.Belief) core.Proposal {
+	b, _ := bel.Payload.(belief)
+	good := &core.Joint{Assign: map[int]core.Subgoal{}}
+	taken := map[int]bool{}
+	for a := 0; a < len(t.arms); a++ {
+		sub := belief{objects: map[int]ObjFact{}, objStep: b.objStep, claims: map[int]int{}}
+		for id, f := range b.objects {
+			if !taken[id] {
+				sub.objects[id] = f
+			}
+		}
+		g := t.bestMove(a, sub)
+		if m, ok := g.(MoveObj); ok {
+			taken[m.Obj] = true
+		}
+		good.Assign[a] = g
+	}
+	lazy := &core.Joint{Assign: map[int]core.Subgoal{}}
+	dup := &core.Joint{Assign: map[int]core.Subgoal{}}
+	var firstMove core.Subgoal = Idle{}
+	for _, g := range good.Assign {
+		if m, ok := g.(MoveObj); ok {
+			firstMove = m
+			break
+		}
+	}
+	for a := 0; a < len(t.arms); a++ {
+		lazy.Assign[a] = Idle{}
+		dup.Assign[a] = firstMove
+	}
+	return core.Proposal{
+		Good:        good,
+		Corruptions: []core.Subgoal{lazy, dup},
+		Complexity:  core.CentralizedComplexity(len(t.arms)),
+	}
+}
+
+// Execute implements core.Domain: two RRT plans (reach, transfer) with the
+// sample counts charged as compute effort.
+func (t *Table) Execute(agent int, sg core.Subgoal) execution.Result {
+	m, ok := sg.(MoveObj)
+	if !ok {
+		if _, idle := sg.(Idle); idle || sg == nil {
+			return execution.Result{Achieved: true, Note: "idle"}
+		}
+		return execution.Result{Note: "unknown subgoal"}
+	}
+	res := execution.Result{}
+	a := &t.arms[agent]
+	cost := t.cfg.PlanCost
+	if cost <= 0 {
+		cost = 1
+	}
+	scale := func(samples int) int { return int(float64(samples) * cost) }
+	if !t.InReach(agent, m.Pick) || !t.InReach(agent, m.Place) {
+		res.Note = "target outside workspace"
+		res.Effort.Replans++
+		return res
+	}
+	// Phase 1: reach the pick point.
+	r1 := t.planner.Plan(a.effector, m.Pick, t.bounds, t.obstacles, t.stream)
+	res.Effort.RRTSamples += scale(r1.Samples)
+	if !r1.Found {
+		res.Note = "no path to pick"
+		res.Effort.Replans++
+		return res
+	}
+	a.effector = m.Pick
+	res.Effort.Primitives += len(r1.Path)
+	// Grasp: object must actually be here.
+	if m.Obj < 0 || m.Obj >= len(t.objects) {
+		res.Note = "no such object"
+		return res
+	}
+	o := t.objects[m.Obj]
+	if o.delivered || geom.Dist(o.pos, m.Pick) > goalTol {
+		res.Note = "object not at pick point"
+		return res
+	}
+	// Phase 2: transfer, bounded by arm speed — long transfers take
+	// several steps, which is what gives RoCo its multi-step trajectories.
+	dest := geom.Toward(m.Pick, m.Place, armSpeed)
+	r2 := t.planner.Plan(m.Pick, dest, t.bounds, t.obstacles, t.stream)
+	res.Effort.RRTSamples += scale(r2.Samples)
+	if !r2.Found {
+		res.Note = "no transfer path"
+		res.Effort.Replans++
+		return res
+	}
+	a.effector = dest
+	o.pos = dest
+	res.Effort.Primitives += len(r2.Path) + 2 // grasp + release
+	if geom.Dist(o.pos, o.goal) <= goalTol {
+		o.delivered = true
+	}
+	res.Achieved = true
+	return res
+}
+
+// Tick implements core.Domain.
+func (t *Table) Tick() { t.step++ }
+
+// ClaimRecord implements core.Claimer.
+func (t *Table) ClaimRecord(agent int, sg core.Subgoal) (memory.Record, bool) {
+	obj := -1
+	if m, ok := sg.(MoveObj); ok {
+		obj = m.Obj
+	}
+	return memory.Record{
+		Kind: memory.Action, Key: fmt.Sprintf("claim:%d", agent),
+		Payload: ClaimFact{Agent: agent, Object: obj}, Tokens: 6,
+	}, true
+}
+
+// CorrectionRecords implements core.Corrector: a failed pick yields the
+// object's true position when within sensing range, otherwise negative
+// evidence.
+func (t *Table) CorrectionRecords(agent int, sg core.Subgoal, res execution.Result) []memory.Record {
+	m, ok := sg.(MoveObj)
+	if !ok || res.Achieved || m.Obj < 0 || m.Obj >= len(t.objects) {
+		return nil
+	}
+	o := t.objects[m.Obj]
+	a := t.arms[agent]
+	fact := ObjFact{ID: o.id, Gone: true}
+	if geom.Dist(a.base, o.pos) <= a.reach*senseMult {
+		fact = ObjFact{ID: o.id, Pos: o.pos, Goal: o.goal, Delivered: o.delivered}
+	}
+	return []memory.Record{{
+		Step: t.step, Kind: memory.Action, Key: fmt.Sprintf("obj:%d", o.id),
+		Payload: fact, Tokens: objFactTokens,
+	}}
+}
+
+var (
+	_ core.Domain        = (*Table)(nil)
+	_ core.CentralDomain = (*Table)(nil)
+	_ core.Claimer       = (*Table)(nil)
+	_ core.Corrector     = (*Table)(nil)
+)

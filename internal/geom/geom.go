@@ -1,0 +1,105 @@
+// Package geom provides the 2D geometry used by continuous-space
+// environments (tabletop manipulation) and the RRT motion planner.
+package geom
+
+import "math"
+
+// Point is a 2D position in workspace coordinates.
+type Point struct{ X, Y float64 }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Norm reports the Euclidean length of p as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist reports the Euclidean distance between two points.
+func Dist(a, b Point) float64 { return a.Sub(b).Norm() }
+
+// Lerp interpolates between a and b; t=0 yields a, t=1 yields b.
+func Lerp(a, b Point, t float64) Point {
+	return Point{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t}
+}
+
+// Toward returns the point at most step away from a in the direction of b;
+// if b is closer than step it returns b.
+func Toward(a, b Point, step float64) Point {
+	d := Dist(a, b)
+	if d <= step || d == 0 {
+		return b
+	}
+	return Lerp(a, b, step/d)
+}
+
+// Circle is a circular obstacle or reach region.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies inside the circle (boundary inclusive).
+func (c Circle) Contains(p Point) bool { return Dist(c.C, p) <= c.R }
+
+// SegmentHits reports whether the segment ab intersects the circle.
+func (c Circle) SegmentHits(a, b Point) bool {
+	// Distance from c.C to segment ab.
+	ab := b.Sub(a)
+	len2 := ab.X*ab.X + ab.Y*ab.Y
+	t := 0.0
+	if len2 > 0 {
+		t = ((c.C.X-a.X)*ab.X + (c.C.Y-a.Y)*ab.Y) / len2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	closest := Lerp(a, b, t)
+	return Dist(closest, c.C) <= c.R
+}
+
+// Rect is an axis-aligned workspace boundary.
+type Rect struct {
+	Min, Max Point
+}
+
+// Contains reports whether p lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside the rectangle.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// PathLength sums segment lengths along a polyline.
+func PathLength(path []Point) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		total += Dist(path[i-1], path[i])
+	}
+	return total
+}
+
+// CollisionFree reports whether segment ab avoids every obstacle.
+func CollisionFree(a, b Point, obstacles []Circle) bool {
+	for _, o := range obstacles {
+		if o.SegmentHits(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pt constructs a Point — the keyed-literal shorthand used across the suite.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }

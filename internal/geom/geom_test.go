@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, 4})
+	if p != (Point{4, 6}) {
+		t.Fatalf("Add = %v", p)
+	}
+	q := Point{4, 6}.Sub(Point{1, 2})
+	if q != (Point{3, 4}) {
+		t.Fatalf("Sub = %v", q)
+	}
+	if s := (Point{1, -2}).Scale(3); s != (Point{3, -6}) {
+		t.Fatalf("Scale = %v", s)
+	}
+	if !close((Point{3, 4}).Norm(), 5) {
+		t.Fatal("Norm wrong")
+	}
+	if !close(Dist(Point{0, 0}, Point{3, 4}), 5) {
+		t.Fatal("Dist wrong")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := Point{1, 1}, Point{5, 9}
+	if Lerp(a, b, 0) != a || Lerp(a, b, 1) != b {
+		t.Fatal("Lerp endpoints wrong")
+	}
+	mid := Lerp(a, b, 0.5)
+	if !close(mid.X, 3) || !close(mid.Y, 5) {
+		t.Fatalf("Lerp mid = %v", mid)
+	}
+}
+
+func TestToward(t *testing.T) {
+	got := Toward(Point{0, 0}, Point{10, 0}, 3)
+	if !close(got.X, 3) || !close(got.Y, 0) {
+		t.Fatalf("Toward = %v", got)
+	}
+	// Closer than step: returns target.
+	if Toward(Point{0, 0}, Point{1, 0}, 3) != (Point{1, 0}) {
+		t.Fatal("Toward should return target when close")
+	}
+	// Degenerate zero distance.
+	if Toward(Point{2, 2}, Point{2, 2}, 1) != (Point{2, 2}) {
+		t.Fatal("Toward of identical points")
+	}
+}
+
+func TestTowardStepBoundProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a := Point{math.Mod(ax, 100), math.Mod(ay, 100)}
+		b := Point{math.Mod(bx, 100), math.Mod(by, 100)}
+		got := Toward(a, b, 2)
+		return Dist(a, got) <= 2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{C: Point{0, 0}, R: 2}
+	if !c.Contains(Point{1, 1}) || !c.Contains(Point{2, 0}) {
+		t.Fatal("Contains failed inside/boundary")
+	}
+	if c.Contains(Point{2.1, 0}) {
+		t.Fatal("Contains failed outside")
+	}
+}
+
+func TestSegmentHits(t *testing.T) {
+	c := Circle{C: Point{5, 0}, R: 1}
+	if !c.SegmentHits(Point{0, 0}, Point{10, 0}) {
+		t.Fatal("segment through circle should hit")
+	}
+	if c.SegmentHits(Point{0, 3}, Point{10, 3}) {
+		t.Fatal("distant segment should miss")
+	}
+	// Segment ending inside.
+	if !c.SegmentHits(Point{0, 0}, Point{5, 0}) {
+		t.Fatal("segment ending in circle should hit")
+	}
+	// Degenerate point segment.
+	if !c.SegmentHits(Point{5, 0.5}, Point{5, 0.5}) {
+		t.Fatal("point inside circle should hit")
+	}
+	if c.SegmentHits(Point{0, 5}, Point{0, 5}) {
+		t.Fatal("point outside circle should miss")
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 5}}
+	if !r.Contains(Point{5, 2}) || r.Contains(Point{11, 2}) {
+		t.Fatal("Rect.Contains wrong")
+	}
+	if got := r.Clamp(Point{-3, 7}); got != (Point{0, 5}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{4, 4}); got != (Point{4, 4}) {
+		t.Fatal("Clamp moved interior point")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	path := []Point{{0, 0}, {3, 4}, {3, 8}}
+	if !close(PathLength(path), 9) {
+		t.Fatalf("PathLength = %v", PathLength(path))
+	}
+	if PathLength(nil) != 0 || PathLength(path[:1]) != 0 {
+		t.Fatal("degenerate paths should have length 0")
+	}
+}
+
+func TestCollisionFree(t *testing.T) {
+	obs := []Circle{{C: Point{5, 0}, R: 1}, {C: Point{0, 5}, R: 1}}
+	if CollisionFree(Point{0, 0}, Point{10, 0}, obs) {
+		t.Fatal("should collide with first obstacle")
+	}
+	if !CollisionFree(Point{0, -3}, Point{10, -3}, obs) {
+		t.Fatal("clear segment flagged as colliding")
+	}
+	if !CollisionFree(Point{0, 0}, Point{1, 1}, nil) {
+		t.Fatal("no obstacles should be collision free")
+	}
+}

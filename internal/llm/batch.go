@@ -1,0 +1,107 @@
+package llm
+
+import (
+	"time"
+
+	"embench/internal/prompt"
+	"embench/internal/trace"
+)
+
+// batchDecodeSlowdown is the per-extra-sequence decode slowdown when
+// batching: decoding n sequences together costs max-decode × (1 + s·(n-1)).
+// Real serving stacks see near-linear throughput gains at small batch sizes;
+// 0.10 keeps the model conservative.
+const batchDecodeSlowdown = 0.10
+
+// CompleteBatch aggregates several queries into one serving batch
+// (paper Rec. 1: "aggregate multiple queries into a single batch").
+// The batch pays one fixed overhead, prefills all prompts back-to-back and
+// decodes the sequences together. Error draws remain independent per query.
+// The virtual clock advances once, by the batch latency; per-request trace
+// events carry an equal share so module breakdowns stay additive.
+func (c *Client) CompleteBatch(reqs []Request) []Response {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(reqs) == 1 {
+		return []Response{c.Complete(reqs[0])}
+	}
+	resps := make([]Response, len(reqs))
+	totalPrompt := 0
+	maxOut := 0
+	for i, req := range reqs {
+		fitted := prompt.Fit(req.Prompt, c.contextBudget(req.OutTokens))
+		promptTok := fitted.Prompt.Tokens()
+		r := Response{
+			PromptTokens: promptTok,
+			OutputTokens: req.OutTokens,
+			Truncated:    fitted.Truncated,
+		}
+		r.ErrorP = c.ErrorProbability(promptTok, fitted.Truncated, req)
+		r.Decision = req.Good
+		if len(req.Corruptions) > 0 && c.stream.Bernoulli(r.ErrorP) {
+			r.Corrupted = true
+			r.Decision = req.Corruptions[c.stream.Pick(len(req.Corruptions))]
+		}
+		resps[i] = r
+		totalPrompt += promptTok
+		if req.OutTokens > maxOut {
+			maxOut = req.OutTokens
+		}
+	}
+	lat := c.batchLatency(len(reqs), totalPrompt, maxOut)
+	if c.profile.JitterFrac > 0 {
+		lat = time.Duration(c.stream.Jitter(float64(lat), c.profile.JitterFrac))
+	}
+	if c.clock != nil {
+		c.clock.Advance(lat)
+	}
+	share := lat / time.Duration(len(reqs))
+	for i := range resps {
+		resps[i].Latency = share
+		if c.tracer != nil {
+			c.tracer.Record(trace.Event{
+				Step:         reqs[i].Step,
+				Agent:        reqs[i].Agent,
+				Module:       reqs[i].Module,
+				Kind:         reqs[i].Kind + "(batched)",
+				Latency:      share,
+				PromptTokens: resps[i].PromptTokens,
+				OutputTokens: resps[i].OutputTokens,
+				LLMCall:      true,
+			})
+		}
+	}
+	return resps
+}
+
+// batchLatency is the deterministic serving time for a batch.
+func (c *Client) batchLatency(n, totalPrompt, maxOut int) time.Duration {
+	if c.profile.FixedLatency > 0 {
+		return c.profile.FixedLatency
+	}
+	sec := c.profile.Overhead.Seconds()
+	if c.profile.PrefillRate > 0 {
+		sec += float64(totalPrompt) / c.profile.PrefillRate
+	}
+	if c.profile.DecodeRate > 0 {
+		slow := 1 + batchDecodeSlowdown*float64(n-1)
+		sec += float64(maxOut) / c.profile.DecodeRate * slow
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// BatchSpeedup reports the latency ratio sequential/batched for n identical
+// calls with the given token counts — the headline gain from Rec. 1.
+func BatchSpeedup(p Profile, n, promptTok, outTok int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	seq := time.Duration(n) * p.Latency(promptTok, outTok)
+	c := Client{profile: p}
+	bat := c.batchLatency(n, n*promptTok, outTok)
+	if bat == 0 {
+		return 1
+	}
+	return float64(seq) / float64(bat)
+}

@@ -1,0 +1,128 @@
+// Package metrics aggregates episode outcomes into the quantities the paper
+// reports: success rate, average steps, end-to-end latency, per-module
+// latency shares, token totals and message efficiency.
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"embench/internal/trace"
+)
+
+// Episode is the outcome of one task attempt by one system configuration.
+type Episode struct {
+	Success      bool
+	Steps        int           // environment steps consumed
+	SimDuration  time.Duration // total simulated latency
+	Breakdown    map[trace.Module]time.Duration
+	LLMCalls     int
+	PromptTokens int
+	OutputTokens int
+	Messages     trace.MessageStats
+	LLMShare     float64 // fraction of latency in LLM calls
+	ReachedLimit bool    // hit the step cap without finishing (Fig. 3 "Lmax")
+}
+
+// FromTrace builds an Episode from a finished trace.
+func FromTrace(tr *trace.Trace, success, reachedLimit bool, steps int) Episode {
+	p, o := tr.Tokens()
+	return Episode{
+		Success:      success,
+		Steps:        steps,
+		SimDuration:  tr.Total(),
+		Breakdown:    tr.Breakdown(),
+		LLMCalls:     tr.LLMCalls(),
+		PromptTokens: p,
+		OutputTokens: o,
+		Messages:     tr.Messages(),
+		LLMShare:     tr.LLMShare(),
+		ReachedLimit: reachedLimit,
+	}
+}
+
+// Summary aggregates a batch of episodes for one configuration.
+type Summary struct {
+	Episodes     int
+	SuccessRate  float64 // fraction in [0,1]
+	MeanSteps    float64
+	MeanDuration time.Duration
+	MeanStepTime time.Duration // MeanDuration / MeanSteps
+	ModuleShare  map[trace.Module]float64
+	MeanLLMCalls float64
+	MeanPrompt   float64
+	MeanOutput   float64
+	LLMShare     float64
+	MessageRate  float64 // useful/generated across all episodes
+	LimitRate    float64 // fraction of episodes that hit the step cap
+}
+
+// Summarize reduces episodes into a Summary. An empty slice yields the zero
+// Summary.
+func Summarize(eps []Episode) Summary {
+	var s Summary
+	if len(eps) == 0 {
+		return s
+	}
+	s.Episodes = len(eps)
+	var steps, llmCalls, prompt, output int
+	var dur time.Duration
+	var llmShare float64
+	totals := make(map[trace.Module]time.Duration)
+	var grand time.Duration
+	var gen, useful int
+	for _, e := range eps {
+		if e.Success {
+			s.SuccessRate++
+		}
+		if e.ReachedLimit {
+			s.LimitRate++
+		}
+		steps += e.Steps
+		dur += e.SimDuration
+		llmCalls += e.LLMCalls
+		prompt += e.PromptTokens
+		output += e.OutputTokens
+		llmShare += e.LLMShare
+		gen += e.Messages.Generated
+		useful += e.Messages.Useful
+		for m, d := range e.Breakdown {
+			totals[m] += d
+			grand += d
+		}
+	}
+	n := float64(len(eps))
+	s.SuccessRate /= n
+	s.LimitRate /= n
+	s.MeanSteps = float64(steps) / n
+	s.MeanDuration = time.Duration(float64(dur) / n)
+	if s.MeanSteps > 0 {
+		s.MeanStepTime = time.Duration(float64(s.MeanDuration) / s.MeanSteps)
+	}
+	s.MeanLLMCalls = float64(llmCalls) / n
+	s.MeanPrompt = float64(prompt) / n
+	s.MeanOutput = float64(output) / n
+	s.LLMShare = llmShare / n
+	if gen > 0 {
+		s.MessageRate = float64(useful) / float64(gen)
+	}
+	s.ModuleShare = make(map[trace.Module]float64, len(totals))
+	if grand > 0 {
+		for m, d := range totals {
+			s.ModuleShare[m] = float64(d) / float64(grand)
+		}
+	}
+	return s
+}
+
+// Ratio reports a/b, or NaN when b is zero. Used for ablation multipliers
+// such as "disabling memory increases steps by 1.61×".
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// Pts converts a success-rate delta to percentage points.
+func Pts(a, b float64) float64 { return (a - b) * 100 }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"embench/internal/trace"
+)
+
+func ep(success bool, steps int, dur time.Duration) Episode {
+	return Episode{
+		Success:     success,
+		Steps:       steps,
+		SimDuration: dur,
+		Breakdown: map[trace.Module]time.Duration{
+			trace.Planning:  dur / 2,
+			trace.Execution: dur / 2,
+		},
+		LLMCalls:     steps,
+		PromptTokens: steps * 100,
+		OutputTokens: steps * 10,
+		LLMShare:     0.5,
+		Messages:     trace.MessageStats{Generated: 10, Useful: 2},
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Episodes != 0 || s.SuccessRate != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	eps := []Episode{
+		ep(true, 10, 100*time.Second),
+		ep(false, 30, 300*time.Second),
+	}
+	eps[1].ReachedLimit = true
+	s := Summarize(eps)
+	if s.Episodes != 2 {
+		t.Fatalf("Episodes = %d", s.Episodes)
+	}
+	if s.SuccessRate != 0.5 {
+		t.Fatalf("SuccessRate = %v", s.SuccessRate)
+	}
+	if s.LimitRate != 0.5 {
+		t.Fatalf("LimitRate = %v", s.LimitRate)
+	}
+	if s.MeanSteps != 20 {
+		t.Fatalf("MeanSteps = %v", s.MeanSteps)
+	}
+	if s.MeanDuration != 200*time.Second {
+		t.Fatalf("MeanDuration = %v", s.MeanDuration)
+	}
+	if s.MeanStepTime != 10*time.Second {
+		t.Fatalf("MeanStepTime = %v", s.MeanStepTime)
+	}
+	if s.MeanLLMCalls != 20 {
+		t.Fatalf("MeanLLMCalls = %v", s.MeanLLMCalls)
+	}
+	if s.MeanPrompt != 2000 || s.MeanOutput != 200 {
+		t.Fatalf("token means = %v/%v", s.MeanPrompt, s.MeanOutput)
+	}
+	if s.MessageRate != 0.2 {
+		t.Fatalf("MessageRate = %v", s.MessageRate)
+	}
+	if s.ModuleShare[trace.Planning] != 0.5 || s.ModuleShare[trace.Execution] != 0.5 {
+		t.Fatalf("ModuleShare = %+v", s.ModuleShare)
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := trace.New()
+	tr.Record(trace.Event{Step: 0, Module: trace.Planning, Latency: 4 * time.Second, LLMCall: true, PromptTokens: 500, OutputTokens: 50})
+	tr.Record(trace.Event{Step: 1, Module: trace.Execution, Latency: time.Second})
+	e := FromTrace(tr, true, false, 2)
+	if !e.Success || e.Steps != 2 {
+		t.Fatalf("episode = %+v", e)
+	}
+	if e.SimDuration != 5*time.Second {
+		t.Fatalf("SimDuration = %v", e.SimDuration)
+	}
+	if e.LLMCalls != 1 || e.PromptTokens != 500 {
+		t.Fatalf("LLM accounting wrong: %+v", e)
+	}
+	if e.LLMShare != 0.8 {
+		t.Fatalf("LLMShare = %v", e.LLMShare)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(8, 4) != 2 {
+		t.Fatal("Ratio(8,4) != 2")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("Ratio(_,0) should be NaN")
+	}
+}
+
+func TestPts(t *testing.T) {
+	if got := Pts(0.8, 0.5); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Pts = %v, want 30", got)
+	}
+}

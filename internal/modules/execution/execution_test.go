@@ -1,0 +1,55 @@
+package execution
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyZeroEffort(t *testing.T) {
+	if Latency(Effort{}) != 0 {
+		t.Fatal("zero effort should cost nothing")
+	}
+}
+
+func TestLatencyComponents(t *testing.T) {
+	e := Effort{AStarExpanded: 1000, Primitives: 5}
+	want := 1000*90*time.Microsecond + 5*220*time.Millisecond
+	if got := Latency(e); got != want {
+		t.Fatalf("Latency = %v, want %v", got, want)
+	}
+}
+
+func TestRRTDominatesAStarPerUnit(t *testing.T) {
+	// RRT compute per sample is costlier than A* per node — this asymmetry
+	// is why RoCo's execution share (49.4%) exceeds CoELA's.
+	if Latency(Effort{RRTSamples: 100}) <= Latency(Effort{AStarExpanded: 100}) {
+		t.Fatal("RRT per-sample cost should exceed A* per-node cost")
+	}
+}
+
+func TestGraspOpsExpensive(t *testing.T) {
+	// A grasp synthesis is on the order of a second (DaDu-E's AnyGrasp).
+	got := Latency(Effort{GraspOps: 1})
+	if got < 500*time.Millisecond || got > 2*time.Second {
+		t.Fatalf("grasp op latency = %v, want ≈0.9s", got)
+	}
+}
+
+func TestEffortAdd(t *testing.T) {
+	a := Effort{AStarExpanded: 10, Primitives: 2, Replans: 1}
+	a.Add(Effort{AStarExpanded: 5, RRTSamples: 7, ControlIters: 3})
+	want := Effort{AStarExpanded: 15, RRTSamples: 7, Primitives: 2, ControlIters: 3, Replans: 1}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestTypicalRoCoStepExecutionSeconds(t *testing.T) {
+	// Two RRT plans of ~150 samples each plus ~10 primitives should land in
+	// the multi-second band that makes execution ~half of RoCo's per-step
+	// latency (paper Fig. 2a: 49.4%).
+	got := Latency(Effort{RRTSamples: 300, Primitives: 10, Replans: 1})
+	if got < 5*time.Second || got > 15*time.Second {
+		t.Fatalf("RoCo-like execution latency = %v, want 5–15s", got)
+	}
+}

@@ -1,0 +1,217 @@
+package memory
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func rec(step int, kind Kind, key string, tokens int) Record {
+	return Record{Step: step, Kind: kind, Key: key, Tokens: tokens}
+}
+
+func TestKindString(t *testing.T) {
+	if Observation.String() != "observation" || Action.String() != "action" ||
+		Dialogue.String() != "dialogue" || Kind(99).String() != "unknown" {
+		t.Fatal("Kind names wrong")
+	}
+}
+
+func TestStoreWindow(t *testing.T) {
+	s := NewStore(3)
+	for step := 0; step < 10; step++ {
+		s.Add(rec(step, Observation, fmt.Sprintf("k%d", step), 10))
+	}
+	got := s.Retrieve(9)
+	// Window of 3 as of step 9 keeps steps 7,8,9.
+	if len(got.Records) != 3 {
+		t.Fatalf("retrieved %d records, want 3", len(got.Records))
+	}
+	if got.Records[0].Step != 7 || got.Records[2].Step != 9 {
+		t.Fatalf("window edges wrong: %+v", got.Records)
+	}
+	if got.Tokens != 30 {
+		t.Fatalf("tokens = %d, want 30", got.Tokens)
+	}
+}
+
+func TestStoreUnlimited(t *testing.T) {
+	s := NewStore(-1)
+	for step := 0; step < 50; step++ {
+		s.Add(rec(step, Action, "", 5))
+	}
+	if got := s.Retrieve(49); len(got.Records) != 50 {
+		t.Fatalf("unlimited store retrieved %d", len(got.Records))
+	}
+}
+
+func TestStoreZeroCapacityDropsEverything(t *testing.T) {
+	s := NewStore(0)
+	s.Add(rec(0, Observation, "x", 5))
+	if s.Len() != 0 {
+		t.Fatal("zero-capacity store retained a record")
+	}
+	if got := s.Retrieve(0); len(got.Records) != 0 {
+		t.Fatal("zero-capacity store returned records")
+	}
+}
+
+func TestRetrievalLatencyGrowsWithRecords(t *testing.T) {
+	small := NewStore(-1)
+	big := NewStore(-1)
+	for i := 0; i < 5; i++ {
+		small.Add(rec(i, Observation, "", 1))
+	}
+	for i := 0; i < 200; i++ {
+		big.Add(rec(i, Observation, "", 1))
+	}
+	if big.Retrieve(199).Latency <= small.Retrieve(4).Latency {
+		t.Fatal("retrieval latency should grow with record count (Fig. 5)")
+	}
+}
+
+func TestHasKeyAndLatest(t *testing.T) {
+	s := NewStore(-1)
+	s.Add(rec(1, Observation, "obj:apple", 4))
+	s.Add(Record{Step: 5, Kind: Observation, Key: "obj:apple", Payload: "kitchen", Tokens: 4})
+	if !s.HasKey("obj:apple") || s.HasKey("obj:pear") {
+		t.Fatal("HasKey wrong")
+	}
+	latest, ok := s.Latest("obj:apple")
+	if !ok || latest.Step != 5 || latest.Payload != "kitchen" {
+		t.Fatalf("Latest = %+v %v", latest, ok)
+	}
+	if _, ok := s.Latest("missing"); ok {
+		t.Fatal("Latest of missing key should be !ok")
+	}
+}
+
+func TestSince(t *testing.T) {
+	s := NewStore(-1)
+	for step := 0; step < 6; step++ {
+		s.Add(rec(step, Dialogue, "", 2))
+	}
+	got := s.Since(3)
+	if len(got) != 2 || got[0].Step != 4 {
+		t.Fatalf("Since(3) = %+v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewStore(-1)
+	s.Add(rec(0, Observation, "k", 1))
+	s.Clear()
+	if s.Len() != 0 || s.HasKey("k") {
+		t.Fatal("Clear incomplete")
+	}
+}
+
+func TestAddAllOrder(t *testing.T) {
+	s := NewStore(-1)
+	s.AddAll([]Record{rec(0, Observation, "a", 1), rec(1, Observation, "b", 1)})
+	got := s.Retrieve(1)
+	if len(got.Records) != 2 || got.Records[0].Key != "a" {
+		t.Fatalf("AddAll order wrong: %+v", got.Records)
+	}
+}
+
+func TestWindowProperty(t *testing.T) {
+	// Property: retrieval never returns a record older than the window, and
+	// token totals match the sum of returned records.
+	f := func(capRaw uint8, steps uint8) bool {
+		capacity := int(capRaw%20) + 1
+		s := NewStore(capacity)
+		n := int(steps%50) + 1
+		for step := 0; step < n; step++ {
+			s.Add(rec(step, Observation, "", 3))
+		}
+		got := s.Retrieve(n - 1)
+		tok := 0
+		for _, r := range got.Records {
+			if r.Step <= n-1-capacity {
+				return false
+			}
+			tok += r.Tokens
+		}
+		return tok == got.Tokens
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualRoutesStaticToLongTerm(t *testing.T) {
+	d := NewDual(3, 100)
+	d.Add(Record{Step: 0, Key: "map:room1", Static: true, Tokens: 50})
+	d.Add(rec(0, Observation, "obj:cup", 10)) // world fact: consolidates
+	claim := rec(0, Action, "claim:0", 10)
+	d.Add(claim) // intent: short-term
+	if d.Long.Len() != 2 || d.Short.Len() != 1 {
+		t.Fatalf("routing wrong: long=%d short=%d", d.Long.Len(), d.Short.Len())
+	}
+}
+
+func TestDualDeduplicatesStatic(t *testing.T) {
+	d := NewDual(3, 100)
+	for i := 0; i < 5; i++ {
+		d.Add(Record{Step: i, Key: "map:room1", Static: true, Tokens: 50})
+	}
+	if d.Long.Len() != 1 {
+		t.Fatalf("static facts not deduped: %d", d.Long.Len())
+	}
+}
+
+func TestDualCapsLongTermTokens(t *testing.T) {
+	d := NewDual(5, 60)
+	for i := 0; i < 10; i++ {
+		d.Add(Record{Step: 0, Key: fmt.Sprintf("map:r%d", i), Static: true, Tokens: 40})
+	}
+	got := d.Retrieve(0)
+	// 400 raw long-term tokens capped at 60.
+	if got.Tokens != 60 {
+		t.Fatalf("long-term tokens = %d, want capped 60", got.Tokens)
+	}
+}
+
+func TestDualRetrievalCheaperThanFlat(t *testing.T) {
+	flat := NewStore(-1)
+	dual := NewDual(5, 100)
+	for step := 0; step < 100; step++ {
+		r := rec(step, Observation, fmt.Sprintf("e%d", step), 8)
+		flat.Add(r)
+		dual.Add(r)
+		st := Record{Step: step, Key: "map:layout", Static: true, Tokens: 30}
+		flat.Add(st)
+		dual.Add(st)
+	}
+	f := flat.Retrieve(99)
+	d := dual.Retrieve(99)
+	if d.Latency >= f.Latency {
+		t.Fatalf("dual retrieval (%v) should beat flat (%v)", d.Latency, f.Latency)
+	}
+	if d.Tokens >= f.Tokens {
+		t.Fatalf("dual tokens (%d) should beat flat (%d)", d.Tokens, f.Tokens)
+	}
+}
+
+func TestDualClear(t *testing.T) {
+	d := NewDual(3, 100)
+	d.Add(Record{Step: 0, Key: "map", Static: true, Tokens: 5})
+	d.Add(rec(0, Observation, "x", 5))
+	d.Clear()
+	if d.Long.Len() != 0 || d.Short.Len() != 0 {
+		t.Fatal("Clear incomplete")
+	}
+}
+
+func TestDualAddAll(t *testing.T) {
+	d := NewDual(3, 100)
+	d.AddAll([]Record{
+		{Step: 0, Key: "map", Static: true, Tokens: 5},
+		rec(0, Observation, "x", 5),
+		rec(0, Dialogue, "", 5), // keyless chatter: short-term
+	})
+	if d.Long.Len() != 2 || d.Short.Len() != 1 {
+		t.Fatalf("AddAll routing wrong: long=%d short=%d", d.Long.Len(), d.Short.Len())
+	}
+}

@@ -1,0 +1,59 @@
+// Package planning assembles planning-module prompts from the standard
+// context sections and fixes the output-token budgets used across the
+// suite. Keeping assembly in one place is what makes the token-growth
+// curves of Fig. 6 comparable across workloads.
+package planning
+
+import (
+	"embench/internal/prompt"
+)
+
+// Canonical section names; Fig. 6's per-stream series key off these.
+const (
+	SectionSystem   = "system"
+	SectionTask     = "task"
+	SectionMemory   = "memory"
+	SectionDialogue = "dialogue"
+	SectionObs      = "observation"
+)
+
+// Output-token budgets for the standard call kinds.
+const (
+	PlanOutTokens      = 140 // a high-level plan with rationale
+	MessageOutTokens   = 70  // one inter-agent message
+	ReflectOutTokens   = 40  // a verdict with brief justification
+	ActSelectOutTokens = 30  // CoELA-style action selection from a menu
+	PrimitiveOutTokens = 25  // direct low-level action emission (w/o Exec)
+)
+
+// Context describes the variable parts of a planning prompt.
+type Context struct {
+	SystemTokens   int // role / instruction preamble
+	TaskTokens     int // task description
+	MemoryTokens   int // retrieved memory serialization
+	DialogueTokens int // concatenated dialogue history
+	ObsTokens      int // current observation rendering
+}
+
+// Build assembles the prompt. Memory and dialogue are droppable under
+// context pressure (sliding-window truncation keeps the newest content);
+// system, task and current observation are fixed.
+func Build(c Context) prompt.Prompt {
+	sections := make([]prompt.Section, 0, 5)
+	if c.SystemTokens > 0 {
+		sections = append(sections, prompt.Section{Name: SectionSystem, Tokens: c.SystemTokens})
+	}
+	if c.TaskTokens > 0 {
+		sections = append(sections, prompt.Section{Name: SectionTask, Tokens: c.TaskTokens})
+	}
+	if c.MemoryTokens > 0 {
+		sections = append(sections, prompt.Section{Name: SectionMemory, Tokens: c.MemoryTokens, Droppable: true})
+	}
+	if c.DialogueTokens > 0 {
+		sections = append(sections, prompt.Section{Name: SectionDialogue, Tokens: c.DialogueTokens, Droppable: true})
+	}
+	if c.ObsTokens > 0 {
+		sections = append(sections, prompt.Section{Name: SectionObs, Tokens: c.ObsTokens})
+	}
+	return prompt.New(sections...)
+}

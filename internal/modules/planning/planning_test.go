@@ -1,0 +1,54 @@
+package planning
+
+import (
+	"testing"
+
+	"embench/internal/prompt"
+)
+
+func TestBuildFullContext(t *testing.T) {
+	p := Build(Context{SystemTokens: 200, TaskTokens: 80, MemoryTokens: 500, DialogueTokens: 300, ObsTokens: 120})
+	if p.Tokens() != 1200 {
+		t.Fatalf("prompt tokens = %d, want 1200", p.Tokens())
+	}
+	mem, ok := p.Section(SectionMemory)
+	if !ok || !mem.Droppable {
+		t.Fatal("memory section must exist and be droppable")
+	}
+	sys, ok := p.Section(SectionSystem)
+	if !ok || sys.Droppable {
+		t.Fatal("system section must exist and be fixed")
+	}
+}
+
+func TestBuildSkipsEmptySections(t *testing.T) {
+	p := Build(Context{SystemTokens: 100, TaskTokens: 50})
+	if len(p.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(p.Sections))
+	}
+	if _, ok := p.Section(SectionDialogue); ok {
+		t.Fatal("empty dialogue section should be omitted")
+	}
+}
+
+func TestTruncationKeepsFixedSections(t *testing.T) {
+	p := Build(Context{SystemTokens: 200, TaskTokens: 80, MemoryTokens: 5000, DialogueTokens: 4000, ObsTokens: 120})
+	res := prompt.Fit(p, 1000)
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	for _, name := range []string{SectionSystem, SectionTask, SectionObs} {
+		if _, ok := res.Prompt.Section(name); !ok {
+			t.Fatalf("fixed section %q lost under truncation", name)
+		}
+	}
+}
+
+func TestOutputBudgetsOrdered(t *testing.T) {
+	// Plans are the longest generations; act-selection and primitives the
+	// shortest — this ordering drives CoELA's 36.5/16.1/10.3 latency split.
+	if !(PlanOutTokens > MessageOutTokens && MessageOutTokens > ReflectOutTokens &&
+		ReflectOutTokens > ActSelectOutTokens && ActSelectOutTokens > PrimitiveOutTokens) {
+		t.Fatal("output budget ordering violated")
+	}
+}

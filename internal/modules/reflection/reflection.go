@@ -1,0 +1,52 @@
+// Package reflection implements the reflection module: comparing expected
+// and observed outcomes of a decision and deciding whether to correct
+// course (paper Sec. II-A). Reflection is cheap (≈8.6% of latency on
+// average) but removing it nearly doubles task steps (Fig. 3), because
+// uncorrected agents loop on failed plans.
+package reflection
+
+import (
+	"embench/internal/rng"
+)
+
+// Checker judges executed decisions. DetectProb is the probability the
+// reflector notices a genuinely failed/ineffective decision (tied to the
+// backing model's capability); FalseAlarm is the probability it flags a
+// correct decision anyway, forcing a needless replan.
+type Checker struct {
+	DetectProb float64
+	FalseAlarm float64
+}
+
+// NewChecker derives a checker from a model capability in [0,1]. Detection
+// tracks capability; false alarms are rare and shrink with capability.
+func NewChecker(capability float64) Checker {
+	if capability < 0 {
+		capability = 0
+	}
+	if capability > 1 {
+		capability = 1
+	}
+	return Checker{
+		DetectProb: 0.55 + 0.40*capability,
+		FalseAlarm: 0.05 * (1 - capability),
+	}
+}
+
+// Verdict is the reflection outcome for one executed decision.
+type Verdict struct {
+	FlaggedError bool // the reflector asks for a replan
+	TrueError    bool // the decision actually failed (ground truth)
+}
+
+// Judge draws the reflection outcome for a decision whose true failure
+// status is known to the simulator.
+func (c Checker) Judge(st *rng.Stream, failed bool) Verdict {
+	v := Verdict{TrueError: failed}
+	if failed {
+		v.FlaggedError = st.Bernoulli(c.DetectProb)
+	} else {
+		v.FlaggedError = st.Bernoulli(c.FalseAlarm)
+	}
+	return v
+}

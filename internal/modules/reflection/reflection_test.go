@@ -1,0 +1,67 @@
+package reflection
+
+import (
+	"testing"
+
+	"embench/internal/rng"
+)
+
+func almost(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+func TestNewCheckerBounds(t *testing.T) {
+	c := NewChecker(1)
+	if !almost(c.DetectProb, 0.95) || c.FalseAlarm != 0 {
+		t.Fatalf("perfect model checker = %+v", c)
+	}
+	c = NewChecker(0)
+	if !almost(c.DetectProb, 0.55) || !almost(c.FalseAlarm, 0.05) {
+		t.Fatalf("zero-capability checker = %+v", c)
+	}
+	// Out-of-range capabilities clamp.
+	if !almost(NewChecker(5).DetectProb, 0.95) || !almost(NewChecker(-2).DetectProb, 0.55) {
+		t.Fatal("capability clamping failed")
+	}
+}
+
+func TestJudgeDetectsFailures(t *testing.T) {
+	c := NewChecker(0.95)
+	st := rng.New(3).NewStream("refl")
+	detected := 0
+	for i := 0; i < 1000; i++ {
+		v := c.Judge(st, true)
+		if !v.TrueError {
+			t.Fatal("TrueError must mirror input")
+		}
+		if v.FlaggedError {
+			detected++
+		}
+	}
+	if detected < 880 || detected > 980 {
+		t.Fatalf("detection rate = %d/1000, want ≈930", detected)
+	}
+}
+
+func TestJudgeRareFalseAlarms(t *testing.T) {
+	c := NewChecker(0.9)
+	st := rng.New(4).NewStream("refl")
+	alarms := 0
+	for i := 0; i < 2000; i++ {
+		if c.Judge(st, false).FlaggedError {
+			alarms++
+		}
+	}
+	// FalseAlarm = 0.005 -> expect ~10.
+	if alarms > 40 {
+		t.Fatalf("false alarms = %d/2000, too many", alarms)
+	}
+}
+
+func TestBetterModelsDetectMore(t *testing.T) {
+	weak, strong := NewChecker(0.3), NewChecker(0.95)
+	if weak.DetectProb >= strong.DetectProb {
+		t.Fatal("detection should improve with capability")
+	}
+	if weak.FalseAlarm <= strong.FalseAlarm {
+		t.Fatal("false alarms should shrink with capability")
+	}
+}

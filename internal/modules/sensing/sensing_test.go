@@ -1,0 +1,53 @@
+package sensing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyScalesWithEntities(t *testing.T) {
+	b := Backend{Base: 100 * time.Millisecond, PerEntity: 5 * time.Millisecond}
+	if got := b.Latency(0); got != 100*time.Millisecond {
+		t.Fatalf("Latency(0) = %v", got)
+	}
+	if got := b.Latency(10); got != 150*time.Millisecond {
+		t.Fatalf("Latency(10) = %v", got)
+	}
+	if got := b.Latency(-5); got != 100*time.Millisecond {
+		t.Fatalf("negative entities should clamp: %v", got)
+	}
+}
+
+func TestRegistryConsistent(t *testing.T) {
+	for name, b := range Backends {
+		if b.Name != name {
+			t.Errorf("backend %q registered under %q", b.Name, name)
+		}
+		if b.Base <= 0 {
+			t.Errorf("backend %q has non-positive base latency", name)
+		}
+		if b.MissProb < 0 || b.MissProb > 0.5 {
+			t.Errorf("backend %q miss probability implausible: %v", name, b.MissProb)
+		}
+	}
+	if len(Backends) != 9 {
+		t.Fatalf("expected 9 backends, got %d", len(Backends))
+	}
+}
+
+func TestSymbolicIsLossless(t *testing.T) {
+	if Symbolic.MissProb != 0 {
+		t.Fatal("symbolic sensing should never miss")
+	}
+}
+
+func TestDiffusionHeaviest(t *testing.T) {
+	for name, b := range Backends {
+		if name == DiffusionWM.Name {
+			continue
+		}
+		if b.Latency(20) >= DiffusionWM.Latency(20) {
+			t.Fatalf("%s should be cheaper than the diffusion world model", name)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package multiagent drives episodes under the paper's four execution
+// paradigms: single-agent modular (Fig. 1b), single-agent end-to-end
+// (Fig. 1c), multi-agent centralized (Fig. 1d) and multi-agent
+// decentralized (Fig. 1e), plus the hierarchical-cluster variant of
+// Rec. 9.
+//
+// Runners own the virtual clock and the trace. Per-agent work is timed on
+// per-agent clocks and folded into the episode timeline either
+// sequentially (the paper's baseline pipelines) or in parallel
+// (the Takeaway-6 optimization).
+package multiagent
+
+import (
+	"reflect"
+	"time"
+
+	"embench/internal/core"
+	"embench/internal/metrics"
+	"embench/internal/modules/comms"
+	"embench/internal/modules/memory"
+	"embench/internal/rng"
+	"embench/internal/simclock"
+	"embench/internal/trace"
+)
+
+// Options tune a run.
+type Options struct {
+	// Seed roots all randomness; equal seeds give identical episodes.
+	Seed uint64
+	// Parallel overlaps independent per-agent spans within a step instead
+	// of serializing them (Takeaway 6).
+	Parallel bool
+	// Rounds computes dialogue rounds per step from team size for
+	// decentralized systems; nil = 1 + (n-1)/4 (the paper observes rounds
+	// grow with the team).
+	Rounds func(agents int) int
+	// ClusterSize > 0 enables hierarchical cooperation (Rec. 9): dialogue
+	// is scoped to clusters of this size, with only cluster heads
+	// exchanging digests across clusters.
+	ClusterSize int
+}
+
+func (o Options) rounds(n int) int {
+	if o.Rounds != nil {
+		return o.Rounds(n)
+	}
+	if n <= 1 {
+		return 0
+	}
+	return 1 + (n-1)/4
+}
+
+// Outcome bundles an episode's metrics with its full trace.
+type Outcome struct {
+	Episode metrics.Episode
+	Trace   *trace.Trace
+}
+
+// finish reduces the run into an Outcome. The episode duration comes from
+// the runner's timeline clock, which respects parallel overlap.
+func finish(d core.Domain, tr *trace.Trace, clock *simclock.Clock) Outcome {
+	success := d.Success()
+	reachedLimit := !success && d.Step() >= d.MaxSteps()
+	ep := metrics.FromTrace(tr, success, reachedLimit, d.Step())
+	ep.SimDuration = clock.Now()
+	return Outcome{Episode: ep, Trace: tr}
+}
+
+// agentSet builds one core.Agent per domain agent, each on its own clock.
+type agentSet struct {
+	agents []*core.Agent
+	clocks []*simclock.Clock
+	marks  []time.Duration
+}
+
+func newAgentSet(n int, cfg core.AgentConfig, src *rng.Source, tr *trace.Trace) *agentSet {
+	s := &agentSet{marks: make([]time.Duration, n)}
+	for i := 0; i < n; i++ {
+		c := simclock.New()
+		s.clocks = append(s.clocks, c)
+		s.agents = append(s.agents, core.NewAgent(i, cfg, src, c, tr))
+	}
+	return s
+}
+
+// beginPhase snapshots every agent clock.
+func (s *agentSet) beginPhase() {
+	for i, c := range s.clocks {
+		s.marks[i] = c.Now()
+	}
+}
+
+// endPhase folds the per-agent deltas into the timeline: sum when
+// sequential, max when parallel.
+func (s *agentSet) endPhase(timeline *simclock.Clock, parallel bool) {
+	var deltas []time.Duration
+	for i, c := range s.clocks {
+		deltas = append(deltas, c.Now()-s.marks[i])
+	}
+	if parallel {
+		timeline.AdvanceParallel(deltas...)
+		return
+	}
+	for _, d := range deltas {
+		timeline.Advance(d)
+	}
+}
+
+// hasEquivalent reports whether the store already holds this fact in the
+// same or a fresher version.
+func hasEquivalent(s *memory.Store, r memory.Record) bool {
+	if r.Key == "" {
+		return false
+	}
+	prev, ok := s.Latest(r.Key)
+	if !ok || prev.Step < r.Step {
+		return false
+	}
+	return reflect.DeepEqual(prev.Payload, r.Payload)
+}
+
+// deliver routes messages to their recipients: checks novelty against each
+// receiver's memory, stores the records as dialogue, and returns whether
+// any receiver learned something.
+func deliver(msg comms.Message, recipients []*core.Agent) bool {
+	useful := false
+	for _, recv := range recipients {
+		if recv.ID == msg.From {
+			continue
+		}
+		var known func(memory.Record) bool
+		switch store := recv.Store.(type) {
+		case *memory.Store:
+			if comms.Novel(msg, store) {
+				useful = true
+			}
+			known = func(r memory.Record) bool { return hasEquivalent(store, r) }
+		case *memory.Dual:
+			if comms.Novel(msg, store.Short) || comms.Novel(msg, store.Long) {
+				useful = true
+			}
+			known = func(r memory.Record) bool {
+				return hasEquivalent(store.Short, r) || hasEquivalent(store.Long, r)
+			}
+		default:
+			useful = true
+			known = func(memory.Record) bool { return false }
+		}
+		for _, r := range msg.Records {
+			// Deduplicate: with broadcast dialogue every agent hears the
+			// same fact from everyone; storing each copy would bloat both
+			// retrieval latency and prompt tokens beyond the content.
+			if known(r) {
+				continue
+			}
+			dl := r
+			dl.Kind = memory.Dialogue
+			dl.Step = msg.Step
+			recv.Store.Add(dl)
+		}
+	}
+	return useful
+}

@@ -1,0 +1,272 @@
+package multiagent
+
+import (
+	"testing"
+	"time"
+
+	"embench/internal/core"
+	"embench/internal/env/boxworld"
+	"embench/internal/env/craftworld"
+	"embench/internal/env/gridhouse"
+	"embench/internal/env/kitchen"
+	"embench/internal/env/kitchenctl"
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/modules/sensing"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+// coelaCfg is a CoELA-like decentralized stack: vision sensing, GPT-4
+// planning/comms, memory, act-selection, A* execution, no reflection.
+func coelaCfg() core.AgentConfig {
+	comms := llm.GPT4
+	return core.AgentConfig{
+		Sensing: &sensing.MaskRCNN, Planner: llm.GPT4, Comms: &comms,
+		Memory: core.MemoryConfig{Capacity: 32}, Execution: true, ActSelect: true,
+	}
+}
+
+// jarvisCfg is a JARVIS-1-like single-agent stack with reflection.
+func jarvisCfg() core.AgentConfig {
+	refl := llm.Llama13B
+	return core.AgentConfig{
+		Sensing: &sensing.MineCLIP, Planner: llm.GPT4,
+		Memory: core.MemoryConfig{Capacity: 32}, Reflector: &refl, Execution: true,
+	}
+}
+
+// mindAgentCfg is a MindAgent-like centralized stack.
+func mindAgentCfg() core.AgentConfig {
+	comms := llm.GPT4
+	return core.AgentConfig{
+		Planner: llm.GPT4, Comms: &comms,
+		Memory: core.MemoryConfig{Capacity: 32}, Execution: true,
+	}
+}
+
+func successRate(run func(seed uint64) Outcome, n int) (float64, []metrics.Episode) {
+	ok := 0
+	var eps []metrics.Episode
+	for s := 0; s < n; s++ {
+		out := run(uint64(s))
+		if out.Episode.Success {
+			ok++
+		}
+		eps = append(eps, out.Episode)
+	}
+	return float64(ok) / float64(n), eps
+}
+
+func TestRunSingleCraftworldSucceedsMostly(t *testing.T) {
+	rate, eps := successRate(func(seed uint64) Outcome {
+		d := craftworld.New(craftworld.Config{Difficulty: world.Easy}, rng.New(seed))
+		return RunSingle(d, jarvisCfg(), Options{Seed: seed})
+	}, 8)
+	if rate < 0.7 {
+		t.Fatalf("easy craftworld success = %.2f, want ≥0.7", rate)
+	}
+	for _, e := range eps {
+		if e.SimDuration <= 0 || e.Steps <= 0 {
+			t.Fatalf("bad episode accounting: %+v", e)
+		}
+	}
+}
+
+func TestStepLatencyInPaperBand(t *testing.T) {
+	d := craftworld.New(craftworld.Config{Difficulty: world.Easy}, rng.New(1))
+	out := RunSingle(d, jarvisCfg(), Options{Seed: 1})
+	perStep := out.Episode.SimDuration / time.Duration(out.Episode.Steps)
+	// Paper Fig. 2a: 10–30 s per step across workloads.
+	if perStep < 3*time.Second || perStep > 45*time.Second {
+		t.Fatalf("per-step latency = %v, want a few to tens of seconds", perStep)
+	}
+}
+
+func TestPlanningDominatesLatency(t *testing.T) {
+	d := craftworld.New(craftworld.Config{Difficulty: world.Medium}, rng.New(2))
+	out := RunSingle(d, jarvisCfg(), Options{Seed: 2})
+	if out.Episode.LLMShare < 0.5 {
+		t.Fatalf("LLM share = %.2f, expected LLM-dominated latency (paper: 70.2%% avg)", out.Episode.LLMShare)
+	}
+}
+
+func TestRunDecentralizedGridhouse(t *testing.T) {
+	rate, eps := successRate(func(seed uint64) Outcome {
+		d := gridhouse.New(gridhouse.Config{Agents: 2, Difficulty: world.Easy}, rng.New(seed))
+		return RunDecentralized(d, coelaCfg(), Options{Seed: seed})
+	}, 6)
+	if rate < 0.6 {
+		t.Fatalf("easy gridhouse decentralized success = %.2f, want ≥0.6", rate)
+	}
+	// Communication must be happening and mostly redundant (paper: ~20%).
+	var gen, useful int
+	for _, e := range eps {
+		gen += e.Messages.Generated
+		useful += e.Messages.Useful
+	}
+	if gen == 0 {
+		t.Fatal("no messages generated")
+	}
+	rateUseful := float64(useful) / float64(gen)
+	if rateUseful > 0.7 {
+		t.Fatalf("message usefulness = %.2f; expected substantial redundancy", rateUseful)
+	}
+}
+
+func TestRunCentralizedKitchen(t *testing.T) {
+	rate, _ := successRate(func(seed uint64) Outcome {
+		d := kitchen.New(kitchen.Config{Agents: 2, Difficulty: world.Easy}, rng.New(seed))
+		return RunCentralized(d, mindAgentCfg(), Options{Seed: seed})
+	}, 6)
+	if rate < 0.6 {
+		t.Fatalf("easy kitchen centralized success = %.2f, want ≥0.6", rate)
+	}
+}
+
+func TestCentralizedFewerLLMCallsThanDecentralized(t *testing.T) {
+	seed := uint64(3)
+	dc := kitchen.New(kitchen.Config{Agents: 4, Difficulty: world.Easy}, rng.New(seed))
+	outC := RunCentralized(dc, mindAgentCfg(), Options{Seed: seed})
+	dd := kitchen.New(kitchen.Config{Agents: 4, Difficulty: world.Easy}, rng.New(seed))
+	cfg := mindAgentCfg()
+	outD := RunDecentralized(dd, cfg, Options{Seed: seed})
+	cPerStep := outC.Episode.LLMCalls / max(outC.Episode.Steps, 1)
+	dPerStep := outD.Episode.LLMCalls / max(outD.Episode.Steps, 1)
+	if cPerStep >= dPerStep {
+		t.Fatalf("central %d calls/step should be < decentralized %d", cPerStep, dPerStep)
+	}
+}
+
+func TestMemoryAblationHurtsGridhouse(t *testing.T) {
+	base, _ := successRate(func(seed uint64) Outcome {
+		d := gridhouse.New(gridhouse.Config{Agents: 2, Difficulty: world.Medium}, rng.New(seed))
+		return RunDecentralized(d, coelaCfg(), Options{Seed: seed})
+	}, 6)
+	noMem, epsNo := successRate(func(seed uint64) Outcome {
+		cfg := coelaCfg()
+		cfg.Memory.Capacity = 0
+		d := gridhouse.New(gridhouse.Config{Agents: 2, Difficulty: world.Medium}, rng.New(seed))
+		return RunDecentralized(d, cfg, Options{Seed: seed})
+	}, 6)
+	if noMem >= base {
+		t.Fatalf("disabling memory should hurt: base=%.2f noMem=%.2f", base, noMem)
+	}
+	_ = epsNo
+}
+
+func TestReflectionAblationHurtsCraftworld(t *testing.T) {
+	var baseSteps, noReflSteps float64
+	base, epsBase := successRate(func(seed uint64) Outcome {
+		d := craftworld.New(craftworld.Config{Difficulty: world.Medium}, rng.New(seed))
+		return RunSingle(d, jarvisCfg(), Options{Seed: seed})
+	}, 8)
+	noRefl, epsNo := successRate(func(seed uint64) Outcome {
+		cfg := jarvisCfg()
+		cfg.Reflector = nil
+		d := craftworld.New(craftworld.Config{Difficulty: world.Medium}, rng.New(seed))
+		return RunSingle(d, cfg, Options{Seed: seed})
+	}, 8)
+	for _, e := range epsBase {
+		baseSteps += float64(e.Steps)
+	}
+	for _, e := range epsNo {
+		noReflSteps += float64(e.Steps)
+	}
+	if noRefl > base {
+		t.Fatalf("disabling reflection should not improve success: base=%.2f noRefl=%.2f", base, noRefl)
+	}
+	if noReflSteps <= baseSteps {
+		t.Fatalf("disabling reflection should inflate steps: %.0f vs %.0f", noReflSteps, baseSteps)
+	}
+}
+
+func TestExecutionAblationFails(t *testing.T) {
+	rate, eps := successRate(func(seed uint64) Outcome {
+		cfg := jarvisCfg()
+		cfg.Execution = false
+		d := craftworld.New(craftworld.Config{Difficulty: world.Medium}, rng.New(seed))
+		return RunSingle(d, cfg, Options{Seed: seed})
+	}, 5)
+	if rate > 0.2 {
+		t.Fatalf("w/o execution success = %.2f; the paper reports near-total failure", rate)
+	}
+	limit := 0
+	for _, e := range eps {
+		if e.ReachedLimit {
+			limit++
+		}
+	}
+	if limit < 4 {
+		t.Fatalf("w/o execution should hit Lmax: %d/5", limit)
+	}
+}
+
+func TestParallelFasterThanSequential(t *testing.T) {
+	seed := uint64(5)
+	run := func(parallel bool) time.Duration {
+		d := gridhouse.New(gridhouse.Config{Agents: 4, Difficulty: world.Easy}, rng.New(seed))
+		out := RunDecentralized(d, coelaCfg(), Options{Seed: seed, Parallel: parallel})
+		return out.Episode.SimDuration
+	}
+	seq, par := run(false), run(true)
+	if par >= seq {
+		t.Fatalf("parallel (%v) should beat sequential (%v)", par, seq)
+	}
+}
+
+func TestHierarchicalCutsDialogueLoad(t *testing.T) {
+	// Clustering scopes broadcasts and shrinks the group that must
+	// converge per step, cutting dialogue rounds and with them LLM calls
+	// per step (Rec. 9).
+	seed := uint64(6)
+	run := func(cluster int) float64 {
+		d := gridhouse.New(gridhouse.Config{Agents: 8, Difficulty: world.Easy}, rng.New(seed))
+		out := RunDecentralized(d, coelaCfg(), Options{Seed: seed, ClusterSize: cluster})
+		return float64(out.Episode.LLMCalls) / float64(max(out.Episode.Steps, 1))
+	}
+	flat, clustered := run(0), run(4)
+	if clustered >= flat {
+		t.Fatalf("clustering should cut LLM calls per step: flat=%.1f clustered=%.1f", flat, clustered)
+	}
+}
+
+func TestRunEndToEndKitchenctl(t *testing.T) {
+	rate, eps := successRate(func(seed uint64) Outcome {
+		d := kitchenctl.New(kitchenctl.Config{Difficulty: world.Easy}, rng.New(seed))
+		cfg := core.AgentConfig{Sensing: &sensing.ViT, Planner: llm.Llama7B, Execution: true}
+		return RunEndToEnd(d, cfg, Options{Seed: seed})
+	}, 8)
+	if rate < 0.6 {
+		t.Fatalf("end-to-end kitchenctl success = %.2f, want ≥0.6", rate)
+	}
+	// End-to-end steps are fast: no long chain of module calls.
+	for _, e := range eps {
+		if e.Steps == 0 {
+			continue
+		}
+		perStep := e.SimDuration / time.Duration(e.Steps)
+		if perStep > 10*time.Second {
+			t.Fatalf("end-to-end per-step = %v, should be light", perStep)
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() Outcome {
+		d := boxworld.New(boxworld.Config{Agents: 3, Difficulty: world.Easy}, rng.New(9))
+		return RunDecentralized(d, coelaCfg(), Options{Seed: 9})
+	}
+	a, b := run(), run()
+	if a.Episode.Steps != b.Episode.Steps || a.Episode.SimDuration != b.Episode.SimDuration ||
+		a.Episode.LLMCalls != b.Episode.LLMCalls || a.Episode.Success != b.Episode.Success {
+		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a.Episode, b.Episode)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

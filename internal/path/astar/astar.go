@@ -1,0 +1,109 @@
+// Package astar implements A* grid path planning — the low-level execution
+// substrate used by CoELA, COMBO and COHERENT (paper Table II).
+//
+// The planner reports the number of expanded nodes; the execution module
+// converts that to simulated compute latency, which is how low-level
+// planning shows up in the paper's latency breakdowns (Fig. 2a).
+package astar
+
+import (
+	"container/heap"
+
+	"embench/internal/world"
+)
+
+// Result is the outcome of a planning query.
+type Result struct {
+	Path     []world.Cell // start..goal inclusive; nil when not Found
+	Expanded int          // nodes popped from the open list
+	Found    bool
+}
+
+// Plan searches for a shortest 4-connected path from start to goal on g.
+// A blocked or out-of-bounds endpoint yields Found=false. Planning from a
+// cell to itself returns a single-cell path.
+func Plan(g *world.Grid, start, goal world.Cell) Result {
+	if g.Blocked(start) || g.Blocked(goal) {
+		return Result{}
+	}
+	if start == goal {
+		return Result{Path: []world.Cell{start}, Expanded: 1, Found: true}
+	}
+	type nodeKey = world.Cell
+	gScore := map[nodeKey]int{start: 0}
+	parent := map[nodeKey]nodeKey{}
+	open := &pq{}
+	heap.Init(open)
+	heap.Push(open, item{cell: start, f: world.Manhattan(start, goal)})
+	closed := map[nodeKey]bool{}
+	expanded := 0
+	buf := make([]world.Cell, 0, 4)
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(item)
+		if closed[cur.cell] {
+			continue
+		}
+		closed[cur.cell] = true
+		expanded++
+		if cur.cell == goal {
+			return Result{Path: reconstruct(parent, start, goal), Expanded: expanded, Found: true}
+		}
+		buf = buf[:0]
+		for _, n := range g.Neighbors4(cur.cell, buf) {
+			if closed[n] {
+				continue
+			}
+			tentative := gScore[cur.cell] + 1
+			if old, ok := gScore[n]; !ok || tentative < old {
+				gScore[n] = tentative
+				parent[n] = cur.cell
+				heap.Push(open, item{cell: n, f: tentative + world.Manhattan(n, goal), g: tentative})
+			}
+		}
+	}
+	return Result{Expanded: expanded}
+}
+
+func reconstruct(parent map[world.Cell]world.Cell, start, goal world.Cell) []world.Cell {
+	var rev []world.Cell
+	for c := goal; ; {
+		rev = append(rev, c)
+		if c == start {
+			break
+		}
+		c = parent[c]
+	}
+	path := make([]world.Cell, len(rev))
+	for i, c := range rev {
+		path[len(rev)-1-i] = c
+	}
+	return path
+}
+
+// item is a prioritized open-list entry.
+type item struct {
+	cell world.Cell
+	f, g int
+}
+
+// pq is a binary min-heap on f, breaking ties toward larger g (deeper
+// nodes), the standard A* tie-break that reduces re-expansion.
+type pq []item
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].g > q[j].g
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(item)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,115 @@
+// Package rrt implements rapidly-exploring random tree motion planning in a
+// 2D workspace with circular obstacles — the low-level execution substrate
+// of RoCo and COHERENT (paper Table II).
+//
+// The planner reports the number of samples drawn; the execution module
+// converts that to simulated compute latency. RRT's heavy, variable compute
+// is exactly why the paper measures execution at 49.4% of RoCo's per-step
+// latency (Fig. 2a).
+package rrt
+
+import (
+	"embench/internal/geom"
+	"embench/internal/rng"
+)
+
+// Planner holds RRT parameters. The zero value is not useful; use New or
+// fill every field.
+type Planner struct {
+	Step     float64 // extension step size
+	GoalBias float64 // probability of sampling the goal directly
+	MaxIter  int     // sample budget before giving up
+	GoalTol  float64 // how close counts as reaching the goal
+}
+
+// New returns a planner with sensible defaults for a unit workspace.
+func New() Planner {
+	return Planner{Step: 0.05, GoalBias: 0.10, MaxIter: 4000, GoalTol: 0.03}
+}
+
+// Result is the outcome of a planning query.
+type Result struct {
+	Path    []geom.Point // start..goal inclusive; nil when not Found
+	Samples int          // random samples drawn (compute cost proxy)
+	Found   bool
+}
+
+// Plan grows a tree from start toward goal inside bounds, avoiding the
+// obstacles, using stream for all randomness.
+func (p Planner) Plan(start, goal geom.Point, bounds geom.Rect, obstacles []geom.Circle, stream *rng.Stream) Result {
+	for _, o := range obstacles {
+		if o.Contains(start) || o.Contains(goal) {
+			return Result{}
+		}
+	}
+	if geom.Dist(start, goal) <= p.GoalTol && geom.CollisionFree(start, goal, obstacles) {
+		return Result{Path: []geom.Point{start, goal}, Samples: 1, Found: true}
+	}
+	nodes := []geom.Point{start}
+	parent := []int{-1}
+	for it := 0; it < p.MaxIter; it++ {
+		var sample geom.Point
+		if stream.Bernoulli(p.GoalBias) {
+			sample = goal
+		} else {
+			sample = geom.Point{
+				X: stream.Range(bounds.Min.X, bounds.Max.X),
+				Y: stream.Range(bounds.Min.Y, bounds.Max.Y),
+			}
+		}
+		ni := nearest(nodes, sample)
+		next := geom.Toward(nodes[ni], sample, p.Step)
+		if !bounds.Contains(next) || !geom.CollisionFree(nodes[ni], next, obstacles) {
+			continue
+		}
+		nodes = append(nodes, next)
+		parent = append(parent, ni)
+		if geom.Dist(next, goal) <= p.GoalTol && geom.CollisionFree(next, goal, obstacles) {
+			path := extract(nodes, parent, len(nodes)-1)
+			path = append(path, goal)
+			return Result{Path: Smooth(path, obstacles, stream, 30), Samples: it + 1, Found: true}
+		}
+	}
+	return Result{Samples: p.MaxIter}
+}
+
+func nearest(nodes []geom.Point, q geom.Point) int {
+	best, bestD := 0, geom.Dist(nodes[0], q)
+	for i := 1; i < len(nodes); i++ {
+		if d := geom.Dist(nodes[i], q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func extract(nodes []geom.Point, parent []int, leaf int) []geom.Point {
+	var rev []geom.Point
+	for i := leaf; i != -1; i = parent[i] {
+		rev = append(rev, nodes[i])
+	}
+	path := make([]geom.Point, len(rev))
+	for i, p := range rev {
+		path[len(rev)-1-i] = p
+	}
+	return path
+}
+
+// Smooth shortcut-optimizes a path: it repeatedly tries to connect two
+// non-adjacent waypoints directly and drops the intermediate points when
+// the shortcut is collision-free. attempts bounds the optimization effort.
+func Smooth(path []geom.Point, obstacles []geom.Circle, stream *rng.Stream, attempts int) []geom.Point {
+	if len(path) < 3 {
+		return path
+	}
+	out := make([]geom.Point, len(path))
+	copy(out, path)
+	for a := 0; a < attempts && len(out) > 2; a++ {
+		i := stream.Pick(len(out) - 2)
+		j := i + 2 + stream.Pick(len(out)-i-2)
+		if geom.CollisionFree(out[i], out[j], obstacles) {
+			out = append(out[:i+1], out[j:]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package rrt
+
+import (
+	"testing"
+
+	"embench/internal/geom"
+	"embench/internal/rng"
+)
+
+var unit = geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+
+func stream(name string) *rng.Stream { return rng.New(99).NewStream(name) }
+
+func TestPlanOpenSpace(t *testing.T) {
+	p := New()
+	res := p.Plan(geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), unit, nil, stream("open"))
+	if !res.Found {
+		t.Fatal("no path in open space")
+	}
+	validate(t, res.Path, geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), nil)
+}
+
+func TestPlanAroundObstacle(t *testing.T) {
+	p := New()
+	obs := []geom.Circle{{C: geom.Pt(0.5, 0.5), R: 0.2}}
+	res := p.Plan(geom.Pt(0.1, 0.5), geom.Pt(0.9, 0.5), unit, obs, stream("obs"))
+	if !res.Found {
+		t.Fatal("no path around obstacle")
+	}
+	validate(t, res.Path, geom.Pt(0.1, 0.5), geom.Pt(0.9, 0.5), obs)
+	if res.Samples <= 0 {
+		t.Fatal("samples not reported")
+	}
+}
+
+func TestPlanBlockedEndpoint(t *testing.T) {
+	p := New()
+	obs := []geom.Circle{{C: geom.Pt(0.1, 0.1), R: 0.05}}
+	if p.Plan(geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), unit, obs, stream("b1")).Found {
+		t.Fatal("start inside obstacle should fail")
+	}
+	if p.Plan(geom.Pt(0.9, 0.9), geom.Pt(0.1, 0.1), unit, obs, stream("b2")).Found {
+		t.Fatal("goal inside obstacle should fail")
+	}
+}
+
+func TestPlanInfeasibleExhaustsBudget(t *testing.T) {
+	p := New()
+	p.MaxIter = 400
+	// Wall of overlapping circles across the middle.
+	var obs []geom.Circle
+	for x := -0.1; x <= 1.1; x += 0.05 {
+		obs = append(obs, geom.Circle{C: geom.Pt(x, 0.5), R: 0.06})
+	}
+	res := p.Plan(geom.Pt(0.5, 0.1), geom.Pt(0.5, 0.9), unit, obs, stream("wall"))
+	if res.Found {
+		t.Fatal("path through solid wall")
+	}
+	if res.Samples != 400 {
+		t.Fatalf("should exhaust budget, samples = %d", res.Samples)
+	}
+}
+
+func TestTrivialShortPlan(t *testing.T) {
+	p := New()
+	res := p.Plan(geom.Pt(0.5, 0.5), geom.Pt(0.51, 0.5), unit, nil, stream("triv"))
+	if !res.Found || len(res.Path) < 2 {
+		t.Fatalf("trivial plan = %+v", res)
+	}
+}
+
+func TestDeterministicGivenStream(t *testing.T) {
+	p := New()
+	obs := []geom.Circle{{C: geom.Pt(0.5, 0.4), R: 0.15}}
+	r1 := p.Plan(geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), unit, obs, stream("det"))
+	r2 := p.Plan(geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), unit, obs, stream("det"))
+	if r1.Samples != r2.Samples || len(r1.Path) != len(r2.Path) {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d samples/len",
+			r1.Samples, len(r1.Path), r2.Samples, len(r2.Path))
+	}
+}
+
+func TestSmoothShortensPath(t *testing.T) {
+	// A deliberately zig-zag path in open space should collapse.
+	path := []geom.Point{geom.Pt(0, 0), geom.Pt(0.1, 0.5), geom.Pt(0.2, 0), geom.Pt(0.3, 0.5), geom.Pt(0.4, 0), geom.Pt(1, 0)}
+	before := geom.PathLength(path)
+	out := Smooth(path, nil, stream("smooth"), 50)
+	after := geom.PathLength(out)
+	if after > before {
+		t.Fatalf("Smooth lengthened path: %v -> %v", before, after)
+	}
+	if len(out) > len(path) {
+		t.Fatal("Smooth added waypoints")
+	}
+	if out[0] != path[0] || out[len(out)-1] != path[len(path)-1] {
+		t.Fatal("Smooth moved endpoints")
+	}
+}
+
+func TestSmoothPreservesCollisionFreedom(t *testing.T) {
+	obs := []geom.Circle{{C: geom.Pt(0.5, 0.25), R: 0.2}}
+	// Path that skirts the obstacle.
+	path := []geom.Point{geom.Pt(0.1, 0.5), geom.Pt(0.3, 0.6), geom.Pt(0.5, 0.65), geom.Pt(0.7, 0.6), geom.Pt(0.9, 0.5)}
+	out := Smooth(path, obs, stream("sp"), 100)
+	for i := 1; i < len(out); i++ {
+		if !geom.CollisionFree(out[i-1], out[i], obs) {
+			t.Fatalf("smoothed segment %d collides", i)
+		}
+	}
+}
+
+func validate(t *testing.T, path []geom.Point, start, goal geom.Point, obs []geom.Circle) {
+	t.Helper()
+	if len(path) < 2 {
+		t.Fatalf("degenerate path: %v", path)
+	}
+	if path[0] != start {
+		t.Fatalf("path starts at %v, want %v", path[0], start)
+	}
+	if geom.Dist(path[len(path)-1], goal) > 1e-9 {
+		t.Fatalf("path ends at %v, want %v", path[len(path)-1], goal)
+	}
+	for i := 1; i < len(path); i++ {
+		if !geom.CollisionFree(path[i-1], path[i], obs) {
+			t.Fatalf("segment %d collides", i)
+		}
+	}
+}
+
+func TestManyRandomQueriesStayValid(t *testing.T) {
+	p := New()
+	obs := []geom.Circle{
+		{C: geom.Pt(0.3, 0.3), R: 0.1},
+		{C: geom.Pt(0.7, 0.6), R: 0.12},
+		{C: geom.Pt(0.4, 0.8), R: 0.08},
+	}
+	st := stream("many")
+	found := 0
+	for i := 0; i < 25; i++ {
+		var a, b geom.Point
+		for {
+			a = geom.Pt(st.Range(0, 1), st.Range(0, 1))
+			if geom.CollisionFree(a, a, obs) {
+				break
+			}
+		}
+		for {
+			b = geom.Pt(st.Range(0, 1), st.Range(0, 1))
+			if geom.CollisionFree(b, b, obs) {
+				break
+			}
+		}
+		res := p.Plan(a, b, unit, obs, st)
+		if !res.Found {
+			continue
+		}
+		found++
+		validate(t, res.Path, a, b, obs)
+	}
+	if found < 20 {
+		t.Fatalf("only %d/25 feasible queries solved", found)
+	}
+}
+
+func BenchmarkPlan(b *testing.B) {
+	p := New()
+	obs := []geom.Circle{{C: geom.Pt(0.5, 0.5), R: 0.2}}
+	st := stream("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Plan(geom.Pt(0.1, 0.5), geom.Pt(0.9, 0.5), unit, obs, st)
+	}
+}

@@ -1,0 +1,179 @@
+// Package prompt models LLM prompt assembly and context management.
+//
+// Prompts are sequences of named sections (system preamble, task
+// description, retrieved memory, dialogue history, current observation).
+// Only token counts matter for the suite's measurements, but sections may
+// carry text, in which case their size is computed with the tokenizer.
+//
+// The package also implements the two context-management optimizations the
+// paper recommends: summarization-based compression (Rec. 6) and
+// multiple-choice reformulation for small local models (Rec. 4).
+package prompt
+
+import (
+	"embench/internal/tokenizer"
+)
+
+// Section is one contiguous region of a prompt.
+type Section struct {
+	Name      string
+	Text      string // optional; Tokens wins when both are set
+	Tokens    int    // explicit token count; if 0 and Text != "", counted from Text
+	Droppable bool   // may be truncated away under context pressure
+}
+
+// Size reports the section's token count.
+func (s Section) Size() int {
+	if s.Tokens > 0 {
+		return s.Tokens
+	}
+	return tokenizer.Count(s.Text)
+}
+
+// Prompt is an ordered list of sections.
+type Prompt struct {
+	Sections []Section
+}
+
+// New builds a prompt from sections.
+func New(sections ...Section) Prompt { return Prompt{Sections: sections} }
+
+// Tokens reports the prompt's total size.
+func (p Prompt) Tokens() int {
+	n := 0
+	for _, s := range p.Sections {
+		n += s.Size()
+	}
+	return n
+}
+
+// Section returns the first section with the given name and whether it was
+// found.
+func (p Prompt) Section(name string) (Section, bool) {
+	for _, s := range p.Sections {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Section{}, false
+}
+
+// Append returns a copy of p with extra sections appended.
+func (p Prompt) Append(sections ...Section) Prompt {
+	out := Prompt{Sections: make([]Section, 0, len(p.Sections)+len(sections))}
+	out.Sections = append(out.Sections, p.Sections...)
+	out.Sections = append(out.Sections, sections...)
+	return out
+}
+
+// FitResult describes what truncation did to a prompt.
+type FitResult struct {
+	Prompt        Prompt
+	DroppedTokens int
+	Truncated     bool
+}
+
+// Fit shrinks the prompt to at most limit tokens by trimming droppable
+// sections front-to-back (oldest context goes first, mirroring a sliding
+// window). Non-droppable sections always survive, so the result can still
+// exceed the limit if fixed content alone is too large — Truncated reports
+// whether any trimming occurred, and the caller treats an over-limit result
+// as a context-window overflow.
+func Fit(p Prompt, limit int) FitResult {
+	total := p.Tokens()
+	if total <= limit {
+		return FitResult{Prompt: p}
+	}
+	res := FitResult{Truncated: true}
+	excess := total - limit
+	out := make([]Section, 0, len(p.Sections))
+	for _, s := range p.Sections {
+		if excess > 0 && s.Droppable {
+			sz := s.Size()
+			cut := sz
+			if cut > excess {
+				cut = excess
+			}
+			excess -= cut
+			res.DroppedTokens += cut
+			if cut == sz {
+				continue // section fully dropped
+			}
+			out = append(out, Section{Name: s.Name, Tokens: sz - cut, Droppable: true})
+			continue
+		}
+		out = append(out, s)
+	}
+	res.Prompt = Prompt{Sections: out}
+	return res
+}
+
+// Compressor implements context compression (paper Rec. 6): droppable
+// sections larger than Threshold tokens are summarized down to
+// Ratio * size (at least MinTokens), modelling dialogue-history
+// summarization and repeated-pattern removal.
+type Compressor struct {
+	Ratio     float64 // e.g. 0.3 keeps 30% of the tokens
+	Threshold int     // sections at or below this size pass through
+	MinTokens int     // floor for a compressed section
+}
+
+// Compress returns the compressed prompt and the number of tokens removed.
+func (c Compressor) Compress(p Prompt) (Prompt, int) {
+	if c.Ratio <= 0 || c.Ratio >= 1 {
+		return p, 0
+	}
+	min := c.MinTokens
+	if min <= 0 {
+		min = 8
+	}
+	removed := 0
+	out := make([]Section, len(p.Sections))
+	for i, s := range p.Sections {
+		out[i] = s
+		sz := s.Size()
+		if !s.Droppable || sz <= c.Threshold {
+			continue
+		}
+		kept := int(float64(sz) * c.Ratio)
+		if kept < min {
+			kept = min
+		}
+		if kept >= sz {
+			continue
+		}
+		removed += sz - kept
+		out[i] = Section{Name: s.Name + "(summary)", Tokens: kept, Droppable: true}
+	}
+	return Prompt{Sections: out}, removed
+}
+
+// MultipleChoice reformulates a free-form planning query into an n-way
+// multiple-choice question (paper Rec. 4). It reports the extra prompt
+// tokens spent enumerating the options, the reduced output budget (the
+// model only emits a choice), and the error-rate discount applied to small
+// models that no longer need to generate format-compliant plans.
+type MultipleChoice struct {
+	Options         int     // number of enumerated candidate plans
+	TokensPerOption int     // prompt cost per option (default 24)
+	ErrorDiscount   float64 // multiplicative factor on the model's base error, e.g. 0.45
+}
+
+// Apply rewrites the prompt and returns it with the new output-token budget.
+func (mc MultipleChoice) Apply(p Prompt, outTokens int) (Prompt, int) {
+	per := mc.TokensPerOption
+	if per <= 0 {
+		per = 24
+	}
+	n := mc.Options
+	if n < 2 {
+		n = 2
+	}
+	q := p.Append(Section{Name: "choices", Tokens: n * per})
+	// Answer is a single option id plus brief justification.
+	newOut := 8
+	if outTokens < newOut {
+		newOut = outTokens
+	}
+	return q, newOut
+}

@@ -1,0 +1,175 @@
+package prompt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func build() Prompt {
+	return New(
+		Section{Name: "system", Tokens: 200},
+		Section{Name: "memory", Tokens: 600, Droppable: true},
+		Section{Name: "dialogue", Tokens: 400, Droppable: true},
+		Section{Name: "task", Tokens: 100},
+	)
+}
+
+func TestTokens(t *testing.T) {
+	if got := build().Tokens(); got != 1300 {
+		t.Fatalf("Tokens = %d, want 1300", got)
+	}
+}
+
+func TestSectionFromText(t *testing.T) {
+	s := Section{Name: "obs", Text: "agent sees red box"}
+	if s.Size() == 0 {
+		t.Fatal("text section has zero size")
+	}
+	s2 := Section{Name: "obs", Text: "ignored", Tokens: 77}
+	if s2.Size() != 77 {
+		t.Fatal("explicit Tokens should win over Text")
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	p := build()
+	if s, ok := p.Section("memory"); !ok || s.Tokens != 600 {
+		t.Fatalf("Section lookup = %+v %v", s, ok)
+	}
+	if _, ok := p.Section("nope"); ok {
+		t.Fatal("found non-existent section")
+	}
+}
+
+func TestAppendDoesNotMutate(t *testing.T) {
+	p := build()
+	q := p.Append(Section{Name: "extra", Tokens: 50})
+	if p.Tokens() != 1300 {
+		t.Fatal("Append mutated receiver")
+	}
+	if q.Tokens() != 1350 {
+		t.Fatalf("appended prompt = %d tokens", q.Tokens())
+	}
+}
+
+func TestFitNoTruncationNeeded(t *testing.T) {
+	res := Fit(build(), 2000)
+	if res.Truncated || res.DroppedTokens != 0 {
+		t.Fatalf("unexpected truncation: %+v", res)
+	}
+}
+
+func TestFitDropsOldestDroppableFirst(t *testing.T) {
+	res := Fit(build(), 1000)
+	if !res.Truncated || res.DroppedTokens != 300 {
+		t.Fatalf("res = %+v, want 300 dropped", res)
+	}
+	// memory (first droppable) should shrink from 600 to 300.
+	mem, ok := res.Prompt.Section("memory")
+	if !ok || mem.Size() != 300 {
+		t.Fatalf("memory section after fit = %+v %v", mem, ok)
+	}
+	if dlg, _ := res.Prompt.Section("dialogue"); dlg.Size() != 400 {
+		t.Fatal("dialogue should be untouched when memory absorbs the cut")
+	}
+}
+
+func TestFitDropsWholeSections(t *testing.T) {
+	res := Fit(build(), 500)
+	if res.Prompt.Tokens() != 500 {
+		t.Fatalf("fit result = %d tokens, want 500", res.Prompt.Tokens())
+	}
+	if _, ok := res.Prompt.Section("memory"); ok {
+		t.Fatal("memory should be fully dropped")
+	}
+	// Non-droppable sections survive.
+	if _, ok := res.Prompt.Section("system"); !ok {
+		t.Fatal("system section must survive")
+	}
+}
+
+func TestFitCannotDropFixed(t *testing.T) {
+	res := Fit(build(), 100)
+	// system(200)+task(100) remain; result exceeds limit but is flagged.
+	if res.Prompt.Tokens() != 300 || !res.Truncated {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFitProperty(t *testing.T) {
+	// Property: Fit never increases size and never drops fixed sections.
+	f := func(sizes []uint8, limit uint16) bool {
+		var secs []Section
+		fixed := 0
+		for i, sz := range sizes {
+			droppable := i%2 == 0
+			tok := int(sz) + 1
+			if !droppable {
+				fixed += tok
+			}
+			secs = append(secs, Section{Name: "s", Tokens: tok, Droppable: droppable})
+		}
+		p := New(secs...)
+		res := Fit(p, int(limit))
+		if res.Prompt.Tokens() > p.Tokens() {
+			return false
+		}
+		got := 0
+		for _, s := range res.Prompt.Sections {
+			if !s.Droppable {
+				got += s.Size()
+			}
+		}
+		return got == fixed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressor(t *testing.T) {
+	c := Compressor{Ratio: 0.25, Threshold: 100}
+	p, removed := c.Compress(build())
+	// memory 600 -> 150, dialogue 400 -> 100; system/task untouched.
+	if removed != 750 {
+		t.Fatalf("removed = %d, want 750", removed)
+	}
+	if p.Tokens() != 550 {
+		t.Fatalf("compressed size = %d, want 550", p.Tokens())
+	}
+}
+
+func TestCompressorPassThrough(t *testing.T) {
+	c := Compressor{Ratio: 0, Threshold: 0}
+	p, removed := c.Compress(build())
+	if removed != 0 || p.Tokens() != 1300 {
+		t.Fatal("disabled compressor should pass through")
+	}
+}
+
+func TestCompressorRespectsMin(t *testing.T) {
+	c := Compressor{Ratio: 0.01, Threshold: 10, MinTokens: 40}
+	p, _ := c.Compress(New(Section{Name: "d", Tokens: 500, Droppable: true}))
+	if p.Tokens() != 40 {
+		t.Fatalf("compressed below MinTokens: %d", p.Tokens())
+	}
+}
+
+func TestMultipleChoice(t *testing.T) {
+	mc := MultipleChoice{Options: 4, ErrorDiscount: 0.45}
+	p, out := mc.Apply(build(), 150)
+	if out != 8 {
+		t.Fatalf("output budget = %d, want 8", out)
+	}
+	if p.Tokens() != 1300+4*24 {
+		t.Fatalf("prompt size = %d", p.Tokens())
+	}
+}
+
+func TestMultipleChoiceSmallOutput(t *testing.T) {
+	mc := MultipleChoice{Options: 3}
+	_, out := mc.Apply(build(), 5)
+	if out != 5 {
+		t.Fatalf("output budget should not grow: %d", out)
+	}
+}

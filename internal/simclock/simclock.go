@@ -1,0 +1,80 @@
+// Package simclock provides a deterministic virtual clock used to account
+// for simulated latency in embodied-agent experiments.
+//
+// All latency figures reported by the benchmark suite are simulated seconds:
+// modules charge time to a Clock according to calibrated cost models (LLM
+// serving profiles, perception backends, motion-planner compute) rather than
+// measuring wall-clock time. This keeps every experiment deterministic and
+// fast while preserving the latency structure of the systems under study.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. The zero value is a
+// clock at time zero, ready to use. Clock is not safe for concurrent use;
+// each simulated episode owns its own clock.
+type Clock struct {
+	now time.Duration
+}
+
+// New returns a clock starting at time zero.
+func New() *Clock { return &Clock{} }
+
+// Now reports the current virtual time as an offset from episode start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: virtual time never moves backwards.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// AdvanceParallel moves the clock forward by the maximum of the given
+// durations, modelling spans that execute concurrently (e.g. per-agent LLM
+// calls issued in parallel). It returns the new time.
+func (c *Clock) AdvanceParallel(ds ...time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return c.Advance(max)
+}
+
+// Reset rewinds the clock to zero for reuse across episodes.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Span measures a contiguous interval of virtual time.
+type Span struct {
+	Start, End time.Duration
+}
+
+// Dur reports the span length.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Measure runs fn, charging its reported cost to the clock, and returns the
+// span it occupied.
+func (c *Clock) Measure(fn func() time.Duration) Span {
+	start := c.now
+	c.Advance(fn())
+	return Span{Start: start, End: c.now}
+}
+
+// Seconds formats a duration as decimal seconds, the unit used throughout
+// the paper's figures.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// Minutes formats a duration as decimal minutes (used for end-to-end task
+// runtimes, paper Fig. 2b and Fig. 7).
+func Minutes(d time.Duration) string {
+	return fmt.Sprintf("%.1fmin", d.Minutes())
+}

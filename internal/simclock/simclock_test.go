@@ -1,0 +1,103 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got, want := c.Now(), 5*time.Second; got != want {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-10 * time.Second)
+	if got, want := c.Now(), time.Second; got != want {
+		t.Fatalf("Now = %v after negative advance, want %v", got, want)
+	}
+}
+
+func TestAdvanceParallel(t *testing.T) {
+	tests := []struct {
+		name string
+		ds   []time.Duration
+		want time.Duration
+	}{
+		{"empty", nil, 0},
+		{"single", []time.Duration{4 * time.Second}, 4 * time.Second},
+		{"max wins", []time.Duration{time.Second, 7 * time.Second, 3 * time.Second}, 7 * time.Second},
+		{"all negative", []time.Duration{-time.Second, -2 * time.Second}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := New()
+			c.AdvanceParallel(tt.ds...)
+			if c.Now() != tt.want {
+				t.Fatalf("Now = %v, want %v", c.Now(), tt.want)
+			}
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now after Reset = %v, want 0", c.Now())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	c := New()
+	c.Advance(2 * time.Second)
+	sp := c.Measure(func() time.Duration { return 3 * time.Second })
+	if sp.Start != 2*time.Second || sp.End != 5*time.Second {
+		t.Fatalf("span = %+v, want [2s,5s]", sp)
+	}
+	if sp.Dur() != 3*time.Second {
+		t.Fatalf("Dur = %v, want 3s", sp.Dur())
+	}
+}
+
+func TestMonotonicProperty(t *testing.T) {
+	// Property: any sequence of advances leaves the clock >= every prefix.
+	f := func(steps []int16) bool {
+		c := New()
+		prev := time.Duration(0)
+		for _, s := range steps {
+			c.Advance(time.Duration(s) * time.Millisecond)
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Minutes(90 * time.Second); got != "1.5min" {
+		t.Fatalf("Minutes = %q", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package systems defines the paper's fourteen-workload suite (Table II):
+// each workload wires an environment, a module composition and a paradigm
+// runner into one reproducible configuration, and the taxonomy registry
+// regenerates Table I.
+package systems
+
+import (
+	"fmt"
+	"sort"
+
+	"embench/internal/core"
+	"embench/internal/env/boxworld"
+	"embench/internal/env/craftworld"
+	"embench/internal/env/gridhouse"
+	"embench/internal/env/kitchen"
+	"embench/internal/env/kitchenctl"
+	"embench/internal/env/tabletop"
+	"embench/internal/llm"
+	"embench/internal/modules/sensing"
+	"embench/internal/multiagent"
+	"embench/internal/rng"
+	"embench/internal/world"
+)
+
+// Paradigm labels a workload's coordination structure (paper Sec. II).
+type Paradigm string
+
+// The four paradigms plus HMAS's hybrid.
+const (
+	SingleModular Paradigm = "single-modular"
+	EndToEnd      Paradigm = "end-to-end"
+	Centralized   Paradigm = "centralized"
+	Decentralized Paradigm = "decentralized"
+	Hybrid        Paradigm = "hybrid"
+)
+
+// Workload is one benchmarkable system configuration.
+type Workload struct {
+	Name          string
+	Paradigm      Paradigm
+	EnvName       string
+	DefaultAgents int
+	Config        core.AgentConfig
+	// Rounds overrides the decentralized dialogue-round policy (HMAS's
+	// central priming reduces rounds to one); nil keeps the default.
+	Rounds func(agents int) int
+	// NewDomain builds a task instance.
+	NewDomain func(agents int, diff world.Difficulty, src *rng.Source) core.Domain
+}
+
+// Run executes one episode of the workload.
+func (w Workload) Run(diff world.Difficulty, agents int, opt multiagent.Options) multiagent.Outcome {
+	if agents <= 0 {
+		agents = w.DefaultAgents
+	}
+	if w.Rounds != nil && opt.Rounds == nil {
+		opt.Rounds = w.Rounds
+	}
+	d := w.NewDomain(agents, diff, rng.New(opt.Seed))
+	switch w.Paradigm {
+	case SingleModular:
+		return multiagent.RunSingle(d, w.Config, opt)
+	case EndToEnd:
+		return multiagent.RunEndToEnd(d, w.Config, opt)
+	case Centralized:
+		cd, ok := d.(core.CentralDomain)
+		if !ok {
+			panic(fmt.Sprintf("systems: %s environment %s lacks a central planner", w.Name, w.EnvName))
+		}
+		return multiagent.RunCentralized(cd, w.Config, opt)
+	case Decentralized, Hybrid:
+		return multiagent.RunDecentralized(d, w.Config, opt)
+	}
+	panic("systems: unknown paradigm " + string(w.Paradigm))
+}
+
+// profile helpers: the registry stores value copies, so taking addresses
+// of fresh variables keeps configs independent.
+func ref(p llm.Profile) *llm.Profile          { q := p; return &q }
+func sref(b sensing.Backend) *sensing.Backend { c := b; return &c }
+
+// defaultMemory is the suite's shipped memory window (steps); Fig. 5
+// sweeps around it.
+const defaultMemory = 32
+
+// suite builds the fourteen workloads of Table II.
+func suite() map[string]Workload {
+	ws := []Workload{
+		{
+			Name: "EmbodiedGPT", Paradigm: SingleModular, EnvName: "kitchenctl", DefaultAgents: 1,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.ViT), Planner: llm.Llama7B, Execution: true,
+				// Embodied chain-of-thought planning generates long.
+				PlanOutTokens: 320,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return kitchenctl.New(kitchenctl.Config{Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "JARVIS-1", Paradigm: SingleModular, EnvName: "craftworld", DefaultAgents: 1,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.MineCLIP), Planner: llm.GPT4,
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.Llama13B), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return craftworld.New(craftworld.Config{Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "DaDu-E", Paradigm: SingleModular, EnvName: "gridhouse", DefaultAgents: 1,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.LiDAR), Planner: llm.Llama8B,
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.LLaVA8B), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return gridhouse.New(gridhouse.Config{Agents: 1, Difficulty: diff, HeavyGrasp: true}, src)
+			},
+		},
+		{
+			Name: "MP5", Paradigm: SingleModular, EnvName: "craftworld", DefaultAgents: 1,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.MineCLIP), Planner: llm.GPT4,
+				Reflector: ref(llm.GPT4), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return craftworld.New(craftworld.Config{Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "DEPS", Paradigm: SingleModular, EnvName: "craftworld", DefaultAgents: 1,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.Symbolic), Planner: llm.GPT4,
+				Reflector: ref(llm.CLIPScorer), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return craftworld.New(craftworld.Config{Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "MindAgent", Paradigm: Centralized, EnvName: "kitchen", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory: core.MemoryConfig{Capacity: defaultMemory}, Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return kitchen.New(kitchen.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "OLA", Paradigm: Centralized, EnvName: "gridhouse", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.GPT4), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return gridhouse.New(gridhouse.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "COHERENT", Paradigm: Centralized, EnvName: "tabletop", DefaultAgents: 3,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.DINO), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.GPT4), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				// Heterogeneous robots: a long-reach gantry, standard arms,
+				// and a short-reach quadruped-mounted gripper; mixed-platform
+				// motion planning costs ~2.5 configuration checks per sample.
+				reaches := make([]float64, agents)
+				for i := range reaches {
+					switch i % 3 {
+					case 0:
+						reaches[i] = 0.46
+					case 1:
+						reaches[i] = 0.38
+					default:
+						reaches[i] = 0.32
+					}
+				}
+				return tabletop.New(tabletop.Config{
+					Agents: agents, Difficulty: diff, Reaches: reaches, PlanCost: 2.5,
+				}, src)
+			},
+		},
+		{
+			Name: "CMAS", Paradigm: Centralized, EnvName: "boxworld", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.ViLD), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory: core.MemoryConfig{Capacity: defaultMemory}, Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return boxworld.New(boxworld.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "CoELA", Paradigm: Decentralized, EnvName: "gridhouse", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.MaskRCNN), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Execution: true, ActSelect: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return gridhouse.New(gridhouse.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "COMBO", Paradigm: Decentralized, EnvName: "kitchen", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.DiffusionWM), Planner: llm.LLaVA7B, Comms: ref(llm.LLaVA7B),
+				Memory: core.MemoryConfig{Capacity: defaultMemory}, Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return kitchen.New(kitchen.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "RoCo", Paradigm: Decentralized, EnvName: "tabletop", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.OWLViT), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.GPT4), Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				// 7-DOF manipulators: each workspace sample stands for ~6
+				// configuration-space collision checks.
+				return tabletop.New(tabletop.Config{Agents: agents, Difficulty: diff, PlanCost: 6}, src)
+			},
+		},
+		{
+			Name: "DMAS", Paradigm: Decentralized, EnvName: "boxworld", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.ViLD), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory: core.MemoryConfig{Capacity: defaultMemory}, Execution: true,
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return boxworld.New(boxworld.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+		{
+			Name: "HMAS", Paradigm: Hybrid, EnvName: "boxworld", DefaultAgents: 2,
+			Config: core.AgentConfig{
+				Sensing: sref(sensing.ViLD), Planner: llm.GPT4, Comms: ref(llm.GPT4),
+				Memory:    core.MemoryConfig{Capacity: defaultMemory},
+				Reflector: ref(llm.GPT4), Execution: true,
+			},
+			// HMAS primes dialogue with an initial central plan, so agents
+			// need a single feedback round regardless of team size.
+			Rounds: func(agents int) int {
+				if agents <= 1 {
+					return 0
+				}
+				return 1
+			},
+			NewDomain: func(agents int, diff world.Difficulty, src *rng.Source) core.Domain {
+				return boxworld.New(boxworld.Config{Agents: agents, Difficulty: diff}, src)
+			},
+		},
+	}
+	out := make(map[string]Workload, len(ws))
+	for _, w := range ws {
+		out[w.Name] = w
+	}
+	return out
+}
+
+// Suite is the Table II workload registry.
+var Suite = suite()
+
+// SuiteNames lists the fourteen workloads in the paper's presentation
+// order.
+var SuiteNames = []string{
+	"EmbodiedGPT", "JARVIS-1", "DaDu-E", "MP5", "DEPS",
+	"MindAgent", "OLA", "COHERENT", "CMAS",
+	"CoELA", "COMBO", "RoCo", "DMAS", "HMAS",
+}
+
+// Get looks up a workload by name (case-sensitive, as printed in the
+// paper).
+func Get(name string) (Workload, bool) {
+	w, ok := Suite[name]
+	return w, ok
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	var out []string
+	for n := range Suite {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

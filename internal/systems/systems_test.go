@@ -1,0 +1,161 @@
+package systems
+
+import (
+	"strings"
+	"testing"
+
+	"embench/internal/multiagent"
+	"embench/internal/world"
+)
+
+func TestSuiteHasFourteenWorkloads(t *testing.T) {
+	if len(Suite) != 14 || len(SuiteNames) != 14 {
+		t.Fatalf("suite size = %d/%d, want 14", len(Suite), len(SuiteNames))
+	}
+	for _, name := range SuiteNames {
+		if _, ok := Get(name); !ok {
+			t.Fatalf("workload %q missing from registry", name)
+		}
+	}
+}
+
+func TestSuiteMatchesTableII(t *testing.T) {
+	// Spot-check module compositions against the paper's Table II.
+	cases := []struct {
+		name                   string
+		paradigm               Paradigm
+		sense, comm, mem, refl bool
+		planner                string
+	}{
+		{"EmbodiedGPT", SingleModular, true, false, false, false, "llama-7b-ft"},
+		{"JARVIS-1", SingleModular, true, false, true, true, "gpt-4"},
+		{"DaDu-E", SingleModular, true, false, true, true, "llama-8b-ft"},
+		{"MP5", SingleModular, true, false, false, true, "gpt-4"},
+		{"DEPS", SingleModular, true, false, false, true, "gpt-4"},
+		{"MindAgent", Centralized, false, true, true, false, "gpt-4"},
+		{"OLA", Centralized, false, true, true, true, "gpt-4"},
+		{"COHERENT", Centralized, true, true, true, true, "gpt-4"},
+		{"CMAS", Centralized, true, true, true, false, "gpt-4"},
+		{"CoELA", Decentralized, true, true, true, false, "gpt-4"},
+		{"COMBO", Decentralized, true, true, true, false, "llava-7b"},
+		{"RoCo", Decentralized, true, true, true, true, "gpt-4"},
+		{"DMAS", Decentralized, true, true, true, false, "gpt-4"},
+		{"HMAS", Hybrid, true, true, true, true, "gpt-4"},
+	}
+	for _, c := range cases {
+		w, ok := Get(c.name)
+		if !ok {
+			t.Fatalf("missing %s", c.name)
+		}
+		if w.Paradigm != c.paradigm {
+			t.Errorf("%s paradigm = %s, want %s", c.name, w.Paradigm, c.paradigm)
+		}
+		if (w.Config.Sensing != nil) != c.sense {
+			t.Errorf("%s sensing presence wrong", c.name)
+		}
+		if (w.Config.Comms != nil) != c.comm {
+			t.Errorf("%s comms presence wrong", c.name)
+		}
+		if (w.Config.Memory.Capacity != 0) != c.mem {
+			t.Errorf("%s memory presence wrong", c.name)
+		}
+		if (w.Config.Reflector != nil) != c.refl {
+			t.Errorf("%s reflection presence wrong", c.name)
+		}
+		if w.Config.Planner.Name != c.planner {
+			t.Errorf("%s planner = %s, want %s", c.name, w.Config.Planner.Name, c.planner)
+		}
+		if !w.Config.Execution {
+			t.Errorf("%s must have an execution module", c.name)
+		}
+	}
+}
+
+func TestEveryWorkloadRunsEasy(t *testing.T) {
+	for _, name := range SuiteNames {
+		w := Suite[name]
+		out := w.Run(world.Easy, 0, multiagent.Options{Seed: 1})
+		if out.Episode.Steps == 0 {
+			t.Errorf("%s: no steps executed", name)
+		}
+		if out.Episode.SimDuration <= 0 {
+			t.Errorf("%s: no simulated time", name)
+		}
+		if out.Episode.LLMCalls == 0 {
+			t.Errorf("%s: no LLM calls", name)
+		}
+	}
+}
+
+func TestSuiteSuccessRatesReasonableOnEasy(t *testing.T) {
+	// Every workload should succeed on most easy seeds with its default
+	// (GPT-4-grade) configuration.
+	for _, name := range SuiteNames {
+		w := Suite[name]
+		ok := 0
+		const n = 5
+		for seed := uint64(0); seed < n; seed++ {
+			if w.Run(world.Easy, 0, multiagent.Options{Seed: seed}).Episode.Success {
+				ok++
+			}
+		}
+		if ok < 3 {
+			t.Errorf("%s easy success %d/%d, want ≥3", name, ok, n)
+		}
+	}
+}
+
+func TestTaxonomyShape(t *testing.T) {
+	if len(Taxonomy) != 42 {
+		t.Fatalf("taxonomy rows = %d, want 42 (Table I)", len(Taxonomy))
+	}
+	counts := map[Paradigm]int{}
+	for _, e := range Taxonomy {
+		counts[e.Paradigm]++
+		if e.Paradigm != EndToEnd && !e.Plan {
+			t.Errorf("%s: every modular system plans", e.Name)
+		}
+		if e.Paradigm == EndToEnd && e.ModelNote == "" {
+			t.Errorf("%s: end-to-end entries need a model note", e.Name)
+		}
+		if e.Paradigm == Centralized || e.Paradigm == Decentralized {
+			if !e.Comm {
+				t.Errorf("%s: multi-agent systems communicate", e.Name)
+			}
+		}
+	}
+	if counts[SingleModular] != 19 || counts[EndToEnd] != 6 ||
+		counts[Centralized] != 8 || counts[Decentralized] != 9 {
+		t.Fatalf("paradigm counts = %+v, want 19/6/8/9", counts)
+	}
+}
+
+func TestRenderTaxonomy(t *testing.T) {
+	out := RenderTaxonomy()
+	for _, name := range []string{"RT-2", "CoELA", "MindAgent", "VOYAGER"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("rendered taxonomy missing %s", name)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 43 { // header + 42 rows
+		t.Fatalf("rendered lines = %d, want 43", lines)
+	}
+}
+
+func TestRenderSuite(t *testing.T) {
+	out := RenderSuite()
+	for _, name := range SuiteNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("rendered suite missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "mask-rcnn") || !strings.Contains(out, "diffusion-wm") {
+		t.Error("suite rendering should include sensing backends")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("NotASystem"); ok {
+		t.Fatal("unknown workload should not resolve")
+	}
+}

@@ -1,0 +1,137 @@
+package systems
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionType is the embodied action category of Table I: virtual action,
+// tool usage, or physical action.
+type ActionType string
+
+// Action types.
+const (
+	Virtual  ActionType = "V"
+	Tool     ActionType = "T"
+	Physical ActionType = "E"
+)
+
+// TaxonomyEntry is one row of the paper's Table I: a published embodied
+// system classified by paradigm and module composition.
+type TaxonomyEntry struct {
+	Name     string
+	Paradigm Paradigm
+	Sense    bool
+	Plan     bool
+	Comm     bool
+	Mem      bool
+	Refl     bool
+	Exec     bool
+	Domain   string // application domain label
+	Action   ActionType
+	// ModelNote describes end-to-end systems (which have no module split).
+	ModelNote string
+}
+
+// Taxonomy reproduces the paper's Table I: 42 embodied AI agent systems in
+// four paradigms with their computing-module compositions.
+var Taxonomy = []TaxonomyEntry{
+	// Single-agent, modularized paradigm.
+	{Name: "Mobile-Agent", Paradigm: SingleModular, Sense: true, Plan: true, Refl: true, Exec: true, Domain: "Device Control", Action: Tool},
+	{Name: "AppAgent", Paradigm: SingleModular, Sense: true, Plan: true, Exec: true, Domain: "Device Control", Action: Tool},
+	{Name: "PDDL", Paradigm: SingleModular, Plan: true, Refl: true, Domain: "Simulation", Action: Virtual},
+	{Name: "RoboGPT", Paradigm: SingleModular, Sense: true, Plan: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "VOYAGER", Paradigm: SingleModular, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "MP5", Paradigm: SingleModular, Sense: true, Plan: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "RILA", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Navigation", Action: Virtual},
+	{Name: "CRADLE", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Device Control", Action: Tool},
+	{Name: "STEVE", Paradigm: SingleModular, Sense: true, Plan: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "DEPS", Paradigm: SingleModular, Sense: true, Plan: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "JARVIS-1", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "FILM", Paradigm: SingleModular, Sense: true, Plan: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "LLM-Planner", Paradigm: SingleModular, Plan: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "EmbodiedGPT", Paradigm: SingleModular, Sense: true, Plan: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "Dadu-E", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "MINEDOJO", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "Luban", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "MetaGPT", Paradigm: SingleModular, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Programming", Action: Tool},
+	{Name: "Mobile-Agent-V2", Paradigm: SingleModular, Sense: true, Plan: true, Mem: true, Refl: true, Exec: true, Domain: "Device Control", Action: Tool},
+	// Single-agent, end-to-end paradigm.
+	{Name: "RT-2", Paradigm: EndToEnd, ModelNote: "Vision-Language-Action Model", Domain: "Robot Control", Action: Physical},
+	{Name: "RoboVLMs", Paradigm: EndToEnd, ModelNote: "Vision-Language-Action Model", Domain: "Robot Control", Action: Physical},
+	{Name: "GAIA-1", Paradigm: EndToEnd, ModelNote: "Generative World Model", Domain: "Autonomous Driving", Action: Physical},
+	{Name: "3D-VLA", Paradigm: EndToEnd, ModelNote: "3D Vision-Language-Action Model", Domain: "Robot Control", Action: Physical},
+	{Name: "Octo", Paradigm: EndToEnd, ModelNote: "Vision-Language Model + Exec Policy", Domain: "Robot Control", Action: Physical},
+	{Name: "Diffusion Policy", Paradigm: EndToEnd, ModelNote: "Diffusion Policy", Domain: "Robot Control", Action: Physical},
+	// Multi-agent, centralized paradigm.
+	{Name: "LLaMAC", Paradigm: Centralized, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "MindAgent", Paradigm: Centralized, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "OLA", Paradigm: Centralized, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "ALGPT", Paradigm: Centralized, Sense: true, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Navigation", Action: Virtual},
+	{Name: "CMAS", Paradigm: Centralized, Sense: true, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "ReAd", Paradigm: Centralized, Plan: true, Comm: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "Co-NavGPT", Paradigm: Centralized, Sense: true, Plan: true, Comm: true, Exec: true, Domain: "Navigation", Action: Virtual},
+	{Name: "COHERENT", Paradigm: Centralized, Sense: true, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	// Multi-agent, decentralized paradigm.
+	{Name: "DMAS", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "HMAS", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "AGA", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "CoELA", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "FMA", Paradigm: Decentralized, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Programming", Action: Tool},
+	{Name: "COMBO", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "RoCo", Paradigm: Decentralized, Sense: true, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "AgentVerse", Paradigm: Decentralized, Plan: true, Comm: true, Exec: true, Domain: "Simulation", Action: Virtual},
+	{Name: "KoMA", Paradigm: Decentralized, Plan: true, Comm: true, Mem: true, Refl: true, Exec: true, Domain: "Simulation", Action: Virtual},
+}
+
+// RenderTaxonomy formats Table I as an aligned text table.
+func RenderTaxonomy() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-17s %-15s %-5s %-5s %-5s %-5s %-5s %-5s %-20s %s\n",
+		"System", "Paradigm", "Sense", "Plan", "Comm", "Mem", "Refl", "Exec", "Domain", "Action")
+	mark := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, e := range Taxonomy {
+		if e.Paradigm == EndToEnd {
+			fmt.Fprintf(&b, "%-17s %-15s %-37s %-20s %s\n",
+				e.Name, e.Paradigm, e.ModelNote, e.Domain, e.Action)
+			continue
+		}
+		fmt.Fprintf(&b, "%-17s %-15s %-5s %-5s %-5s %-5s %-5s %-5s %-20s %s\n",
+			e.Name, e.Paradigm,
+			mark(e.Sense), mark(e.Plan), mark(e.Comm), mark(e.Mem), mark(e.Refl), mark(e.Exec),
+			e.Domain, e.Action)
+	}
+	return b.String()
+}
+
+// RenderSuite formats Table II: the fourteen benchmarked workloads with
+// their module backends.
+func RenderSuite() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %-11s %-12s %-12s %-12s %-8s %-12s %s\n",
+		"Workload", "Paradigm", "Env", "Sensing", "Planning", "Comm", "Memory", "Reflection", "Agents")
+	for _, name := range SuiteNames {
+		w := Suite[name]
+		sense, comm, refl, mem := "-", "-", "-", "-"
+		if w.Config.Sensing != nil {
+			sense = w.Config.Sensing.Name
+		}
+		if w.Config.Comms != nil {
+			comm = w.Config.Comms.Name
+		}
+		if w.Config.Reflector != nil {
+			refl = w.Config.Reflector.Name
+		}
+		if w.Config.Memory.Capacity != 0 || w.Config.Memory.Dual {
+			mem = fmt.Sprintf("%d-step", w.Config.Memory.Capacity)
+		}
+		fmt.Fprintf(&b, "%-12s %-14s %-11s %-12s %-12s %-12s %-8s %-12s %d\n",
+			w.Name, w.Paradigm, w.EnvName, sense, w.Config.Planner.Name, comm, mem, refl, w.DefaultAgents)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package tokenizer approximates LLM token accounting.
+//
+// The suite does not run a real BPE tokenizer; it only needs token *counts*
+// (prompt length drives both serving latency and context dilution in the
+// paper's model). Counts follow the rule of thumb used for GPT-family
+// tokenizers — roughly one token per word plus extra tokens for long words
+// and punctuation — which is accurate enough that the paper's token-growth
+// curves (Fig. 6) keep their shape.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Count estimates the number of tokens in s.
+//
+// Heuristic: each whitespace-separated word costs ceil(len/4) with a minimum
+// of one token, and each punctuation rune costs one token. The empty string
+// costs zero.
+func Count(s string) int {
+	if s == "" {
+		return 0
+	}
+	tokens := 0
+	wordLen := 0
+	flush := func() {
+		if wordLen > 0 {
+			tokens += (wordLen + 3) / 4
+			wordLen = 0
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			tokens++
+		default:
+			wordLen++
+		}
+	}
+	flush()
+	return tokens
+}
+
+// CountAll sums Count over the given segments.
+func CountAll(segments ...string) int {
+	n := 0
+	for _, s := range segments {
+		n += Count(s)
+	}
+	return n
+}
+
+// Words returns an estimate of the token count for n plain English words.
+// Empirically ~1.3 tokens/word; the suite uses it when synthesising prompt
+// sections whose exact text is irrelevant but whose size matters.
+func Words(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n*13 + 9) / 10
+}
+
+// Truncate drops whole words from the front of s until it fits within
+// budget tokens, returning the truncated string and the number of tokens
+// dropped. Keeping the *tail* models sliding-window context management:
+// the most recent content survives.
+func Truncate(s string, budget int) (string, int) {
+	if budget <= 0 {
+		return "", Count(s)
+	}
+	if Count(s) <= budget {
+		return s, 0
+	}
+	words := strings.Fields(s)
+	// Binary search the smallest suffix that fits.
+	lo, hi := 0, len(words) // drop words[:k]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Count(strings.Join(words[mid:], " ")) <= budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	kept := strings.Join(words[lo:], " ")
+	return kept, Count(s) - Count(kept)
+}
+
+// Budget tracks remaining context-window room while assembling a prompt.
+type Budget struct {
+	Limit int // total window, tokens
+	used  int
+}
+
+// NewBudget returns a budget with the given window size.
+func NewBudget(limit int) *Budget { return &Budget{Limit: limit} }
+
+// Used reports tokens consumed so far.
+func (b *Budget) Used() int { return b.used }
+
+// Remaining reports tokens left; never negative.
+func (b *Budget) Remaining() int {
+	if r := b.Limit - b.used; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Take consumes up to n tokens, returning how many were actually granted.
+func (b *Budget) Take(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	grant := n
+	if r := b.Remaining(); grant > r {
+		grant = r
+	}
+	b.used += grant
+	return grant
+}
+
+// Overflowed reports whether a Take was ever short-changed, i.e. the prompt
+// would have exceeded the context window (paper Sec. V-C: prompts
+// "occasionally exceed the LLM's token limit").
+func (b *Budget) Overflowed() bool { return b.used >= b.Limit && b.Limit > 0 }

@@ -1,0 +1,134 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"go", 1},
+		{"word", 1},
+		{"words", 2}, // 5 chars -> ceil(5/4)=2
+		{"two words", 3},
+		{"hello, world", 3}, // hello(2) + ','(1) ... hello is 5 chars -> 2, comma 1, world 2? -> 5
+	}
+	// Recompute expectations precisely for the last two rows.
+	tests[4].want = Count("two") + Count("words")
+	tests[5].want = 2 + 1 + 2
+	for _, tt := range tests {
+		if got := Count(tt.in); got != tt.want {
+			t.Errorf("Count(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCountMonotoneInConcatenation(t *testing.T) {
+	// Property: appending text never decreases the count.
+	f := func(a, b string) bool {
+		return Count(a+" "+b) >= Count(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAll(t *testing.T) {
+	if got, want := CountAll("alpha beta", "gamma"), Count("alpha beta")+Count("gamma"); got != want {
+		t.Fatalf("CountAll = %d, want %d", got, want)
+	}
+}
+
+func TestWords(t *testing.T) {
+	if Words(0) != 0 || Words(-3) != 0 {
+		t.Fatal("Words of non-positive should be 0")
+	}
+	if got := Words(10); got != 13 {
+		t.Fatalf("Words(10) = %d, want 13", got)
+	}
+	if got := Words(100); got != 130 {
+		t.Fatalf("Words(100) = %d, want 130", got)
+	}
+}
+
+func TestTruncateFits(t *testing.T) {
+	s := "alpha beta gamma"
+	out, dropped := Truncate(s, 100)
+	if out != s || dropped != 0 {
+		t.Fatalf("Truncate under budget changed input: %q dropped=%d", out, dropped)
+	}
+}
+
+func TestTruncateKeepsTail(t *testing.T) {
+	s := strings.Repeat("early ", 50) + "recent final"
+	out, dropped := Truncate(s, 4)
+	if !strings.HasSuffix(out, "recent final") {
+		t.Fatalf("Truncate did not keep tail: %q", out)
+	}
+	if dropped <= 0 {
+		t.Fatal("Truncate over budget reported nothing dropped")
+	}
+	if Count(out) > 4 {
+		t.Fatalf("Truncate result exceeds budget: %d tokens", Count(out))
+	}
+}
+
+func TestTruncateZeroBudget(t *testing.T) {
+	out, dropped := Truncate("some text", 0)
+	if out != "" || dropped != Count("some text") {
+		t.Fatalf("Truncate(0) = %q/%d", out, dropped)
+	}
+}
+
+func TestTruncateProperty(t *testing.T) {
+	f := func(words []string, budget uint8) bool {
+		s := strings.Join(words, " ")
+		out, _ := Truncate(s, int(budget))
+		return Count(out) <= int(budget) || Count(s) <= int(budget)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(10)
+	if got := b.Take(4); got != 4 {
+		t.Fatalf("Take(4) = %d", got)
+	}
+	if got := b.Take(10); got != 6 {
+		t.Fatalf("second Take granted %d, want 6", got)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", b.Remaining())
+	}
+	if !b.Overflowed() {
+		t.Fatal("expected Overflowed after exhausting budget")
+	}
+}
+
+func TestBudgetNoOverflowWhenRoomy(t *testing.T) {
+	b := NewBudget(100)
+	b.Take(50)
+	if b.Overflowed() {
+		t.Fatal("Overflowed reported with room to spare")
+	}
+	if b.Used() != 50 || b.Remaining() != 50 {
+		t.Fatalf("Used/Remaining = %d/%d", b.Used(), b.Remaining())
+	}
+}
+
+func TestBudgetTakeNegative(t *testing.T) {
+	b := NewBudget(10)
+	if b.Take(-5) != 0 {
+		t.Fatal("Take(-5) granted tokens")
+	}
+	if b.Used() != 0 {
+		t.Fatal("negative take consumed budget")
+	}
+}

@@ -1,0 +1,194 @@
+// Package trace records per-module events during an episode.
+//
+// Each call into one of the six building blocks (paper Sec. II-A) emits an
+// Event carrying its simulated latency and token counts. The benchmark
+// harness reduces traces into the latency breakdowns of Fig. 2, the token
+// series of Fig. 6 and the message statistics of Sec. V-D.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Module identifies one of the six embodied-agent building blocks.
+type Module string
+
+// The six building blocks of an embodied AI agent (paper Fig. 1a).
+const (
+	Sensing    Module = "sensing"
+	Planning   Module = "planning"
+	Comms      Module = "communication"
+	Memory     Module = "memory"
+	Reflection Module = "reflection"
+	Execution  Module = "execution"
+)
+
+// Modules lists all building blocks in the paper's presentation order.
+var Modules = []Module{Sensing, Planning, Comms, Memory, Reflection, Execution}
+
+// Event is one module invocation.
+type Event struct {
+	Step         int           // environment time step the call belongs to
+	Agent        string        // agent id ("agent0", "central", ...)
+	Module       Module        // which building block
+	Kind         string        // free-form detail: "llm", "retrieve", "astar", ...
+	Latency      time.Duration // simulated latency charged to the clock
+	PromptTokens int           // LLM input tokens (0 for non-LLM calls)
+	OutputTokens int           // LLM output tokens
+	LLMCall      bool          // whether this event was an LLM inference
+	Useful       bool          // for communication: message carried novel info
+	Note         string
+}
+
+// Trace accumulates events for one episode.
+type Trace struct {
+	Events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Record appends an event.
+func (t *Trace) Record(ev Event) { t.Events = append(t.Events, ev) }
+
+// Breakdown sums simulated latency per module.
+func (t *Trace) Breakdown() map[Module]time.Duration {
+	out := make(map[Module]time.Duration, len(Modules))
+	for _, ev := range t.Events {
+		out[ev.Module] += ev.Latency
+	}
+	return out
+}
+
+// Total sums all recorded latency.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, ev := range t.Events {
+		sum += ev.Latency
+	}
+	return sum
+}
+
+// Fraction reports module m's share of total latency in [0,1]; zero when
+// the trace is empty.
+func (t *Trace) Fraction(m Module) float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Breakdown()[m]) / float64(total)
+}
+
+// LLMShare reports the fraction of total latency spent inside LLM calls
+// across all modules (paper: 70.2% average across the 14 workloads).
+func (t *Trace) LLMShare() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	var llm time.Duration
+	for _, ev := range t.Events {
+		if ev.LLMCall {
+			llm += ev.Latency
+		}
+	}
+	return float64(llm) / float64(total)
+}
+
+// LLMCalls counts LLM inference events.
+func (t *Trace) LLMCalls() int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.LLMCall {
+			n++
+		}
+	}
+	return n
+}
+
+// Tokens sums prompt and output tokens over all events.
+func (t *Trace) Tokens() (prompt, output int) {
+	for _, ev := range t.Events {
+		prompt += ev.PromptTokens
+		output += ev.OutputTokens
+	}
+	return prompt, output
+}
+
+// Steps reports the highest step index recorded, plus one (i.e. the number
+// of environment steps covered by the trace); zero for an empty trace.
+func (t *Trace) Steps() int {
+	max := -1
+	for _, ev := range t.Events {
+		if ev.Step > max {
+			max = ev.Step
+		}
+	}
+	return max + 1
+}
+
+// MessageStats summarises communication-module traffic.
+type MessageStats struct {
+	Generated int // messages produced by the comms module
+	Useful    int // messages that carried novel information
+}
+
+// UsefulRate reports Useful/Generated, or zero when nothing was generated.
+// The paper finds only ~20% of CoELA's pre-generated messages matter.
+func (m MessageStats) UsefulRate() float64 {
+	if m.Generated == 0 {
+		return 0
+	}
+	return float64(m.Useful) / float64(m.Generated)
+}
+
+// Messages reduces comms events into MessageStats.
+func (t *Trace) Messages() MessageStats {
+	var s MessageStats
+	for _, ev := range t.Events {
+		if ev.Module != Comms || ev.Kind != "message" {
+			continue
+		}
+		s.Generated++
+		if ev.Useful {
+			s.Useful++
+		}
+	}
+	return s
+}
+
+// SeriesPoint is one sample of a per-step token series (Fig. 6).
+type SeriesPoint struct {
+	Step   int
+	Tokens int
+}
+
+// TokenSeries returns, per (agent, module) stream, the prompt-token count of
+// the first LLM call at each step, ordered by step. Stream keys look like
+// "agent0/planning".
+func (t *Trace) TokenSeries() map[string][]SeriesPoint {
+	type key struct {
+		agent  string
+		module Module
+		step   int
+	}
+	seen := make(map[key]bool)
+	out := make(map[string][]SeriesPoint)
+	for _, ev := range t.Events {
+		if !ev.LLMCall || ev.PromptTokens == 0 {
+			continue
+		}
+		k := key{ev.Agent, ev.Module, ev.Step}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		stream := ev.Agent + "/" + string(ev.Module)
+		out[stream] = append(out[stream], SeriesPoint{Step: ev.Step, Tokens: ev.PromptTokens})
+	}
+	for _, pts := range out {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Step < pts[j].Step })
+	}
+	return out
+}

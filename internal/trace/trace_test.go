@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func sample() *Trace {
+	t := New()
+	t.Record(Event{Step: 0, Agent: "a0", Module: Sensing, Latency: time.Second})
+	t.Record(Event{Step: 0, Agent: "a0", Module: Planning, Kind: "llm", Latency: 6 * time.Second, PromptTokens: 900, OutputTokens: 120, LLMCall: true})
+	t.Record(Event{Step: 0, Agent: "a0", Module: Comms, Kind: "message", Latency: 2 * time.Second, PromptTokens: 400, OutputTokens: 60, LLMCall: true, Useful: true})
+	t.Record(Event{Step: 0, Agent: "a0", Module: Execution, Kind: "astar", Latency: time.Second})
+	t.Record(Event{Step: 1, Agent: "a0", Module: Planning, Kind: "llm", Latency: 7 * time.Second, PromptTokens: 1100, OutputTokens: 130, LLMCall: true})
+	t.Record(Event{Step: 1, Agent: "a0", Module: Comms, Kind: "message", Latency: 2 * time.Second, PromptTokens: 500, OutputTokens: 50, LLMCall: true, Useful: false})
+	return t
+}
+
+func TestBreakdownAndTotal(t *testing.T) {
+	tr := sample()
+	bd := tr.Breakdown()
+	if bd[Planning] != 13*time.Second {
+		t.Fatalf("planning total = %v", bd[Planning])
+	}
+	if bd[Sensing] != time.Second {
+		t.Fatalf("sensing total = %v", bd[Sensing])
+	}
+	if tr.Total() != 19*time.Second {
+		t.Fatalf("total = %v, want 19s", tr.Total())
+	}
+}
+
+func TestFraction(t *testing.T) {
+	tr := sample()
+	got := tr.Fraction(Planning)
+	want := 13.0 / 19.0
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Fraction(planning) = %v, want %v", got, want)
+	}
+	if New().Fraction(Planning) != 0 {
+		t.Fatal("empty trace fraction should be 0")
+	}
+}
+
+func TestLLMShareAndCalls(t *testing.T) {
+	tr := sample()
+	want := 17.0 / 19.0
+	if got := tr.LLMShare(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("LLMShare = %v, want %v", got, want)
+	}
+	if tr.LLMCalls() != 4 {
+		t.Fatalf("LLMCalls = %d, want 4", tr.LLMCalls())
+	}
+}
+
+func TestTokens(t *testing.T) {
+	tr := sample()
+	p, o := tr.Tokens()
+	if p != 2900 || o != 360 {
+		t.Fatalf("Tokens = %d/%d, want 2900/360", p, o)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	if got := sample().Steps(); got != 2 {
+		t.Fatalf("Steps = %d, want 2", got)
+	}
+	if got := New().Steps(); got != 0 {
+		t.Fatalf("empty Steps = %d, want 0", got)
+	}
+}
+
+func TestMessages(t *testing.T) {
+	s := sample().Messages()
+	if s.Generated != 2 || s.Useful != 1 {
+		t.Fatalf("Messages = %+v", s)
+	}
+	if s.UsefulRate() != 0.5 {
+		t.Fatalf("UsefulRate = %v", s.UsefulRate())
+	}
+	var zero MessageStats
+	if zero.UsefulRate() != 0 {
+		t.Fatal("zero MessageStats UsefulRate should be 0")
+	}
+}
+
+func TestTokenSeries(t *testing.T) {
+	tr := sample()
+	series := tr.TokenSeries()
+	plan := series["a0/planning"]
+	if len(plan) != 2 {
+		t.Fatalf("planning series len = %d, want 2", len(plan))
+	}
+	if plan[0].Tokens != 900 || plan[1].Tokens != 1100 {
+		t.Fatalf("planning series = %+v", plan)
+	}
+	if plan[0].Step > plan[1].Step {
+		t.Fatal("series not ordered by step")
+	}
+	msg := series["a0/communication"]
+	if len(msg) != 2 || msg[1].Tokens != 500 {
+		t.Fatalf("comm series = %+v", msg)
+	}
+}
+
+func TestTokenSeriesFirstCallPerStepOnly(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Step: 0, Agent: "a", Module: Planning, LLMCall: true, PromptTokens: 100})
+	tr.Record(Event{Step: 0, Agent: "a", Module: Planning, LLMCall: true, PromptTokens: 999})
+	pts := tr.TokenSeries()["a/planning"]
+	if len(pts) != 1 || pts[0].Tokens != 100 {
+		t.Fatalf("want first call only, got %+v", pts)
+	}
+}

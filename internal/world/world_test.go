@@ -1,0 +1,112 @@
+package world
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	tests := []struct {
+		a, b Cell
+		want int
+	}{
+		{Cell{0, 0}, Cell{0, 0}, 0},
+		{Cell{1, 2}, Cell{4, 6}, 7},
+		{Cell{4, 6}, Cell{1, 2}, 7},
+		{Cell{-2, 0}, Cell{2, 0}, 4},
+	}
+	for _, tt := range tests {
+		if got := Manhattan(tt.a, tt.b); got != tt.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestManhattanSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := Cell{int(ax), int(ay)}, Cell{int(bx), int(by)}
+		return Manhattan(a, b) == Manhattan(b, a) && Manhattan(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	g := NewGrid(4, 3)
+	if !g.InBounds(Cell{0, 0}) || !g.InBounds(Cell{3, 2}) {
+		t.Fatal("corner cells should be in bounds")
+	}
+	for _, c := range []Cell{{-1, 0}, {4, 0}, {0, 3}, {0, -1}} {
+		if g.InBounds(c) {
+			t.Errorf("cell %v should be out of bounds", c)
+		}
+		if !g.Blocked(c) {
+			t.Errorf("out-of-bounds %v should read blocked", c)
+		}
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid(0, 5) should panic")
+		}
+	}()
+	NewGrid(0, 5)
+}
+
+func TestGridBlocking(t *testing.T) {
+	g := NewGrid(5, 5)
+	c := Cell{2, 3}
+	if g.Blocked(c) {
+		t.Fatal("new grid should be free")
+	}
+	g.SetBlocked(c, true)
+	if !g.Blocked(c) {
+		t.Fatal("SetBlocked did not stick")
+	}
+	g.SetBlocked(c, false)
+	if g.Blocked(c) {
+		t.Fatal("unblocking failed")
+	}
+	g.SetBlocked(Cell{99, 99}, true) // must not panic
+}
+
+func TestBlockRectAndFree(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.BlockRect(2, 2, 4, 3) // 3x2 = 6 cells
+	if got := g.Free(); got != 94 {
+		t.Fatalf("Free = %d, want 94", got)
+	}
+	if !g.Blocked(Cell{3, 2}) || g.Blocked(Cell{5, 2}) {
+		t.Fatal("BlockRect bounds wrong")
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.SetBlocked(Cell{1, 0}, true)
+	n := g.Neighbors4(Cell{1, 1}, nil)
+	if len(n) != 3 {
+		t.Fatalf("neighbors = %v, want 3 free", n)
+	}
+	for _, c := range n {
+		if c == (Cell{1, 0}) {
+			t.Fatal("blocked neighbor returned")
+		}
+	}
+	// Corner has 2 in-bounds neighbors, one of which is blocked above.
+	if n := g.Neighbors4(Cell{0, 0}, nil); len(n) != 1 {
+		t.Fatalf("corner neighbors = %v", n)
+	}
+}
+
+func TestDifficultyString(t *testing.T) {
+	if Easy.String() != "easy" || Medium.String() != "medium" || Hard.String() != "hard" {
+		t.Fatal("difficulty names wrong")
+	}
+	if Difficulty(9).String() == "" {
+		t.Fatal("unknown difficulty should still render")
+	}
+}
