@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	embench -exp fig2 [-episodes 5] [-seed 1]       # regenerate a figure
-//	embench -run CoELA [-diff medium] [-agents 2]   # run one episode
-//	embench -list                                   # list workloads/experiments
+//	embench -exp fig2 [-episodes 5] [-seed 1] [-procs N]  # regenerate a figure
+//	embench -run CoELA [-diff medium] [-agents 2]         # run one episode
+//	embench -list                                         # list workloads/experiments
+//
+// Experiments fan episodes out over -procs workers (default: all CPUs).
+// Episode seeds are derived deterministically from -seed, so reports are
+// bit-identical at every -procs value; -procs 1 forces the sequential
+// reference path.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"embench"
+	"embench/internal/runner"
 	"embench/internal/trace"
 )
 
@@ -26,7 +32,9 @@ func main() {
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
 		episodes = flag.Int("episodes", 5, "episodes per configuration")
 		seed     = flag.Uint64("seed", 1, "root random seed")
-		list     = flag.Bool("list", false, "list workloads and experiments")
+		procs    = flag.Int("procs", runner.DefaultParallelism(),
+			"episode worker-pool size for -exp (1 = sequential; output is identical at any value)")
+		list = flag.Bool("list", false, "list workloads and experiments")
 	)
 	flag.Parse()
 
@@ -35,7 +43,9 @@ func main() {
 		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
 		fmt.Println("experiments:", strings.Join(embench.Experiments(), ", "))
 	case *exp != "":
-		report, err := embench.Experiment(*exp, *episodes, *seed)
+		report, err := embench.ExperimentOpt(*exp, embench.ExperimentConfig{
+			Episodes: *episodes, Seed: *seed, Parallelism: *procs,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -10,6 +10,13 @@
 // evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
 // for measured-vs-paper numbers.
 //
+// Experiments are embarrassingly parallel at the episode level, and every
+// figure/table regeneration routes its episode batches through a
+// deterministic worker-pool runner (internal/runner). ExperimentConfig's
+// Parallelism knob (the embench CLI's -procs flag) sizes the pool; seeds
+// are derived per episode from the root seed, so any parallelism level —
+// including the sequential default — produces bit-identical reports.
+//
 // Quick start:
 //
 //	out, err := embench.Run("CoELA", "medium", 2, 1)
@@ -17,6 +24,11 @@
 //
 //	report, err := embench.Experiment("fig2", 5, 1)
 //	fmt.Println(report)
+//
+//	// Same report, regenerated on all cores:
+//	report, err = embench.ExperimentOpt("fig2", embench.ExperimentConfig{
+//		Episodes: 5, Seed: 1, Parallelism: runtime.GOMAXPROCS(0),
+//	})
 package embench
 
 import (
@@ -100,13 +112,34 @@ var experiments = map[string]func(cfg bench.Config) string{
 	"calibrate": func(cfg bench.Config) string { return bench.CalibrationReport(bench.Fig2(cfg)) },
 }
 
+// ExperimentConfig sizes an experiment run.
+type ExperimentConfig struct {
+	// Episodes per configuration; <= 0 uses the default (5).
+	Episodes int
+	// Seed roots all randomness; equal seeds give identical reports.
+	Seed uint64
+	// Parallelism sizes the episode worker pool; <= 1 runs sequentially.
+	// Reports are bit-identical at every value.
+	Parallelism int
+}
+
 // Experiment regenerates one table/figure and returns the rendered report.
 // episodes <= 0 uses the default (5 per configuration).
 func Experiment(name string, episodes int, seed uint64) (string, error) {
+	return ExperimentOpt(name, ExperimentConfig{Episodes: episodes, Seed: seed})
+}
+
+// ExperimentOpt is Experiment with full run configuration, including the
+// episode-runner parallelism.
+func ExperimentOpt(name string, cfg ExperimentConfig) (string, error) {
 	fn, ok := experiments[strings.ToLower(name)]
 	if !ok {
 		return "", fmt.Errorf("embench: unknown experiment %q (one of %s)",
 			name, strings.Join(Experiments(), ", "))
 	}
-	return fn(bench.Config{Episodes: episodes, Seed: seed}), nil
+	return fn(bench.Config{
+		Episodes:    cfg.Episodes,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	}), nil
 }

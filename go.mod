@@ -1,0 +1,3 @@
+module embench
+
+go 1.22

@@ -6,12 +6,19 @@
 // Secs. IV–VI. Absolute numbers come from the calibrated simulation
 // substrate; the paper's qualitative shapes are asserted in tests and the
 // measured-vs-paper comparison lives in EXPERIMENTS.md.
+//
+// All episode batches flow through internal/runner, so a run with
+// Config.Parallelism > 1 fans episodes out over a worker pool while
+// reproducing the sequential results bit for bit (seed derivation and
+// result ordering are the runner's responsibility).
 package bench
 
 import (
-	"embench/internal/core"
+	"context"
+
 	"embench/internal/metrics"
 	"embench/internal/multiagent"
+	"embench/internal/runner"
 	"embench/internal/systems"
 	"embench/internal/trace"
 	"embench/internal/world"
@@ -21,6 +28,9 @@ import (
 type Config struct {
 	Episodes int    // episodes per configuration (default 5)
 	Seed     uint64 // root seed
+	// Parallelism is the episode worker-pool size; <= 1 runs batches
+	// sequentially. Results are identical at any value.
+	Parallelism int
 }
 
 func (c Config) episodes() int {
@@ -31,26 +41,69 @@ func (c Config) episodes() int {
 }
 
 // mutation rewrites a workload's agent configuration for an ablation.
-type mutation func(*core.AgentConfig)
+type mutation = runner.Mutation
 
-// batch runs several episodes of one configuration and returns per-episode
-// results with their traces.
-func batch(w systems.Workload, diff world.Difficulty, agents int,
-	mut mutation, opt multiagent.Options, episodes int, seed uint64) ([]metrics.Episode, []*trace.Trace) {
+// batch runs the episodes of one configuration through the episode runner
+// and returns per-episode results with their traces, in episode order.
+func (c Config) batch(w systems.Workload, diff world.Difficulty, agents int,
+	mut mutation, opt multiagent.Options) ([]metrics.Episode, []*trace.Trace) {
 
-	if mut != nil {
-		mut(&w.Config)
-	}
-	var eps []metrics.Episode
-	var traces []*trace.Trace
-	for i := 0; i < episodes; i++ {
-		o := opt
-		o.Seed = seed + uint64(i)*1000003
-		out := w.Run(diff, agents, o)
-		eps = append(eps, out.Episode)
-		traces = append(traces, out.Trace)
+	eps, traces, err := runner.Batch(context.Background(), w, diff, agents,
+		mut, opt, c.episodes(), c.Seed, c.Parallelism)
+	if err != nil {
+		// Background context never cancels and episodes cannot fail.
+		panic("bench: runner batch: " + err.Error())
 	}
 	return eps, traces
+}
+
+// batchSet accumulates the episode batches of many configurations and runs
+// them as one fan-out, so an experiment parallelizes across configurations
+// rather than only within each one's few episodes. Usage is two-phase:
+// add() every configuration (recording the returned batch id), run() once,
+// then read each batch back with results().
+type batchSet struct {
+	cfg    Config
+	specs  []runner.EpisodeSpec
+	starts []int
+	eps    []metrics.Episode
+	traces []*trace.Trace
+}
+
+func (c Config) newBatchSet() *batchSet { return &batchSet{cfg: c} }
+
+// add appends one configuration's batch (cfg.episodes() episodes rooted at
+// cfg.Seed, matching the sequential scheme) and returns its batch id.
+func (s *batchSet) add(w systems.Workload, diff world.Difficulty, agents int,
+	mut mutation, opt multiagent.Options) int {
+	return s.addN(w, diff, agents, mut, opt, s.cfg.episodes())
+}
+
+// addN is add with an explicit episode count (Fig. 6 runs single episodes).
+func (s *batchSet) addN(w systems.Workload, diff world.Difficulty, agents int,
+	mut mutation, opt multiagent.Options, episodes int) int {
+
+	s.starts = append(s.starts, len(s.specs))
+	s.specs = append(s.specs, runner.Specs(w, diff, agents, mut, opt, episodes, s.cfg.Seed)...)
+	return len(s.starts) - 1
+}
+
+// run executes every added batch over the configured worker pool.
+func (s *batchSet) run() {
+	eps, traces, err := runner.Run(context.Background(), s.specs, s.cfg.Parallelism)
+	if err != nil {
+		panic("bench: runner set: " + err.Error())
+	}
+	s.eps, s.traces = eps, traces
+}
+
+// results returns one batch's episodes and traces, in episode order.
+func (s *batchSet) results(id int) ([]metrics.Episode, []*trace.Trace) {
+	start, end := s.starts[id], len(s.specs)
+	if id+1 < len(s.starts) {
+		end = s.starts[id+1]
+	}
+	return s.eps[start:end], s.traces[start:end]
 }
 
 // kindShare reports the latency fraction spent in events of the given

@@ -26,10 +26,15 @@ type Fig2Row struct {
 // Fig2 benchmarks per-step latency breakdown and total task runtime for
 // all fourteen workloads on medium tasks.
 func Fig2(cfg Config) []Fig2Row {
+	set := cfg.newBatchSet()
+	ids := make([]int, len(systemsOrder))
+	for i, name := range systemsOrder {
+		ids[i] = set.add(mustGet(name), world.Medium, 0, nil, multiagent.Options{})
+	}
+	set.run()
 	var rows []Fig2Row
-	for _, name := range systemsOrder {
-		w := mustGet(name)
-		eps, traces := batch(w, world.Medium, 0, nil, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+	for i, name := range systemsOrder {
+		eps, traces := set.results(ids[i])
 		s := metrics.Summarize(eps)
 		rows = append(rows, Fig2Row{
 			System:       name,

@@ -41,21 +41,30 @@ var fig3Systems = []string{"CoELA", "COMBO", "COHERENT", "RoCo", "HMAS", "JARVIS
 // Fig3 benchmarks module sensitivity: disable one module at a time and
 // measure success rate and steps on medium tasks.
 func Fig3(cfg Config) []Fig3Row {
+	set := cfg.newBatchSet()
 	var rows []Fig3Row
+	ids := map[int]int{} // row index -> batch id
 	for _, name := range fig3Systems {
 		w := mustGet(name)
 		for _, ab := range Ablations {
 			mut, applicable := ablate(w.Config, ab)
-			row := Fig3Row{System: name, Ablation: ab, Applicable: applicable}
 			if applicable {
-				eps, _ := batch(w, world.Medium, 0, mut, multiagent.Options{}, cfg.episodes(), cfg.Seed)
-				s := metrics.Summarize(eps)
-				row.SuccessRate = s.SuccessRate
-				row.MeanSteps = s.MeanSteps
-				row.LimitRate = s.LimitRate
+				ids[len(rows)] = set.add(w, world.Medium, 0, mut, multiagent.Options{})
 			}
-			rows = append(rows, row)
+			rows = append(rows, Fig3Row{System: name, Ablation: ab, Applicable: applicable})
 		}
+	}
+	set.run()
+	for i := range rows {
+		id, ok := ids[i]
+		if !ok {
+			continue
+		}
+		eps, _ := set.results(id)
+		s := metrics.Summarize(eps)
+		rows[i].SuccessRate = s.SuccessRate
+		rows[i].MeanSteps = s.MeanSteps
+		rows[i].LimitRate = s.LimitRate
 	}
 	return rows
 }

@@ -36,13 +36,19 @@ var fig4Systems = []string{
 // Fig4 benchmarks the local-model trade-off: faster per-inference, lower
 // capability, longer end-to-end runtime.
 func Fig4(cfg Config) []Fig4Row {
-	var rows []Fig4Row
-	for _, name := range fig4Systems {
+	set := cfg.newBatchSet()
+	gptIDs := make([]int, len(fig4Systems))
+	locIDs := make([]int, len(fig4Systems))
+	for i, name := range fig4Systems {
 		w := mustGet(name)
-		gpt := swapModels(llm.GPT4)
-		loc := swapModels(llm.Llama3_8B)
-		epsG, trG := batch(w, world.Medium, 0, gpt, multiagent.Options{}, cfg.episodes(), cfg.Seed)
-		epsL, trL := batch(w, world.Medium, 0, loc, multiagent.Options{}, cfg.episodes(), cfg.Seed)
+		gptIDs[i] = set.add(w, world.Medium, 0, swapModels(llm.GPT4), multiagent.Options{})
+		locIDs[i] = set.add(w, world.Medium, 0, swapModels(llm.Llama3_8B), multiagent.Options{})
+	}
+	set.run()
+	var rows []Fig4Row
+	for i, name := range fig4Systems {
+		epsG, trG := set.results(gptIDs[i])
+		epsL, trL := set.results(locIDs[i])
 		sg, sl := metrics.Summarize(epsG), metrics.Summarize(epsL)
 		rows = append(rows, Fig4Row{
 			System:        name,

@@ -36,22 +36,27 @@ var fig5Systems = []string{"JARVIS-1", "MindAgent", "CoELA"}
 
 // Fig5 sweeps memory capacity across difficulty levels.
 func Fig5(cfg Config) []Fig5Row {
+	set := cfg.newBatchSet()
 	var rows []Fig5Row
+	var ids []int
 	for _, name := range fig5Systems {
 		w := mustGet(name)
 		for _, diff := range world.Difficulties {
 			for _, cap := range fig5Sweep[name] {
 				capacity := cap
 				mut := func(c *core.AgentConfig) { c.Memory = core.MemoryConfig{Capacity: capacity} }
-				eps, traces := batch(w, diff, 0, mut, multiagent.Options{}, cfg.episodes(), cfg.Seed)
-				s := metrics.Summarize(eps)
-				rows = append(rows, Fig5Row{
-					System: name, Difficulty: diff, Capacity: capacity,
-					SuccessRate: s.SuccessRate, MeanSteps: s.MeanSteps,
-					Retrieval: meanModuleLatencyPerStep(traces, trace.Memory),
-				})
+				ids = append(ids, set.add(w, diff, 0, mut, multiagent.Options{}))
+				rows = append(rows, Fig5Row{System: name, Difficulty: diff, Capacity: capacity})
 			}
 		}
+	}
+	set.run()
+	for i := range rows {
+		eps, traces := set.results(ids[i])
+		s := metrics.Summarize(eps)
+		rows[i].SuccessRate = s.SuccessRate
+		rows[i].MeanSteps = s.MeanSteps
+		rows[i].Retrieval = meanModuleLatencyPerStep(traces, trace.Memory)
 	}
 	return rows
 }

@@ -25,10 +25,17 @@ var fig6Systems = []string{"RoCo", "MindAgent", "CoELA"}
 // series for the LLM-based modules.
 func Fig6(cfg Config) []Fig6Series {
 	var out []Fig6Series
-	for _, name := range fig6Systems {
-		w := mustGet(name)
-		o := w.Run(world.Medium, 0, multiagent.Options{Seed: cfg.Seed})
-		series := o.Trace.TokenSeries()
+	// One episode per system, rooted directly at cfg.Seed
+	// (EpisodeSeed(seed, 0) == seed, matching the historical run).
+	set := cfg.newBatchSet()
+	ids := make([]int, len(fig6Systems))
+	for i, name := range fig6Systems {
+		ids[i] = set.addN(mustGet(name), world.Medium, 0, nil, multiagent.Options{}, 1)
+	}
+	set.run()
+	for i, name := range fig6Systems {
+		_, traces := set.results(ids[i])
+		series := traces[0].TokenSeries()
 		var streams []string
 		for s := range series {
 			streams = append(streams, s)

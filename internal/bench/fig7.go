@@ -32,20 +32,28 @@ var Fig7Agents = []int{2, 4, 6, 8, 10, 12}
 
 // Fig7 sweeps team size across difficulty levels.
 func Fig7(cfg Config) []Fig7Row {
+	set := cfg.newBatchSet()
 	var rows []Fig7Row
+	var ids []int
 	for _, name := range fig7Systems {
 		w := mustGet(name)
 		for _, diff := range world.Difficulties {
 			for _, n := range Fig7Agents {
-				eps, _ := batch(w, diff, n, nil, multiagent.Options{}, cfg.episodes(), cfg.Seed)
-				s := metrics.Summarize(eps)
+				ids = append(ids, set.add(w, diff, n, nil, multiagent.Options{}))
 				rows = append(rows, Fig7Row{
 					System: name, Paradigm: string(w.Paradigm), Difficulty: diff, Agents: n,
-					SuccessRate: s.SuccessRate, TaskLatency: s.MeanDuration,
-					LLMCalls: s.MeanLLMCalls, Tokens: s.MeanPrompt,
 				})
 			}
 		}
+	}
+	set.run()
+	for i := range rows {
+		eps, _ := set.results(ids[i])
+		s := metrics.Summarize(eps)
+		rows[i].SuccessRate = s.SuccessRate
+		rows[i].TaskLatency = s.MeanDuration
+		rows[i].LLMCalls = s.MeanLLMCalls
+		rows[i].Tokens = s.MeanPrompt
 	}
 	return rows
 }

@@ -38,26 +38,19 @@ func (r OptRow) Speedup() float64 {
 // Optimizations benchmarks every recommendation the paper proposes, each
 // against its natural baseline workload.
 func Optimizations(cfg Config) []OptRow {
-	var rows []OptRow
+	set := cfg.newBatchSet()
+	type pending struct {
+		row           OptRow
+		baseID, optID int
+	}
+	var pend []pending
 	ab := func(name, system string, diff world.Difficulty, agents int,
 		baseMut, optMut mutation, baseOpt, optOpt multiagent.Options, note string) {
 		w := mustGet(system)
-		baseEps, _ := batch(w, diff, agents, baseMut, baseOpt, cfg.episodes(), cfg.Seed)
-		optEps, _ := batch(w, diff, agents, optMut, optOpt, cfg.episodes(), cfg.Seed)
-		sb, so := metrics.Summarize(baseEps), metrics.Summarize(optEps)
-		msgs := func(eps []metrics.Episode) float64 {
-			total := 0
-			for _, e := range eps {
-				total += e.Messages.Generated
-			}
-			return float64(total) / float64(len(eps))
-		}
-		rows = append(rows, OptRow{
-			Name: name, System: system,
-			BaseSuccess: sb.SuccessRate, OptSuccess: so.SuccessRate,
-			BaseRuntime: sb.MeanDuration, OptRuntime: so.MeanDuration,
-			BaseMsgs: msgs(baseEps), OptMsgs: msgs(optEps),
-			Note: note,
+		pend = append(pend, pending{
+			row:    OptRow{Name: name, System: system, Note: note},
+			baseID: set.add(w, diff, agents, baseMut, baseOpt),
+			optID:  set.add(w, diff, agents, optMut, optOpt),
 		})
 	}
 
@@ -118,6 +111,25 @@ func Optimizations(cfg Config) []OptRow {
 		multiagent.Options{}, multiagent.Options{Parallel: true},
 		"4 agents: sequential vs overlapped per-agent spans")
 
+	set.run()
+	msgs := func(eps []metrics.Episode) float64 {
+		total := 0
+		for _, e := range eps {
+			total += e.Messages.Generated
+		}
+		return float64(total) / float64(len(eps))
+	}
+	var rows []OptRow
+	for _, p := range pend {
+		baseEps, _ := set.results(p.baseID)
+		optEps, _ := set.results(p.optID)
+		sb, so := metrics.Summarize(baseEps), metrics.Summarize(optEps)
+		r := p.row
+		r.BaseSuccess, r.OptSuccess = sb.SuccessRate, so.SuccessRate
+		r.BaseRuntime, r.OptRuntime = sb.MeanDuration, so.MeanDuration
+		r.BaseMsgs, r.OptMsgs = msgs(baseEps), msgs(optEps)
+		rows = append(rows, r)
+	}
 	return rows
 }
 

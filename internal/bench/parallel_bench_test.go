@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Sequential-vs-parallel regeneration benchmarks. Compare with
+//
+//	go test ./internal/bench -bench=Regen -benchtime=3x
+//
+// to see the worker-pool speedup on full-figure workloads; results are
+// identical either way (see the parity tests). The parallel variants pin
+// the pool to at least 8 workers so they exercise the fan-out path even on
+// single-core CI hosts (where wall-clock gains only appear with more CPUs).
+
+func benchConfig(parallelism int) Config {
+	return Config{Episodes: 2, Seed: 1, Parallelism: parallelism}
+}
+
+func poolSize() int {
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		return n
+	}
+	return 8
+}
+
+func BenchmarkFig2RegenSequential(b *testing.B) {
+	cfg := benchConfig(1)
+	for i := 0; i < b.N; i++ {
+		if len(Fig2(cfg)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig2RegenParallel(b *testing.B) {
+	cfg := benchConfig(poolSize())
+	for i := 0; i < b.N; i++ {
+		if len(Fig2(cfg)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig7RegenSequential(b *testing.B) {
+	cfg := benchConfig(1)
+	for i := 0; i < b.N; i++ {
+		if len(Fig7(cfg)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig7RegenParallel(b *testing.B) {
+	cfg := benchConfig(poolSize())
+	for i := 0; i < b.N; i++ {
+		if len(Fig7(cfg)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkOptimizationsRegenSequential(b *testing.B) {
+	cfg := benchConfig(1)
+	for i := 0; i < b.N; i++ {
+		if len(Optimizations(cfg)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkOptimizationsRegenParallel(b *testing.B) {
+	cfg := benchConfig(poolSize())
+	for i := 0; i < b.N; i++ {
+		if len(Optimizations(cfg)) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// Determinism parity: for the same root seed, a sequential run and an
+// 8-worker run of each experiment must produce identical summaries —
+// byte-identical rendered reports and deeply-equal rows. This is the
+// contract that makes -procs purely a throughput knob.
+
+func parityConfigs() (seq, par Config) {
+	seq = Config{Episodes: 2, Seed: 23, Parallelism: 1}
+	par = seq
+	par.Parallelism = 8
+	return seq, par
+}
+
+func TestFig2ParallelParity(t *testing.T) {
+	seq, par := parityConfigs()
+	a, b := Fig2(seq), Fig2(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig2 rows differ between Parallelism 1 and 8")
+	}
+	if RenderFig2(a) != RenderFig2(b) {
+		t.Fatal("Fig2 reports differ between Parallelism 1 and 8")
+	}
+}
+
+func TestFig7ParallelParity(t *testing.T) {
+	seq, par := parityConfigs()
+	a, b := Fig7(seq), Fig7(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig7 rows differ between Parallelism 1 and 8")
+	}
+	if RenderFig7(a) != RenderFig7(b) {
+		t.Fatal("Fig7 reports differ between Parallelism 1 and 8")
+	}
+}
+
+func TestOptimizationsParallelParity(t *testing.T) {
+	seq, par := parityConfigs()
+	a, b := Optimizations(seq), Optimizations(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Optimizations rows differ between Parallelism 1 and 8")
+	}
+	if RenderOptimizations(a, Batching()) != RenderOptimizations(b, Batching()) {
+		t.Fatal("Optimizations reports differ between Parallelism 1 and 8")
+	}
+}
+
+func TestBatchSummarizeParity(t *testing.T) {
+	// The raw episode batches behind every figure: sequential and parallel
+	// runs of one configuration must summarize identically.
+	for _, name := range []string{"CoELA", "MindAgent", "JARVIS-1"} {
+		w := mustGet(name)
+		seq, par := parityConfigs()
+		seq.Episodes, par.Episodes = 4, 4
+		epsA, _ := seq.batch(w, world.Medium, 0, nil, multiagent.Options{})
+		epsB, _ := par.batch(w, world.Medium, 0, nil, multiagent.Options{})
+		if !reflect.DeepEqual(metrics.Summarize(epsA), metrics.Summarize(epsB)) {
+			t.Errorf("%s: Summarize differs between Parallelism 1 and 8", name)
+		}
+	}
+}
+
+// kindShare's prefix branch — "plan-refine" must count toward "plan" while
+// "planning" events of an unrelated kind must not bleed across kinds.
+func TestKindSharePrefixMatch(t *testing.T) {
+	tr := trace.New()
+	add := func(kind string, sec float64) {
+		tr.Record(trace.Event{Kind: kind, Latency: time.Duration(sec * float64(time.Second))})
+	}
+	add("plan", 2)         // exact match
+	add("plan-refine", 1)  // prefix match (the ev.Kind[:len(kind)] branch)
+	add("message", 4)      // different kind
+	add("message-peer", 2) // prefix of "message" only
+	add("act-select", 1)   // unrelated
+
+	traces := []*trace.Trace{tr}
+	cases := []struct {
+		kind string
+		want float64
+	}{
+		{"plan", 3.0 / 10},
+		{"message", 6.0 / 10},
+		{"act-select", 1.0 / 10},
+		{"act", 1.0 / 10}, // prefix of act-select
+		{"nope", 0},
+	}
+	for _, tc := range cases {
+		if got := kindShare(traces, tc.kind); got != tc.want {
+			t.Errorf("kindShare(%q) = %v, want %v", tc.kind, got, tc.want)
+		}
+	}
+	if got := kindShare(nil, "plan"); got != 0 {
+		t.Errorf("kindShare(no traces) = %v, want 0", got)
+	}
+	// A kind shorter than the event kind but not a prefix must not match.
+	tr2 := trace.New()
+	tr2.Record(trace.Event{Kind: "planning", Latency: time.Second})
+	tr2.Record(trace.Event{Kind: "act", Latency: time.Second})
+	if got := kindShare([]*trace.Trace{tr2}, "plam"); got != 0 {
+		t.Errorf("kindShare(non-prefix) = %v, want 0", got)
+	}
+}

@@ -420,8 +420,10 @@ func (w *World) plan(b belief, item Item, visiting map[Item]bool) core.Subgoal {
 	if r.Station != "" && b.inv[r.Station] == 0 {
 		return w.plan(b, r.Station, visiting)
 	}
-	for in, qty := range r.In {
-		if b.inv[in] < qty {
+	// Missing ingredients are pursued in a fixed (sorted) order so the
+	// regression path never depends on recipe-map iteration order.
+	for _, in := range world.SortedKeys(r.In) {
+		if b.inv[in] < r.In[in] {
 			return w.plan(b, in, visiting)
 		}
 	}
@@ -442,9 +444,11 @@ func nodeKindFor(item Item) NodeKind {
 }
 
 func (w *World) nearestKnownNode(b belief, yields Item) (NodeFact, bool) {
+	// Distance ties break toward the lower node id, never map order.
 	best, found := NodeFact{}, false
 	bestD := 1 << 30
-	for _, n := range b.nodes {
+	for _, id := range world.SortedKeys(b.nodes) {
+		n := b.nodes[id]
 		if n.Kind != yields {
 			continue
 		}
@@ -494,16 +498,16 @@ func (w *World) corruptions(b belief, good core.Subgoal) []core.Subgoal {
 	}
 	// Harvest beyond tool tier.
 	tier := tierOf(b.inv)
-	for _, n := range b.nodes {
-		if n.Tier > tier {
+	for _, id := range world.SortedKeys(b.nodes) {
+		if n := b.nodes[id]; n.Tier > tier {
 			add(Gather{Node: n.ID, Cell: n.Cell, Want: n.Kind})
 			break
 		}
 	}
-	// Re-explore the freshest sector.
+	// Re-explore the freshest sector; ties break toward the lower sector.
 	freshS, freshStep := -1, -1
-	for s, st := range b.visited {
-		if st > freshStep {
+	for _, s := range world.SortedKeys(b.visited) {
+		if st := b.visited[s]; st > freshStep {
 			freshS, freshStep = s, st
 		}
 	}

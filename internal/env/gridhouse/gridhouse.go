@@ -379,10 +379,12 @@ func (h *House) Propose(agent int, bel core.Belief) core.Proposal {
 		prop.Corruptions = h.corruptions(agent, b, -1)
 		return prop
 	}
-	// Nearest believed-available object not claimed by a teammate.
+	// Nearest believed-available object not claimed by a teammate; ties
+	// break toward the lower id so the pick never depends on map order.
 	best, bestDist := -1, 1<<30
 	var bestCell world.Cell
-	for id, f := range b.objects {
+	for _, id := range world.SortedKeys(b.objects) {
+		f := b.objects[id]
 		if f.Delivered || (f.CarriedBy != -1 && f.CarriedBy != agent) {
 			continue
 		}
@@ -429,25 +431,27 @@ func (h *House) exploreTarget(agent int, b belief) int {
 // room, or delivering empty-handed.
 func (h *House) corruptions(agent int, b belief, goodObj int) []core.Subgoal {
 	var out []core.Subgoal
-	for id, f := range b.objects {
+	ids := world.SortedKeys(b.objects)
+	for _, id := range ids {
 		if id == goodObj {
 			continue
 		}
-		if f.Delivered {
+		if f := b.objects[id]; f.Delivered {
 			out = append(out, Fetch{Obj: id, Cell: f.Cell})
 			break
 		}
 	}
-	for id, f := range b.objects {
-		if id != goodObj && claimedByOther(b.claims, agent, id) && !f.Delivered {
+	for _, id := range ids {
+		if f := b.objects[id]; id != goodObj && claimedByOther(b.claims, agent, id) && !f.Delivered {
 			out = append(out, Fetch{Obj: id, Cell: f.Cell})
 			break
 		}
 	}
-	// Re-explore the most recently visited room (wasted sweep).
+	// Re-explore the most recently visited room (wasted sweep); ties break
+	// toward the lower room index.
 	freshRoom, freshStep := -1, -1
-	for r, s := range b.visited {
-		if s > freshStep {
+	for _, r := range world.SortedKeys(b.visited) {
+		if s := b.visited[r]; s > freshStep {
 			freshRoom, freshStep = r, s
 		}
 	}
@@ -617,7 +621,8 @@ func (h *House) ProposeJoint(bel core.Belief) core.Proposal {
 		}
 		best, bestDist := -1, 1<<30
 		var bestCell world.Cell
-		for id, f := range b.objects {
+		for _, id := range world.SortedKeys(b.objects) {
+			f := b.objects[id]
 			if f.Delivered || f.CarriedBy != -1 || taken[id] {
 				continue
 			}
@@ -638,8 +643,8 @@ func (h *House) ProposeJoint(bel core.Belief) core.Proposal {
 	dup := &core.Joint{Assign: map[int]core.Subgoal{}}
 	allExplore := &core.Joint{Assign: map[int]core.Subgoal{}}
 	var anyFetch core.Subgoal
-	for _, g := range good.Assign {
-		if f, ok := g.(Fetch); ok {
+	for i := 0; i < n; i++ {
+		if f, ok := good.Assign[i].(Fetch); ok {
 			anyFetch = f
 			break
 		}

@@ -378,8 +378,10 @@ func (g *Game) Propose(agent int, bel core.Belief) core.Proposal {
 // bestOp picks the earliest-deadline believed-open order whose next stage
 // is unclaimed by teammates.
 func (g *Game) bestOp(b belief, agent int) core.Subgoal {
+	// Deadline ties break toward the lower order id, never map order.
 	bestID, bestDeadline := -1, 1<<30
-	for id, f := range b.orders {
+	for _, id := range world.SortedKeys(b.orders) {
+		f := b.orders[id]
 		stage := b.stage[id]
 		if stage >= f.Stages {
 			continue
@@ -421,7 +423,8 @@ func (g *Game) corruptions(b belief, good core.Subgoal) []core.Subgoal {
 			out = append(out, sg)
 		}
 	}
-	for id, f := range b.orders {
+	for _, id := range world.SortedKeys(b.orders) {
+		f := b.orders[id]
 		stage := b.stage[id]
 		if stage > 0 {
 			add(Op{Order: id, Stage: stage - 1, Station: stationAt(g, id, stage-1)}) // redo
@@ -433,7 +436,8 @@ func (g *Game) corruptions(b belief, good core.Subgoal) []core.Subgoal {
 			break
 		}
 	}
-	for _, c := range b.claims {
+	for _, a := range world.SortedKeys(b.claims) {
+		c := b.claims[a]
 		add(Op{Order: c.Order, Stage: c.Stage, Station: stationAt(g, c.Order, c.Stage)})
 		break
 	}
@@ -459,13 +463,15 @@ func (g *Game) ProposeJoint(bel core.Belief) core.Proposal {
 		deadline  int
 	}
 	var cands []cand
-	for id, f := range b.orders {
+	for _, id := range world.SortedKeys(b.orders) {
+		f := b.orders[id]
 		stage := b.stage[id]
 		if stage < f.Stages {
 			cands = append(cands, cand{id: id, stage: stage, deadline: f.Deadline})
 		}
 	}
-	// Insertion sort by deadline (tiny n).
+	// Stable insertion sort by deadline (tiny n); candidates enter in id
+	// order, so deadline ties keep the lower id first deterministically.
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].deadline < cands[j-1].deadline; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]

@@ -339,10 +339,12 @@ func (t *Table) Propose(agent int, bel core.Belief) core.Proposal {
 // the goal.
 func (t *Table) bestMove(agent int, b belief) core.Subgoal {
 	a := t.arms[agent]
+	// Distance ties break toward the lower object id, never map order.
 	best := -1
 	bestD := 1e18
 	var bestAction MoveObj
-	for id, f := range b.objects {
+	for _, id := range world.SortedKeys(b.objects) {
+		f := b.objects[id]
 		if f.Delivered || claimedByOther(b.claims, agent, id) {
 			continue
 		}
@@ -457,8 +459,10 @@ func (t *Table) corruptions(agent int, b belief, good core.Subgoal) []core.Subgo
 		}
 	}
 	a := t.arms[agent]
+	ids := world.SortedKeys(b.objects)
 	// Out-of-reach placement: mirror the goal across the workspace.
-	for id, f := range b.objects {
+	for _, id := range ids {
+		f := b.objects[id]
 		if f.Delivered || !t.InReach(agent, f.Pos) {
 			continue
 		}
@@ -468,13 +472,14 @@ func (t *Table) corruptions(agent int, b belief, good core.Subgoal) []core.Subgo
 			break
 		}
 	}
-	for id, f := range b.objects {
-		if f.Delivered {
+	for _, id := range ids {
+		if f := b.objects[id]; f.Delivered {
 			add(MoveObj{Obj: id, Pick: f.Pos, Place: f.Goal})
 			break
 		}
 	}
-	for _, claimedObj := range b.claims {
+	for _, ag := range world.SortedKeys(b.claims) {
+		claimedObj := b.claims[ag]
 		if f, ok := b.objects[claimedObj]; ok && !f.Delivered && t.InReach(agent, f.Pos) {
 			add(MoveObj{Obj: claimedObj, Pick: f.Pos, Place: f.Goal})
 			break
@@ -505,8 +510,8 @@ func (t *Table) ProposeJoint(bel core.Belief) core.Proposal {
 	lazy := &core.Joint{Assign: map[int]core.Subgoal{}}
 	dup := &core.Joint{Assign: map[int]core.Subgoal{}}
 	var firstMove core.Subgoal = Idle{}
-	for _, g := range good.Assign {
-		if m, ok := g.(MoveObj); ok {
+	for a := 0; a < len(t.arms); a++ {
+		if m, ok := good.Assign[a].(MoveObj); ok {
 			firstMove = m
 			break
 		}

@@ -1,0 +1,174 @@
+// Package runner is the episode orchestrator: it fans batches of episode
+// specifications out over a bounded worker pool while keeping results
+// byte-identical to a sequential run.
+//
+// Episodes are embarrassingly parallel — each one owns its domain, agents,
+// clocks and trace, and all randomness is rooted in the spec's seed — so the
+// only work the runner does is scheduling: specs are dispatched to
+// Parallelism workers and results are written back into submission-order
+// slots, making completion order invisible to callers. Seeds are derived
+// with the suite's historical rootSeed + i*SeedStride scheme, so a parallel
+// run of a batch reproduces the sequential run bit for bit.
+//
+// The runner is the first piece of scale-out infrastructure for the
+// harness; the bench package routes every figure and table regeneration
+// through it, and future sharding/async work builds on the same EpisodeSpec
+// vocabulary.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"embench/internal/core"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/systems"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+// SeedStride separates consecutive episode seeds within a batch. The large
+// prime keeps per-episode RNG streams from overlapping across the suite's
+// root-seed space; it is load-bearing for reproducibility and must not
+// change without regenerating every recorded experiment.
+const SeedStride = 1000003
+
+// EpisodeSeed derives episode i's seed from a batch root seed.
+func EpisodeSeed(root uint64, i int) uint64 {
+	return root + uint64(i)*SeedStride
+}
+
+// Mutation rewrites a workload's agent configuration before an episode
+// runs (ablations, model swaps, optimization variants). It receives a
+// private copy of the config, so mutations never leak across episodes or
+// batches.
+type Mutation func(*core.AgentConfig)
+
+// EpisodeSpec fully describes one episode: which workload, at which
+// difficulty and team size, under which config mutation and runner
+// options, rooted at which seed. A spec is self-contained and immutable
+// once built — two runs of the same spec produce identical outcomes.
+type EpisodeSpec struct {
+	Workload   systems.Workload
+	Difficulty world.Difficulty
+	Agents     int
+	Mutation   Mutation
+	Options    multiagent.Options // Options.Seed is overridden by Seed
+	Seed       uint64
+}
+
+// run executes the spec on a private workload copy.
+func (s EpisodeSpec) run() multiagent.Outcome {
+	w := s.Workload
+	if s.Mutation != nil {
+		s.Mutation(&w.Config)
+	}
+	o := s.Options
+	o.Seed = s.Seed
+	return w.Run(s.Difficulty, s.Agents, o)
+}
+
+// Specs expands one configuration into a batch of episode specs, deriving
+// each episode's seed as EpisodeSeed(seed, i) — the suite's historical
+// scheme, so runner batches reproduce the old sequential loops exactly.
+func Specs(w systems.Workload, diff world.Difficulty, agents int,
+	mut Mutation, opt multiagent.Options, episodes int, seed uint64) []EpisodeSpec {
+
+	specs := make([]EpisodeSpec, episodes)
+	for i := range specs {
+		specs[i] = EpisodeSpec{
+			Workload:   w,
+			Difficulty: diff,
+			Agents:     agents,
+			Mutation:   mut,
+			Options:    opt,
+			Seed:       EpisodeSeed(seed, i),
+		}
+	}
+	return specs
+}
+
+// DefaultParallelism is the worker count used when a caller asks for
+// hardware-sized fan-out: one worker per schedulable CPU.
+func DefaultParallelism() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes specs and returns their episodes and traces in submission
+// order, regardless of completion order.
+//
+// parallelism <= 1 runs sequentially on the calling goroutine — the
+// degenerate fallback that defines the reference result ordering. Larger
+// values fan out over that many workers (capped at len(specs)). Because
+// every episode is deterministic in its spec, both paths return identical
+// results.
+//
+// Cancellation: when ctx is cancelled mid-batch, dispatch stops, in-flight
+// episodes drain, and Run returns (nil, nil, ctx.Err()). Partial results
+// are never returned — callers either get the full batch or an error.
+func Run(ctx context.Context, specs []EpisodeSpec, parallelism int) ([]metrics.Episode, []*trace.Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(specs)
+	eps := make([]metrics.Episode, n)
+	traces := make([]*trace.Trace, n)
+
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := range specs {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			out := specs[i].run()
+			eps[i], traces[i] = out.Episode, out.Trace
+		}
+		return eps, traces, nil
+	}
+
+	// Workers pull spec indices and write results into their own slot;
+	// submission order is preserved by construction.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out := specs[i].run()
+				eps[i], traces[i] = out.Episode, out.Trace
+			}
+		}()
+	}
+
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err != nil {
+		return nil, nil, err
+	}
+	return eps, traces, nil
+}
+
+// Batch is the one-call form used by the bench layer: expand one
+// configuration into episode specs and run them at the given parallelism.
+func Batch(ctx context.Context, w systems.Workload, diff world.Difficulty, agents int,
+	mut Mutation, opt multiagent.Options, episodes int, seed uint64,
+	parallelism int) ([]metrics.Episode, []*trace.Trace, error) {
+
+	return Run(ctx, Specs(w, diff, agents, mut, opt, episodes, seed), parallelism)
+}

@@ -1,0 +1,247 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"embench/internal/core"
+	"embench/internal/llm"
+	"embench/internal/multiagent"
+	"embench/internal/systems"
+	"embench/internal/world"
+)
+
+// get resolves a workload or fails the test.
+func get(t *testing.T, name string) systems.Workload {
+	t.Helper()
+	w, ok := systems.Get(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	return w
+}
+
+// mixedSpecs builds a batch that overlaps every suite workload — all six
+// environments and all coordination paradigms — the shape the bench layer
+// submits. Episode outcomes must be a pure function of the spec, so this
+// doubles as the suite-wide determinism probe.
+func mixedSpecs(t *testing.T) []EpisodeSpec {
+	t.Helper()
+	var specs []EpisodeSpec
+	for i, name := range systems.SuiteNames {
+		specs = append(specs, Specs(get(t, name), world.Easy, 0, nil,
+			multiagent.Options{}, 2, uint64(i)+1)...)
+	}
+	return specs
+}
+
+func TestEpisodeSeedScheme(t *testing.T) {
+	// The derivation must stay root + i*1000003: it is what every recorded
+	// experiment used when batches ran as sequential loops.
+	for i := 0; i < 5; i++ {
+		if got, want := EpisodeSeed(7, i), 7+uint64(i)*1000003; got != want {
+			t.Fatalf("EpisodeSeed(7, %d) = %d, want %d", i, got, want)
+		}
+	}
+	specs := Specs(get(t, "CMAS"), world.Easy, 0, nil, multiagent.Options{}, 4, 42)
+	for i, s := range specs {
+		if s.Seed != EpisodeSeed(42, i) {
+			t.Fatalf("specs[%d].Seed = %d, want %d", i, s.Seed, EpisodeSeed(42, i))
+		}
+	}
+}
+
+func TestRunMatchesSequentialAtAnyParallelism(t *testing.T) {
+	specs := mixedSpecs(t)
+	wantEps, wantTraces, err := Run(context.Background(), specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantEps) != len(specs) || len(wantTraces) != len(specs) {
+		t.Fatalf("sequential run returned %d/%d results for %d specs",
+			len(wantEps), len(wantTraces), len(specs))
+	}
+	for _, parallelism := range []int{0, -3, 2, 4, 8, len(specs) + 5} {
+		eps, traces, err := Run(context.Background(), specs, parallelism)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if !reflect.DeepEqual(eps, wantEps) {
+			t.Fatalf("parallelism %d: episodes diverge from sequential run", parallelism)
+		}
+		if !reflect.DeepEqual(traces, wantTraces) {
+			t.Fatalf("parallelism %d: traces diverge from sequential run", parallelism)
+		}
+	}
+}
+
+func TestOrderPreservation(t *testing.T) {
+	// Episodes with distinct seeds of one workload: slot i must hold the
+	// result of seed i's episode regardless of which worker finished first.
+	w := get(t, "CMAS")
+	specs := Specs(w, world.Easy, 0, nil, multiagent.Options{}, 8, 100)
+	eps, _, err := Run(context.Background(), specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		out := s.run()
+		if eps[i].SimDuration != out.Episode.SimDuration || eps[i].Steps != out.Episode.Steps {
+			t.Fatalf("slot %d does not hold episode for seed %d", i, s.Seed)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	specs := mixedSpecs(t)
+
+	t.Run("before start", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for _, parallelism := range []int{1, 4} {
+			eps, traces, err := Run(ctx, specs, parallelism)
+			if err != context.Canceled {
+				t.Fatalf("parallelism %d: err = %v, want context.Canceled", parallelism, err)
+			}
+			if eps != nil || traces != nil {
+				t.Fatalf("parallelism %d: cancelled run must not return partial results", parallelism)
+			}
+		}
+	})
+
+	t.Run("mid-batch", func(t *testing.T) {
+		for _, parallelism := range []int{1, 2} {
+			ctx, cancel := context.WithCancel(context.Background())
+			ran := 0
+			var mu sync.Mutex
+			// The first episode's config mutation fires the cancellation, so
+			// dispatch must stop before the batch completes.
+			tripwire := func(*core.AgentConfig) {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+				cancel()
+			}
+			specs := Specs(get(t, "CMAS"), world.Easy, 0, tripwire,
+				multiagent.Options{}, 64, 1)
+			eps, traces, err := Run(ctx, specs, parallelism)
+			if err != context.Canceled {
+				t.Fatalf("parallelism %d: err = %v, want context.Canceled", parallelism, err)
+			}
+			if eps != nil || traces != nil {
+				t.Fatalf("parallelism %d: cancelled run must not return partial results", parallelism)
+			}
+			mu.Lock()
+			n := ran
+			mu.Unlock()
+			if n == 0 || n >= len(specs) {
+				t.Fatalf("parallelism %d: %d/%d episodes started; cancellation should stop mid-batch",
+					parallelism, n, len(specs))
+			}
+			cancel()
+		}
+	})
+
+	t.Run("nil context", func(t *testing.T) {
+		specs := Specs(get(t, "CMAS"), world.Easy, 0, nil, multiagent.Options{}, 2, 1)
+		if _, _, err := Run(nil, specs, 2); err != nil {
+			t.Fatalf("nil context should run to completion: %v", err)
+		}
+	})
+}
+
+func TestSequentialFallbackTable(t *testing.T) {
+	// Degenerate pool sizes must all take the sequential path and succeed.
+	cases := []struct {
+		name        string
+		parallelism int
+		episodes    int
+	}{
+		{"zero", 0, 3},
+		{"negative", -1, 3},
+		{"one", 1, 3},
+		{"empty batch parallel", 8, 0},
+		{"single spec parallel", 8, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			specs := Specs(get(t, "DEPS"), world.Easy, 0, nil,
+				multiagent.Options{}, tc.episodes, 9)
+			eps, traces, err := Run(context.Background(), specs, tc.parallelism)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(eps) != tc.episodes || len(traces) != tc.episodes {
+				t.Fatalf("got %d/%d results, want %d", len(eps), len(traces), tc.episodes)
+			}
+			for i, ep := range eps {
+				if ep.Steps == 0 {
+					t.Fatalf("episode %d empty", i)
+				}
+			}
+		})
+	}
+}
+
+func TestMutationDoesNotLeakAcrossSpecs(t *testing.T) {
+	// A mutated batch must not disturb the registry copy or a following
+	// unmutated batch of the same workload.
+	w := get(t, "DEPS")
+	planner := w.Config.Planner
+	mut := func(c *core.AgentConfig) { c.Planner = llm.Llama3_8B }
+
+	base, _, err := Run(context.Background(), Specs(w, world.Easy, 0, nil, multiagent.Options{}, 2, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), Specs(w, world.Easy, 0, mut, multiagent.Options{}, 2, 5), 2); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := Run(context.Background(), Specs(w, world.Easy, 0, nil, multiagent.Options{}, 2, 5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("mutated batch leaked state into a later unmutated batch")
+	}
+	if w.Config.Planner.Name != planner.Name {
+		t.Fatal("mutation escaped into the caller's workload value")
+	}
+	if reg := get(t, "DEPS"); reg.Config.Planner.Name != planner.Name {
+		t.Fatal("mutation escaped into the workload registry")
+	}
+}
+
+func TestConcurrentRunsAreIndependent(t *testing.T) {
+	// Overlapping pools over overlapping workloads: exercised under
+	// `go test -race` this is the suite's thread-safety proof.
+	specs := mixedSpecs(t)
+	want, _, err := Run(context.Background(), specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eps, _, err := Run(context.Background(), specs, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(eps, want) {
+				t.Error("concurrent pool diverged from the sequential reference")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	if DefaultParallelism() < 1 {
+		t.Fatalf("DefaultParallelism() = %d, want >= 1", DefaultParallelism())
+	}
+}

@@ -1,0 +1,23 @@
+package world
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order.
+//
+// Belief payloads store facts in maps, and several planners pick "the
+// first/nearest matching fact". Iterating the map directly would make
+// that pick depend on Go's randomized map iteration order, so episode
+// outcomes would differ run to run (and between sequential and parallel
+// harness runs). Planners must range over SortedKeys instead whenever the
+// loop selects rather than aggregates.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
