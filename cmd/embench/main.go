@@ -4,29 +4,57 @@
 // Usage:
 //
 //	embench -exp fig2 [-episodes 5] [-seed 1] [-procs N]  # regenerate a figure
+//	embench -exp fig2,fig8 -bench-json BENCH_serve.json   # + machine-readable perf record
 //	embench -run CoELA [-diff medium] [-agents 2]         # run one episode
+//	embench -run CoELA -serve-replicas 1 -serve-batch 4   # ... against a shared endpoint
 //	embench -list                                         # list workloads/experiments
 //
 // Experiments fan episodes out over -procs workers (default: all CPUs).
 // Episode seeds are derived deterministically from -seed, so reports are
 // bit-identical at every -procs value; -procs 1 forces the sequential
 // reference path.
+//
+// The -serve-* flags route every LLM call of a -run episode through one
+// shared serving endpoint (internal/serve): -serve-replicas model
+// instances, continuous batches of up to -serve-batch sequences forming
+// over a -serve-window, and a -serve-cache-entries-sized prefix cache.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"embench"
 	"embench/internal/runner"
 	"embench/internal/trace"
 )
 
+// benchEntry is one experiment's machine-readable perf record.
+type benchEntry struct {
+	Experiment string  `json:"experiment"`
+	Episodes   int     `json:"episodes"`
+	Seed       uint64  `json:"seed"`
+	Procs      int     `json:"procs"`
+	WallMS     float64 `json:"wall_ms"`
+	ReportB    int     `json:"report_bytes"`
+	ReportRows int     `json:"report_lines"`
+}
+
+// benchFile is the schema written by -bench-json.
+type benchFile struct {
+	Suite       string       `json:"suite"`
+	GeneratedBy string       `json:"generated_by"`
+	Entries     []benchEntry `json:"entries"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to regenerate (fig2..fig7, table1, table2, opts, calibrate)")
+		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig8, table1, table2, opts, calibrate)")
 		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
 		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
@@ -34,7 +62,15 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		procs    = flag.Int("procs", runner.DefaultParallelism(),
 			"episode worker-pool size for -exp (1 = sequential; output is identical at any value)")
-		list = flag.Bool("list", false, "list workloads and experiments")
+		benchJSON = flag.String("bench-json", "",
+			"write per-experiment wall time and report stats as JSON to this path (with -exp)")
+		srvReplicas = flag.Int("serve-replicas", 0,
+			"route -run LLM calls through a shared endpoint with this many replicas (0 = dedicated serving)")
+		srvBatch = flag.Int("serve-batch", 1, "shared endpoint: max sequences per continuous batch")
+		srvWait  = flag.Duration("serve-window", 1500*time.Millisecond,
+			"shared endpoint: batching window (how long a batch waits/accepts joiners)")
+		srvCache = flag.Int("serve-cache-entries", 512, "shared endpoint: prefix-cache capacity (0 disables)")
+		list     = flag.Bool("list", false, "list workloads and experiments")
 	)
 	flag.Parse()
 
@@ -43,15 +79,54 @@ func main() {
 		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
 		fmt.Println("experiments:", strings.Join(embench.Experiments(), ", "))
 	case *exp != "":
-		report, err := embench.ExperimentOpt(*exp, embench.ExperimentConfig{
-			Episodes: *episodes, Seed: *seed, Parallelism: *procs,
-		})
-		if err != nil {
-			fatal(err)
+		out := benchFile{Suite: "embench", GeneratedBy: "embench -bench-json"}
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			start := time.Now()
+			report, err := embench.ExperimentOpt(name, embench.ExperimentConfig{
+				Episodes: *episodes, Seed: *seed, Parallelism: *procs,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			wall := time.Since(start)
+			fmt.Print(report)
+			out.Entries = append(out.Entries, benchEntry{
+				Experiment: name, Episodes: *episodes, Seed: *seed, Procs: *procs,
+				WallMS:     float64(wall.Microseconds()) / 1000,
+				ReportB:    len(report),
+				ReportRows: strings.Count(report, "\n"),
+			})
+			out.TotalWallMS += float64(wall.Microseconds()) / 1000
 		}
-		fmt.Print(report)
+		if *benchJSON != "" {
+			if err := writeBenchJSON(*benchJSON, out); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "embench: wrote %s (%d experiments, %.0f ms total)\n",
+				*benchJSON, len(out.Entries), out.TotalWallMS)
+		}
 	case *run != "":
-		out, err := embench.Run(*run, *diff, *agents, *seed)
+		opt := embench.Options{Seed: *seed}
+		if *srvReplicas > 0 {
+			opt.Serve = &embench.ServeConfig{
+				Replicas: *srvReplicas, MaxBatch: *srvBatch,
+				MaxWait: *srvWait, CacheEntries: *srvCache,
+			}
+		} else {
+			// Serve tuning flags do nothing without an endpoint; say so
+			// instead of silently running with dedicated serving.
+			flag.Visit(func(f *flag.Flag) {
+				if strings.HasPrefix(f.Name, "serve-") && f.Name != "serve-replicas" {
+					fmt.Fprintf(os.Stderr,
+						"embench: -%s has no effect without -serve-replicas > 0 (running with dedicated serving)\n", f.Name)
+				}
+			})
+		}
+		out, err := embench.RunOpt(*run, *diff, *agents, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,6 +142,11 @@ func main() {
 			fmt.Printf("messages    %d generated, %.0f%% useful\n",
 				e.Messages.Generated, 100*e.Messages.UsefulRate())
 		}
+		if s := e.Serving; s.Requests > 0 {
+			fmt.Printf("serving     %d requests on %d replica(s): %.1fs mean queue wait, %.2f batch occupancy, %.0f%% cache hits\n",
+				s.Requests, s.Replicas, s.MeanQueueWait().Seconds(),
+				s.BatchOccupancy(), 100*s.CacheHitRate())
+		}
 		fmt.Printf("breakdown  ")
 		for _, m := range trace.Modules {
 			if d, ok := e.Breakdown[m]; ok && d > 0 {
@@ -78,6 +158,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeBenchJSON persists the perf record with a trailing newline so the
+// file diffs cleanly across runs.
+func writeBenchJSON(path string, out benchFile) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

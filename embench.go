@@ -38,6 +38,7 @@ import (
 
 	"embench/internal/bench"
 	"embench/internal/multiagent"
+	"embench/internal/serve"
 	"embench/internal/systems"
 	"embench/internal/world"
 )
@@ -47,6 +48,11 @@ type Outcome = multiagent.Outcome
 
 // Options tunes a run; see multiagent.Options.
 type Options = multiagent.Options
+
+// ServeConfig describes a shared serving endpoint (queueing, continuous
+// batching, prefix cache, replicas); set Options.Serve to route an
+// episode's LLM traffic through one. See internal/serve.
+type ServeConfig = serve.Config
 
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
@@ -106,6 +112,7 @@ var experiments = map[string]func(cfg bench.Config) string{
 	"fig5":   func(cfg bench.Config) string { return bench.RenderFig5(bench.Fig5(cfg)) },
 	"fig6":   func(cfg bench.Config) string { return bench.RenderFig6(bench.Fig6(cfg)) },
 	"fig7":   func(cfg bench.Config) string { return bench.RenderFig7(bench.Fig7(cfg)) },
+	"fig8":   func(cfg bench.Config) string { return bench.RenderFig8(bench.Fig8(cfg)) },
 	"opts": func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
 	},

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/prompt"
+	"embench/internal/rng"
+	"embench/internal/serve"
+	"embench/internal/world"
+)
+
+// Fig8 is the serving-contention experiment: what happens to an
+// embodied-agent system when its agents stop getting a dedicated model
+// deployment each and instead share one serving endpoint (paper Recs. 1–3,
+// arXiv:2509.09560's disaggregation argument). It has two panels:
+//
+//   - closed loop: live CoELA episodes routed through a shared endpoint,
+//     sweeping team size × replicas × batching policy. Queueing delay feeds
+//     back into the episode timeline, so task latency and success move too.
+//   - open loop: a synthetic per-agent request trace replayed against the
+//     endpoint's discrete-event scheduler, isolating pure serving behaviour
+//     (queue wait, batch occupancy, cache hit rate, throughput) from task
+//     dynamics.
+
+// Fig8Row is one closed-loop (system, agents, endpoint config) sample.
+type Fig8Row struct {
+	System         string
+	Agents         int
+	Replicas       int
+	MaxBatch       int
+	SuccessRate    float64
+	TaskLatency    time.Duration // mean episode duration
+	MeanQueueWait  time.Duration // per LLM call
+	BatchOccupancy float64
+	CacheHitRate   float64
+}
+
+// Fig8ReplayRow is one open-loop (streams, endpoint config) sample.
+type Fig8ReplayRow struct {
+	Agents         int // concurrent request streams
+	Replicas       int
+	MaxBatch       int
+	MeanQueueWait  time.Duration
+	MaxQueueWait   time.Duration
+	BatchOccupancy float64
+	CacheHitRate   float64
+	Throughput     float64 // requests per simulated second
+}
+
+// Fig8Report bundles both panels.
+type Fig8Report struct {
+	Closed []Fig8Row
+	Replay []Fig8ReplayRow
+}
+
+// fig8System is the closed-loop workload: CoELA issues three LLM calls per
+// agent per step (message, plan, act-select), the heaviest shared-endpoint
+// pressure in the suite.
+const fig8System = "CoELA"
+
+// Fig8Agents is the team-size axis of both panels.
+var Fig8Agents = []int{2, 4, 8}
+
+// fig8Endpoints is the endpoint-policy axis: no batching on one replica
+// (the contended baseline), then continuous batching, then batching with
+// more replicas.
+func fig8Endpoints() []serve.Config {
+	base := serve.Config{
+		MaxBatch:     1,
+		MaxWait:      1500 * time.Millisecond,
+		CacheEntries: 512,
+	}
+	var out []serve.Config
+	for _, ec := range []struct{ replicas, maxBatch int }{
+		{1, 1}, {1, 4}, {2, 4}, {4, 4},
+	} {
+		c := base
+		c.Replicas, c.MaxBatch = ec.replicas, ec.maxBatch
+		out = append(out, c)
+	}
+	return out
+}
+
+// Fig8 sweeps team size × endpoint policy in both panels.
+func Fig8(cfg Config) Fig8Report {
+	var rep Fig8Report
+
+	// Closed loop: live episodes against the shared endpoint. Parallel
+	// per-agent spans make the contention visible on the timeline — with a
+	// dedicated model per agent the spans would fully overlap, with a
+	// shared endpoint they serialize behind the queue.
+	set := cfg.newBatchSet()
+	var ids []int
+	w := mustGet(fig8System)
+	for _, n := range Fig8Agents {
+		for _, ec := range fig8Endpoints() {
+			sc := ec
+			ids = append(ids, set.add(w, world.Medium, n, nil,
+				multiagent.Options{Parallel: true, Serve: &sc}))
+			rep.Closed = append(rep.Closed, Fig8Row{
+				System: fig8System, Agents: n,
+				Replicas: sc.Replicas, MaxBatch: sc.MaxBatch,
+			})
+		}
+	}
+	set.run()
+	for i := range rep.Closed {
+		eps, _ := set.results(ids[i])
+		s := metrics.Summarize(eps)
+		rep.Closed[i].SuccessRate = s.SuccessRate
+		rep.Closed[i].TaskLatency = s.MeanDuration
+		rep.Closed[i].MeanQueueWait = s.Serving.MeanQueueWait()
+		rep.Closed[i].BatchOccupancy = s.Serving.BatchOccupancy()
+		rep.Closed[i].CacheHitRate = s.Serving.CacheHitRate()
+	}
+
+	// Open loop: replay a deterministic synthetic trace per team size.
+	for _, n := range Fig8Agents {
+		reqs := fig8Trace(n, cfg.Seed)
+		for _, ec := range fig8Endpoints() {
+			sc := ec
+			sc.Profile = llm.GPT4
+			res := serve.Replay(sc, reqs)
+			rep.Replay = append(rep.Replay, Fig8ReplayRow{
+				Agents: n, Replicas: sc.Replicas, MaxBatch: sc.MaxBatch,
+				MeanQueueWait:  res.Stats.MeanQueueWait(),
+				MaxQueueWait:   maxQueueWait(res),
+				BatchOccupancy: res.Stats.BatchOccupancy(),
+				CacheHitRate:   res.Stats.CacheHitRate(),
+				Throughput:     res.Throughput(),
+			})
+		}
+	}
+	return rep
+}
+
+// fig8Trace builds the open-loop request schedule: n agent streams, each
+// issuing one planning-sized call per environment step. All streams share
+// the fixed system/task preamble (the prefix the cache can reuse) and carry
+// a per-agent memory section that grows with the step, as the Fig. 6 token
+// curves do. Arrival stagger within a step comes from a seeded stream, so
+// the trace is a pure function of (agents, seed).
+func fig8Trace(agents int, seed uint64) []serve.Request {
+	const (
+		steps      = 6
+		stepPeriod = 12 * time.Second
+		outTokens  = 140
+	)
+	jitter := rng.New(seed).NewStream("fig8/replay")
+	var reqs []serve.Request
+	for s := 0; s < steps; s++ {
+		for a := 0; a < agents; a++ {
+			arrive := time.Duration(s)*stepPeriod +
+				time.Duration(jitter.Range(0, 500))*time.Millisecond
+			p := prompt.New(
+				prompt.Section{Name: "system", Tokens: 220},
+				prompt.Section{Name: "task", Tokens: 90},
+				prompt.Section{Name: fmt.Sprintf("memory-a%d", a), Tokens: 60 + 25*s, Droppable: true},
+				prompt.Section{Name: "observation", Tokens: 120, Droppable: true},
+			)
+			reqs = append(reqs, serve.Request{
+				Agent: fmt.Sprintf("agent%d", a), Arrival: arrive,
+				Prompt: p, OutTokens: outTokens,
+			})
+		}
+	}
+	return reqs
+}
+
+// maxQueueWait scans a replay for its worst queueing delay.
+func maxQueueWait(res serve.ReplayResult) time.Duration {
+	var max time.Duration
+	for _, c := range res.Completions {
+		if c.QueueWait > max {
+			max = c.QueueWait
+		}
+	}
+	return max
+}
+
+// SelectFig8 filters closed-loop rows for one endpoint policy, ordered by
+// team size.
+func SelectFig8(rows []Fig8Row, replicas, maxBatch int) []Fig8Row {
+	var out []Fig8Row
+	for _, n := range Fig8Agents {
+		for _, r := range rows {
+			if r.Replicas == replicas && r.MaxBatch == maxBatch && r.Agents == n {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// RenderFig8 formats both panels.
+func RenderFig8(rep Fig8Report) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — serving contention on a shared endpoint (medium tasks)\n")
+	fmt.Fprintf(&b, "%-8s %6s %8s %8s %9s %10s %9s %6s %6s\n",
+		"System", "agents", "replicas", "batch", "success", "latency", "q-wait", "occ", "cache")
+	for _, r := range rep.Closed {
+		fmt.Fprintf(&b, "%-8s %6d %8d %8d %8.0f%% %9.1fm %8.1fs %6.2f %5.0f%%\n",
+			r.System, r.Agents, r.Replicas, r.MaxBatch,
+			100*r.SuccessRate, r.TaskLatency.Minutes(), r.MeanQueueWait.Seconds(),
+			r.BatchOccupancy, 100*r.CacheHitRate)
+	}
+	b.WriteString("\nFig. 8b — open-loop replay (one planning call per agent per 12s step)\n")
+	fmt.Fprintf(&b, "%6s %8s %8s %9s %9s %6s %6s %8s\n",
+		"agents", "replicas", "batch", "q-wait", "q-max", "occ", "cache", "req/s")
+	for _, r := range rep.Replay {
+		fmt.Fprintf(&b, "%6d %8d %8d %8.1fs %8.1fs %6.2f %5.0f%% %8.3f\n",
+			r.Agents, r.Replicas, r.MaxBatch,
+			r.MeanQueueWait.Seconds(), r.MaxQueueWait.Seconds(),
+			r.BatchOccupancy, 100*r.CacheHitRate, r.Throughput)
+	}
+	return b.String()
+}

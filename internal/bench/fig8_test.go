@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"embench/internal/multiagent"
+	"embench/internal/world"
+)
+
+func fig8TestConfig() Config {
+	return Config{Episodes: 2, Seed: 11, Parallelism: 1}
+}
+
+func TestFig8QueueWaitGrowsWithAgents(t *testing.T) {
+	rep := Fig8(fig8TestConfig())
+	// Contended baseline: one replica, no batching.
+	base := SelectFig8(rep.Closed, 1, 1)
+	if len(base) != len(Fig8Agents) {
+		t.Fatalf("baseline rows = %d, want %d", len(base), len(Fig8Agents))
+	}
+	for i := 1; i < len(base); i++ {
+		if base[i].MeanQueueWait <= base[i-1].MeanQueueWait {
+			t.Fatalf("queue wait should grow with team size: %d agents %v, %d agents %v",
+				base[i-1].Agents, base[i-1].MeanQueueWait, base[i].Agents, base[i].MeanQueueWait)
+		}
+		if base[i].TaskLatency <= base[i-1].TaskLatency {
+			t.Fatalf("contended task latency should grow with team size")
+		}
+	}
+	if base[0].BatchOccupancy != 1 {
+		t.Fatalf("unbatched occupancy = %.2f, want 1", base[0].BatchOccupancy)
+	}
+}
+
+func TestFig8ReplicasAndBatchingRelieveContention(t *testing.T) {
+	rep := Fig8(fig8TestConfig())
+	pick := func(agents, replicas, maxBatch int) Fig8Row {
+		for _, r := range rep.Closed {
+			if r.Agents == agents && r.Replicas == replicas && r.MaxBatch == maxBatch {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%d/%d", agents, replicas, maxBatch)
+		return Fig8Row{}
+	}
+	const n = 8
+	base := pick(n, 1, 1)
+	batched := pick(n, 1, 4)
+	scaled := pick(n, 4, 4)
+	if batched.MeanQueueWait >= base.MeanQueueWait {
+		t.Fatalf("batching should cut queue wait: %v vs %v", batched.MeanQueueWait, base.MeanQueueWait)
+	}
+	if batched.BatchOccupancy <= 1 {
+		t.Fatalf("batching occupancy = %.2f, want > 1", batched.BatchOccupancy)
+	}
+	if scaled.MeanQueueWait >= batched.MeanQueueWait {
+		t.Fatalf("replicas should cut queue wait further: %v vs %v",
+			scaled.MeanQueueWait, batched.MeanQueueWait)
+	}
+	if scaled.TaskLatency >= base.TaskLatency {
+		t.Fatalf("relieved endpoint should shorten episodes: %v vs %v",
+			scaled.TaskLatency, base.TaskLatency)
+	}
+	if base.CacheHitRate <= 0 {
+		t.Fatal("prefix cache should be hitting on shared preambles")
+	}
+
+	// Open-loop panel tells the same story.
+	var rbase, rscaled Fig8ReplayRow
+	for _, r := range rep.Replay {
+		if r.Agents == n && r.Replicas == 1 && r.MaxBatch == 1 {
+			rbase = r
+		}
+		if r.Agents == n && r.Replicas == 4 && r.MaxBatch == 4 {
+			rscaled = r
+		}
+	}
+	if rscaled.MeanQueueWait >= rbase.MeanQueueWait {
+		t.Fatal("replay: replicas+batching should cut queue wait")
+	}
+	if rscaled.Throughput <= rbase.Throughput {
+		t.Fatal("replay: replicas+batching should raise throughput")
+	}
+}
+
+func TestFig8RerunByteIdentical(t *testing.T) {
+	cfg := fig8TestConfig()
+	a, b := Fig8(cfg), Fig8(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig8 reruns diverged")
+	}
+	if RenderFig8(a) != RenderFig8(b) {
+		t.Fatal("Fig8 reports diverged across reruns")
+	}
+}
+
+func TestSharedEndpointSlowsEpisodeButPreservesDecisions(t *testing.T) {
+	// The endpoint only reroutes serving time: decisions, steps and success
+	// must match the direct run; latency must not shrink.
+	w := mustGet(fig8System)
+	direct := w.Run(world.Medium, 4, multiagent.Options{Seed: 5, Parallel: true})
+	shared := w.Run(world.Medium, 4, multiagent.Options{
+		Seed: 5, Parallel: true,
+		Serve: &fig8Endpoints()[0], // 1 replica, no batching
+	})
+	if direct.Episode.Steps != shared.Episode.Steps ||
+		direct.Episode.Success != shared.Episode.Success ||
+		direct.Episode.LLMCalls != shared.Episode.LLMCalls {
+		t.Fatalf("endpoint changed decisions:\ndirect %+v\nshared %+v",
+			direct.Episode, shared.Episode)
+	}
+	if shared.Episode.SimDuration <= direct.Episode.SimDuration {
+		t.Fatalf("contended endpoint should not be faster: %v vs %v",
+			shared.Episode.SimDuration, direct.Episode.SimDuration)
+	}
+	// Format retries re-submit to the endpoint, so it serves at least one
+	// request per traced LLM call.
+	if shared.Episode.Serving.Requests < shared.Episode.LLMCalls {
+		t.Fatalf("endpoint served %d requests for %d LLM calls",
+			shared.Episode.Serving.Requests, shared.Episode.LLMCalls)
+	}
+	if direct.Episode.Serving.Requests != 0 {
+		t.Fatal("direct run should carry no serving stats")
+	}
+}

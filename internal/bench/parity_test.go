@@ -56,6 +56,20 @@ func TestOptimizationsParallelParity(t *testing.T) {
 	}
 }
 
+func TestFig8ParallelParity(t *testing.T) {
+	// The serving-endpoint experiment builds one endpoint per episode, so
+	// worker-pool fan-out must not leak timeline or cache state across
+	// episodes: sequential and 8-worker runs are byte-identical.
+	seq, par := parityConfigs()
+	a, b := Fig8(seq), Fig8(par)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig8 rows differ between Parallelism 1 and 8")
+	}
+	if RenderFig8(a) != RenderFig8(b) {
+		t.Fatal("Fig8 reports differ between Parallelism 1 and 8")
+	}
+}
+
 func TestBatchSummarizeParity(t *testing.T) {
 	// The raw episode batches behind every figure: sequential and parallel
 	// runs of one configuration must summarize identically.

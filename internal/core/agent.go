@@ -93,6 +93,16 @@ func NewAgent(id int, cfg AgentConfig, src *rng.Source, clock *simclock.Clock, t
 		a.reflClient = llm.NewClient(*cfg.Reflector, src.NewStream(name+"/refl"), clock, tracer)
 		a.checker = reflection.NewChecker(cfg.Reflector.Capability)
 	}
+	if cfg.Backend != nil {
+		// All of the agent's modules hit the same shared deployment.
+		a.planClient.SetBackend(cfg.Backend)
+		if a.commClient != nil {
+			a.commClient.SetBackend(cfg.Backend)
+		}
+		if a.reflClient != nil {
+			a.reflClient.SetBackend(cfg.Backend)
+		}
+	}
 	return a
 }
 

@@ -59,6 +59,12 @@ type AgentConfig struct {
 	MultipleChoice *prompt.MultipleChoice
 	// Compressor summarizes oversized context sections (Rec. 6); nil = off.
 	Compressor *prompt.Compressor
+	// Backend routes every LLM client's serving time through a shared
+	// substrate (a serve.Endpoint); nil keeps the dedicated per-client
+	// latency model. Set per episode by the paradigm runners, never in
+	// workload tables — an endpoint carries timeline state and must not be
+	// shared across episodes.
+	Backend llm.Backend
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,83 @@
+package llm
+
+import (
+	"time"
+
+	"embench/internal/prompt"
+)
+
+// Call is one serving-level request as the backend sees it: token counts and
+// prompt structure only — the decision/error channel stays in the Client.
+// Arrival is the submitting agent's virtual-clock time, which a shared
+// endpoint uses to order the request against other agents' traffic.
+type Call struct {
+	Agent        string
+	Arrival      time.Duration
+	Prompt       prompt.Prompt // fitted prompt (post context-window Fit)
+	PromptTokens int
+	OutTokens    int
+}
+
+// Served is a backend's serving outcome for one call.
+type Served struct {
+	// Latency is the end-to-end serving time the caller experiences:
+	// queueing delay plus service time.
+	Latency time.Duration
+	// QueueWait is the admission-queue portion of Latency (zero for a
+	// dedicated direct client).
+	QueueWait time.Duration
+	// CachedTokens counts prompt tokens whose prefill was discounted by a
+	// shared prefix/KV cache.
+	CachedTokens int
+}
+
+// Backend abstracts where serving time comes from. The default (a nil
+// backend on the Client) charges the client's own profile latency — a
+// dedicated, contention-free deployment. A shared serve.Endpoint implements
+// Backend too, so many agents' clients contend for the same replicas,
+// admission queue and prefix cache.
+type Backend interface {
+	Serve(Call) Served
+}
+
+// SetBackend routes the client's serving time through b; nil restores the
+// direct (dedicated) serving model. The decision/error channel is
+// unaffected — only latency accounting moves to the backend.
+func (c *Client) SetBackend(b Backend) { c.backend = b }
+
+// Backend reports the client's serving backend (nil = direct).
+func (c *Client) Backend() Backend { return c.backend }
+
+// serve computes the serving latency for one fitted call: through the
+// backend when one is attached, otherwise from the client's own profile
+// with jitter. The backend path consumes (and discards) the same jitter
+// draw as the direct path, so a shared-endpoint run keeps every stream
+// aligned with its dedicated-serving twin: decisions and retries match
+// call for call, and latency differences isolate the serving policy.
+func (c *Client) serve(agent string, fitted prompt.Prompt, promptTok, outTok int) time.Duration {
+	if c.backend != nil {
+		if c.profile.JitterFrac > 0 {
+			c.stream.Float64()
+		}
+		return c.backend.Serve(Call{
+			Agent:        agent,
+			Arrival:      c.now(),
+			Prompt:       fitted,
+			PromptTokens: promptTok,
+			OutTokens:    outTok,
+		}).Latency
+	}
+	lat := c.profile.Latency(promptTok, outTok)
+	if c.profile.JitterFrac > 0 {
+		lat = time.Duration(c.stream.Jitter(float64(lat), c.profile.JitterFrac))
+	}
+	return lat
+}
+
+// now reports the owning agent's virtual time (zero without a clock).
+func (c *Client) now() time.Duration {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock.Now()
+}

@@ -7,11 +7,34 @@ import (
 	"embench/internal/trace"
 )
 
-// batchDecodeSlowdown is the per-extra-sequence decode slowdown when
+// BatchDecodeSlowdown is the per-extra-sequence decode slowdown when
 // batching: decoding n sequences together costs max-decode × (1 + s·(n-1)).
 // Real serving stacks see near-linear throughput gains at small batch sizes;
-// 0.10 keeps the model conservative.
-const batchDecodeSlowdown = 0.10
+// 0.10 keeps the model conservative. Exported because the shared-endpoint
+// simulator (internal/serve) prices its continuous batches with the same
+// model.
+const BatchDecodeSlowdown = 0.10
+
+// BatchServiceTime is the deterministic service time for a batch of n
+// sequences with the given total prompt tokens and longest generation:
+// one overhead, back-to-back prefill, joint decode under BatchDecodeSlowdown.
+// promptTokens is float64 so callers can price cache-discounted prefill
+// (fractional effective tokens). FixedLatency profiles ignore the token
+// model, as in Latency.
+func (p Profile) BatchServiceTime(n int, promptTokens float64, maxOut int) time.Duration {
+	if p.FixedLatency > 0 {
+		return p.FixedLatency
+	}
+	sec := p.Overhead.Seconds()
+	if p.PrefillRate > 0 {
+		sec += promptTokens / p.PrefillRate
+	}
+	if p.DecodeRate > 0 && n > 0 {
+		slow := 1 + BatchDecodeSlowdown*float64(n-1)
+		sec += float64(maxOut) / p.DecodeRate * slow
+	}
+	return time.Duration(sec * float64(time.Second))
+}
 
 // CompleteBatch aggregates several queries into one serving batch
 // (paper Rec. 1: "aggregate multiple queries into a single batch").
@@ -27,10 +50,12 @@ func (c *Client) CompleteBatch(reqs []Request) []Response {
 		return []Response{c.Complete(reqs[0])}
 	}
 	resps := make([]Response, len(reqs))
+	fittedPrompts := make([]prompt.Prompt, len(reqs))
 	totalPrompt := 0
 	maxOut := 0
 	for i, req := range reqs {
 		fitted := prompt.Fit(req.Prompt, c.contextBudget(req.OutTokens))
+		fittedPrompts[i] = fitted.Prompt
 		promptTok := fitted.Prompt.Tokens()
 		r := Response{
 			PromptTokens: promptTok,
@@ -52,6 +77,23 @@ func (c *Client) CompleteBatch(reqs []Request) []Response {
 	lat := c.batchLatency(len(reqs), totalPrompt, maxOut)
 	if c.profile.JitterFrac > 0 {
 		lat = time.Duration(c.stream.Jitter(float64(lat), c.profile.JitterFrac))
+	}
+	if c.backend != nil {
+		// Shared endpoint: the aggregated queries arrive together and the
+		// endpoint's own continuous batcher coalesces them (join window),
+		// replacing the client-side latency model with queue-aware serving.
+		lat = 0
+		arrival := c.now()
+		for i := range reqs {
+			s := c.backend.Serve(Call{
+				Agent: reqs[i].Agent, Arrival: arrival,
+				Prompt: fittedPrompts[i], PromptTokens: resps[i].PromptTokens,
+				OutTokens: reqs[i].OutTokens,
+			})
+			if s.Latency > lat {
+				lat = s.Latency
+			}
+		}
 	}
 	if c.clock != nil {
 		c.clock.Advance(lat)
@@ -77,18 +119,7 @@ func (c *Client) CompleteBatch(reqs []Request) []Response {
 
 // batchLatency is the deterministic serving time for a batch.
 func (c *Client) batchLatency(n, totalPrompt, maxOut int) time.Duration {
-	if c.profile.FixedLatency > 0 {
-		return c.profile.FixedLatency
-	}
-	sec := c.profile.Overhead.Seconds()
-	if c.profile.PrefillRate > 0 {
-		sec += float64(totalPrompt) / c.profile.PrefillRate
-	}
-	if c.profile.DecodeRate > 0 {
-		slow := 1 + batchDecodeSlowdown*float64(n-1)
-		sec += float64(maxOut) / c.profile.DecodeRate * slow
-	}
-	return time.Duration(sec * float64(time.Second))
+	return c.profile.BatchServiceTime(n, float64(totalPrompt), maxOut)
 }
 
 // BatchSpeedup reports the latency ratio sequential/batched for n identical

@@ -1,0 +1,154 @@
+package llm
+
+import (
+	"testing"
+	"time"
+
+	"embench/internal/rng"
+	"embench/internal/simclock"
+	"embench/internal/trace"
+)
+
+// CompleteBatch edge cases: single-request fallback parity with Complete,
+// truncated-prompt batches, and latency-share additivity against the trace.
+
+func TestCompleteBatchSingleParityWithComplete(t *testing.T) {
+	// A one-request batch must be bit-identical to the equivalent Complete
+	// call: same decision, corruption draw, latency and trace shape.
+	req := Request{
+		Agent: "a0", Module: trace.Planning, Step: 2, Kind: "plan",
+		Prompt: promptOf(1500), OutTokens: 80,
+		Good: "g", Corruptions: []any{"b1", "b2"}, Complexity: 0.3,
+	}
+	runSingle := func(batch bool) (Response, time.Duration, int) {
+		clock := simclock.New()
+		tr := trace.New()
+		c := NewClient(GPT4, rng.New(7).NewStream("llm"), clock, tr)
+		var r Response
+		if batch {
+			r = c.CompleteBatch([]Request{req})[0]
+		} else {
+			r = c.Complete(req)
+		}
+		return r, clock.Now(), len(tr.Events)
+	}
+	br, bclock, bevents := runSingle(true)
+	cr, cclock, cevents := runSingle(false)
+	if br != cr {
+		t.Fatalf("single-request batch response diverged:\n%+v\n%+v", br, cr)
+	}
+	if bclock != cclock || bevents != cevents {
+		t.Fatalf("accounting diverged: clock %v vs %v, events %d vs %d",
+			bclock, cclock, bevents, cevents)
+	}
+}
+
+func TestCompleteBatchTruncatesOverflowingPrompts(t *testing.T) {
+	p := GPT4
+	p.ContextWindow = 600
+	p.JitterFrac = 0
+	c := testClient(p, nil, nil)
+	reqs := []Request{
+		{Prompt: promptOf(100), OutTokens: 50, Good: 1},  // fits
+		{Prompt: promptOf(5000), OutTokens: 50, Good: 2}, // must be truncated
+		{Prompt: promptOf(4000), OutTokens: 50, Good: 3}, // must be truncated
+	}
+	resps := c.CompleteBatch(reqs)
+	if resps[0].Truncated {
+		t.Fatalf("small prompt truncated: %+v", resps[0])
+	}
+	for i := 1; i < 3; i++ {
+		if !resps[i].Truncated {
+			t.Fatalf("oversized prompt %d not truncated: %+v", i, resps[i])
+		}
+		if resps[i].PromptTokens > 550 {
+			t.Fatalf("prompt %d not fitted to window: %d tokens", i, resps[i].PromptTokens)
+		}
+		// The truncation penalty must reach the error channel.
+		if resps[i].ErrorP <= resps[0].ErrorP {
+			t.Fatalf("truncated request %d should carry a higher pErr: %v vs %v",
+				i, resps[i].ErrorP, resps[0].ErrorP)
+		}
+	}
+}
+
+func TestCompleteBatchLatencySharesAdditiveAgainstTrace(t *testing.T) {
+	p := GPT4
+	p.JitterFrac = 0
+	clock := simclock.New()
+	tr := trace.New()
+	c := testClient(p, tr, clock)
+	reqs := make([]Request, 5)
+	for i := range reqs {
+		reqs[i] = Request{
+			Agent: "a0", Module: trace.Planning, Kind: "plan",
+			Prompt: promptOf(400 + 100*i), OutTokens: 40 + 10*i, Good: i,
+		}
+	}
+	resps := c.CompleteBatch(reqs)
+
+	// Every request carries an equal share, the clock advanced once by the
+	// whole batch latency, and the trace stays additive: summed event
+	// latency equals the clock to within integer-division rounding.
+	share := resps[0].Latency
+	var sum time.Duration
+	for i, r := range resps {
+		if r.Latency != share {
+			t.Fatalf("response %d share %v != %v", i, r.Latency, share)
+		}
+		sum += r.Latency
+	}
+	if d := clock.Now() - sum; d < 0 || d >= time.Duration(len(reqs)) {
+		t.Fatalf("shares not additive: clock %v, trace sum %v", clock.Now(), sum)
+	}
+	var traceSum time.Duration
+	for _, ev := range tr.Events {
+		if ev.Kind != "plan(batched)" || !ev.LLMCall {
+			t.Fatalf("unexpected trace event %+v", ev)
+		}
+		traceSum += ev.Latency
+	}
+	if traceSum != sum {
+		t.Fatalf("trace latency %v != response latency %v", traceSum, sum)
+	}
+}
+
+func TestCompleteBatchDecodeSlowdownOrdering(t *testing.T) {
+	// Batch latency must exceed the longest member served alone (joint
+	// decode is not free) while staying under the sequential sum.
+	p := GPT4
+	p.JitterFrac = 0
+	const n, promptTok, outTok = 4, 800, 100
+	clock := simclock.New()
+	c := testClient(p, nil, clock)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Prompt: promptOf(promptTok), OutTokens: outTok, Good: i}
+	}
+	c.CompleteBatch(reqs)
+	batched := clock.Now()
+	single := p.Latency(promptTok, outTok)
+	if batched <= single {
+		t.Fatalf("batch of %d (%v) should cost more than one call (%v)", n, batched, single)
+	}
+	if batched >= time.Duration(n)*single {
+		t.Fatalf("batch of %d (%v) should beat %d sequential calls (%v)",
+			n, batched, n, time.Duration(n)*single)
+	}
+}
+
+func TestBatchServiceTimeMatchesClientModel(t *testing.T) {
+	p := GPT4
+	p.JitterFrac = 0
+	got := p.BatchServiceTime(3, 3000, 90)
+	want := time.Duration((p.Overhead.Seconds() +
+		3000/p.PrefillRate +
+		90/p.DecodeRate*(1+BatchDecodeSlowdown*2)) * float64(time.Second))
+	if got != want {
+		t.Fatalf("BatchServiceTime = %v, want %v", got, want)
+	}
+	fixed := Profile{FixedLatency: 200 * time.Millisecond, PrefillRate: 1, DecodeRate: 1}
+	if fixed.BatchServiceTime(8, 1e6, 1e6) != 200*time.Millisecond {
+		t.Fatal("FixedLatency should override the batch token model")
+	}
+}

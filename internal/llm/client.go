@@ -48,6 +48,7 @@ type Client struct {
 	stream  *rng.Stream
 	clock   *simclock.Clock
 	tracer  *trace.Trace
+	backend Backend // nil = direct serving from the profile
 }
 
 // NewClient returns a client for the given profile. The stream drives both
@@ -105,10 +106,7 @@ func (c *Client) Complete(req Request) Response {
 		resp.Corrupted = true
 		resp.Decision = req.Corruptions[c.stream.Pick(len(req.Corruptions))]
 	}
-	lat := c.profile.Latency(promptTok, req.OutTokens)
-	if c.profile.JitterFrac > 0 {
-		lat = time.Duration(c.stream.Jitter(float64(lat), c.profile.JitterFrac))
-	}
+	lat := c.serve(req.Agent, fitted.Prompt, promptTok, req.OutTokens)
 	// Malformed generations must be regenerated (up to two retries); each
 	// attempt pays the full serving latency.
 	attempts := 1
@@ -119,6 +117,20 @@ func (c *Client) Complete(req Request) Response {
 		attempts++
 	}
 	resp.Latency = time.Duration(attempts) * lat
+	if c.backend != nil && attempts > 1 {
+		// Each retry is a fresh submission to the shared endpoint, issued
+		// after the failed attempt completes — it queues again and may land
+		// in a different batch.
+		total := lat
+		for a := 1; a < attempts; a++ {
+			s := c.backend.Serve(Call{
+				Agent: req.Agent, Arrival: c.now() + total,
+				Prompt: fitted.Prompt, PromptTokens: promptTok, OutTokens: req.OutTokens,
+			})
+			total += s.Latency
+		}
+		resp.Latency = total
+	}
 	resp.OutputTokens = attempts * req.OutTokens
 	c.charge(req, resp)
 	return resp

@@ -10,6 +10,68 @@ import (
 	"embench/internal/trace"
 )
 
+// Serving aggregates shared serving-endpoint statistics (internal/serve)
+// for one episode or one replay: how long requests queued, how full the
+// continuous batches ran, and how much prefill the prefix cache absorbed.
+// All fields are sums so that batches of episodes merge exactly.
+type Serving struct {
+	Requests      int           // calls served by the endpoint
+	Replicas      int           // replica count of the endpoint that served them
+	QueueWait     time.Duration // total admission-queue delay
+	Service       time.Duration // total in-batch service time
+	BatchedSeqs   int           // sum over requests of the batch size they rode in
+	PrefillTokens int           // prompt tokens submitted (pre-discount)
+	CachedTokens  int           // prompt tokens served from the prefix cache
+}
+
+// Merge combines two serving aggregates (e.g. across episodes).
+func (s Serving) Merge(o Serving) Serving {
+	s.Requests += o.Requests
+	if o.Replicas > s.Replicas {
+		s.Replicas = o.Replicas
+	}
+	s.QueueWait += o.QueueWait
+	s.Service += o.Service
+	s.BatchedSeqs += o.BatchedSeqs
+	s.PrefillTokens += o.PrefillTokens
+	s.CachedTokens += o.CachedTokens
+	return s
+}
+
+// MeanQueueWait reports the average admission-queue delay per request.
+func (s Serving) MeanQueueWait() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return time.Duration(float64(s.QueueWait) / float64(s.Requests))
+}
+
+// MeanService reports the average in-batch service time per request.
+func (s Serving) MeanService() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return time.Duration(float64(s.Service) / float64(s.Requests))
+}
+
+// BatchOccupancy reports the mean batch size a request was served in
+// (1.0 = no batching ever happened).
+func (s Serving) BatchOccupancy() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.BatchedSeqs) / float64(s.Requests)
+}
+
+// CacheHitRate reports the fraction of submitted prompt tokens whose
+// prefill was served from the shared prefix cache.
+func (s Serving) CacheHitRate() float64 {
+	if s.PrefillTokens == 0 {
+		return 0
+	}
+	return float64(s.CachedTokens) / float64(s.PrefillTokens)
+}
+
 // Episode is the outcome of one task attempt by one system configuration.
 type Episode struct {
 	Success      bool
@@ -22,6 +84,7 @@ type Episode struct {
 	Messages     trace.MessageStats
 	LLMShare     float64 // fraction of latency in LLM calls
 	ReachedLimit bool    // hit the step cap without finishing (Fig. 3 "Lmax")
+	Serving      Serving // shared-endpoint stats; zero when serving direct
 }
 
 // FromTrace builds an Episode from a finished trace.
@@ -55,6 +118,7 @@ type Summary struct {
 	LLMShare     float64
 	MessageRate  float64 // useful/generated across all episodes
 	LimitRate    float64 // fraction of episodes that hit the step cap
+	Serving      Serving // merged shared-endpoint stats across episodes
 }
 
 // Summarize reduces episodes into a Summary. An empty slice yields the zero
@@ -86,6 +150,7 @@ func Summarize(eps []Episode) Summary {
 		llmShare += e.LLMShare
 		gen += e.Messages.Generated
 		useful += e.Messages.Useful
+		s.Serving = s.Serving.Merge(e.Serving)
 		for m, d := range e.Breakdown {
 			totals[m] += d
 			grand += d

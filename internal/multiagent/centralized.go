@@ -22,6 +22,7 @@ func RunCentralized(d core.CentralDomain, cfg core.AgentConfig, opt Options) Out
 	src := rng.New(opt.Seed)
 	tr := trace.New()
 	timeline := simclock.New()
+	endpoint := opt.newEndpoint(&cfg)
 
 	// Body agents carry sensing and execution only.
 	bodyCfg := cfg
@@ -36,6 +37,9 @@ func RunCentralized(d core.CentralDomain, cfg core.AgentConfig, opt Options) Out
 	var instructClient *llm.Client
 	if cfg.Comms != nil {
 		instructClient = llm.NewClient(*cfg.Comms, src.NewStream("central/instruct"), centralClock, tr)
+		if cfg.Backend != nil {
+			instructClient.SetBackend(cfg.Backend)
+		}
 	}
 
 	for !d.Done() {
@@ -107,5 +111,5 @@ func RunCentralized(d core.CentralDomain, cfg core.AgentConfig, opt Options) Out
 
 		d.Tick()
 	}
-	return finish(d, tr, timeline)
+	return finish(d, tr, timeline, endpoint)
 }

@@ -19,6 +19,7 @@ import (
 	"embench/internal/modules/comms"
 	"embench/internal/modules/memory"
 	"embench/internal/rng"
+	"embench/internal/serve"
 	"embench/internal/simclock"
 	"embench/internal/trace"
 )
@@ -38,6 +39,29 @@ type Options struct {
 	// is scoped to clusters of this size, with only cluster heads
 	// exchanging digests across clusters.
 	ClusterSize int
+	// Serve routes every agent's LLM traffic through one shared serving
+	// endpoint (queueing, continuous batching, prefix cache — see
+	// internal/serve) instead of a dedicated per-client deployment. A zero
+	// Profile inside defaults to the workload's planner profile. nil = off.
+	Serve *serve.Config
+}
+
+// newEndpoint builds the episode's shared endpoint from opt.Serve (nil when
+// serving is direct) and attaches it to cfg as the clients' backend. Each
+// episode gets a fresh endpoint: it carries timeline state, and per-episode
+// construction is what keeps parallel episode runs bit-identical to
+// sequential ones.
+func (o Options) newEndpoint(cfg *core.AgentConfig) *serve.Endpoint {
+	if o.Serve == nil {
+		return nil
+	}
+	sc := *o.Serve
+	if sc.Profile.Name == "" {
+		sc.Profile = cfg.Planner
+	}
+	ep := serve.New(sc)
+	cfg.Backend = ep
+	return ep
 }
 
 func (o Options) rounds(n int) int {
@@ -57,12 +81,16 @@ type Outcome struct {
 }
 
 // finish reduces the run into an Outcome. The episode duration comes from
-// the runner's timeline clock, which respects parallel overlap.
-func finish(d core.Domain, tr *trace.Trace, clock *simclock.Clock) Outcome {
+// the runner's timeline clock, which respects parallel overlap; endpoint
+// serving statistics (nil when serving direct) ride along in the episode.
+func finish(d core.Domain, tr *trace.Trace, clock *simclock.Clock, endpoint *serve.Endpoint) Outcome {
 	success := d.Success()
 	reachedLimit := !success && d.Step() >= d.MaxSteps()
 	ep := metrics.FromTrace(tr, success, reachedLimit, d.Step())
 	ep.SimDuration = clock.Now()
+	if endpoint != nil {
+		ep.Serving = endpoint.Stats()
+	}
 	return Outcome{Episode: ep, Trace: tr}
 }
 

@@ -15,6 +15,7 @@ func RunSingle(d core.Domain, cfg core.AgentConfig, opt Options) Outcome {
 	src := rng.New(opt.Seed)
 	tr := trace.New()
 	clock := simclock.New()
+	endpoint := opt.newEndpoint(&cfg)
 	agent := core.NewAgent(0, cfg, src, clock, tr)
 	agent.Store.AddAll(d.StaticRecords())
 
@@ -28,7 +29,7 @@ func RunSingle(d core.Domain, cfg core.AgentConfig, opt Options) Outcome {
 		agent.Remember(d, step, obs, nil, pr, res)
 		d.Tick()
 	}
-	return finish(d, tr, clock)
+	return finish(d, tr, clock, endpoint)
 }
 
 // RunEndToEnd drives the end-to-end paradigm (Fig. 1c): a single
@@ -44,8 +45,12 @@ func RunEndToEnd(d core.Domain, cfg core.AgentConfig, opt Options) Outcome {
 	cfg.Reflector = nil
 	cfg.Memory = core.MemoryConfig{Capacity: 0}
 	cfg.Execution = true
+	endpoint := opt.newEndpoint(&cfg)
 	agent := core.NewAgent(0, cfg, src, clock, tr)
 	client := llm.NewClient(cfg.Planner, src.NewStream("vla"), clock, tr)
+	if cfg.Backend != nil {
+		client.SetBackend(cfg.Backend)
+	}
 
 	for !d.Done() {
 		step := d.Step()
@@ -66,7 +71,7 @@ func RunEndToEnd(d core.Domain, cfg core.AgentConfig, opt Options) Outcome {
 		agent.Execute(d, step, pr)
 		d.Tick()
 	}
-	return finish(d, tr, clock)
+	return finish(d, tr, clock, endpoint)
 }
 
 func jointAny(gs []core.Subgoal) []any {

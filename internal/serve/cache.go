@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"embench/internal/prompt"
+)
+
+// prefixCache models KV-cache reuse across requests that share a prompt
+// prefix. Prompts are section sequences (system preamble, task description,
+// memory, dialogue, observation — see internal/prompt); two prompts share a
+// cache entry exactly when their leading sections match by (name, size)
+// chain. That is the suite's identity model: fixed sections with equal
+// names and token counts hold the same content (the shared system/task
+// preamble every agent of a workload sends), while histories that have
+// diverged change size and break the chain.
+//
+// The cache is a deterministic LRU over chained-FNV prefix keys: every
+// lookup touches all prefixes of the prompt, and eviction removes the
+// least-recently-touched entry (ties impossible — touch ticks are unique).
+// Recency order lives in a lazy-deletion queue: touches append, eviction
+// pops from the front skipping entries whose tick is stale, and the queue
+// compacts once garbage dominates — amortized O(1) per touch regardless of
+// capacity.
+type prefixCache struct {
+	cap   int
+	last  map[uint64]int // prefix key -> last-touch tick
+	order []lruEvent     // touch events, oldest first; stale ones skipped
+	tick  int
+}
+
+// lruEvent is one touch of a prefix key; it is stale when the key has been
+// touched again (or evicted) since.
+type lruEvent struct {
+	key  uint64
+	tick int
+}
+
+func newPrefixCache(capacity int) *prefixCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &prefixCache{cap: capacity, last: make(map[uint64]int, capacity)}
+}
+
+// FNV-1a constants, chained manually so a prefix key extends its parent's.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// chainSection folds one section's identity (name and token count) into a
+// running prefix key.
+func chainSection(h uint64, s prompt.Section) uint64 {
+	for i := 0; i < len(s.Name); i++ {
+		h ^= uint64(s.Name[i])
+		h *= fnvPrime
+	}
+	sz := s.Size()
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(sz >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+// match reports how many leading tokens of p are covered by cached
+// prefixes: sections are matched front-to-back and the chain stops at the
+// first miss, mirroring KV-cache prefix reuse.
+func (c *prefixCache) match(p prompt.Prompt) int {
+	if c == nil {
+		return 0
+	}
+	h := fnvOffset
+	cached := 0
+	for _, s := range p.Sections {
+		h = chainSection(h, s)
+		if _, ok := c.last[h]; !ok {
+			break
+		}
+		cached += s.Size()
+	}
+	return cached
+}
+
+// insert touches every prefix of p (so the whole prompt becomes reusable by
+// followers) and evicts least-recently-touched entries beyond capacity.
+func (c *prefixCache) insert(p prompt.Prompt) {
+	if c == nil {
+		return
+	}
+	h := fnvOffset
+	for _, s := range p.Sections {
+		h = chainSection(h, s)
+		c.tick++
+		c.last[h] = c.tick
+		c.order = append(c.order, lruEvent{key: h, tick: c.tick})
+	}
+	for len(c.last) > c.cap {
+		ev := c.order[0]
+		c.order = c.order[1:]
+		if c.last[ev.key] == ev.tick {
+			delete(c.last, ev.key)
+		}
+	}
+	// Compact once stale events dominate, keeping memory proportional to
+	// the live entry count. Live events already sit in touch order, so
+	// filtering preserves LRU order deterministically.
+	if len(c.order) > 2*len(c.last)+64 {
+		live := c.order[:0]
+		for _, ev := range c.order {
+			if c.last[ev.key] == ev.tick {
+				live = append(live, ev)
+			}
+		}
+		c.order = live
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/prompt"
+)
+
+// replica is one model instance's timeline position: when it frees, and the
+// shape of its in-flight frontier batch (for continuous-batching joins).
+type replica struct {
+	freeAt     time.Duration
+	batchStart time.Duration
+	batchEnd   time.Duration
+	batchN     int
+	batchTok   float64 // effective (cache-discounted) prefill tokens
+	batchOut   int     // longest generation in the batch
+	// Stats already recorded for the in-flight batch's members, so joins
+	// can retroactively restate them at the batch's final size (keeping
+	// closed-loop accounting identical to Replay's, where every member
+	// reports the whole batch's size and service time).
+	recSeqs    int
+	recService time.Duration
+}
+
+// Endpoint is one shared serving deployment. It is not safe for concurrent
+// use; each simulated episode owns its own endpoint (the episode runner
+// builds one per episode, which is what keeps -procs parallelism
+// bit-identical to sequential runs).
+type Endpoint struct {
+	cfg      Config
+	replicas []replica
+	cache    *prefixCache
+	stats    metrics.Serving
+}
+
+// New builds an endpoint from cfg (zero fields defaulted).
+func New(cfg Config) *Endpoint {
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		cfg:      cfg,
+		replicas: make([]replica, cfg.Replicas),
+		cache:    newPrefixCache(cfg.CacheEntries),
+	}
+	e.stats.Replicas = cfg.Replicas
+	return e
+}
+
+// Config reports the endpoint's effective (defaulted) configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// Stats reports accumulated serving statistics.
+func (e *Endpoint) Stats() metrics.Serving { return e.stats }
+
+// Reset clears timeline, cache and statistics for reuse.
+func (e *Endpoint) Reset() {
+	for i := range e.replicas {
+		e.replicas[i] = replica{}
+	}
+	e.cache = newPrefixCache(e.cfg.CacheEntries)
+	e.stats = metrics.Serving{Replicas: e.cfg.Replicas}
+}
+
+// promptCost prices a prompt's prefill through the prefix cache: returns
+// the effective token count (cache-hit tokens pay CachedPrefillFrac), the
+// cached token count, and the raw total.
+func (e *Endpoint) promptCost(p prompt.Prompt) (eff float64, cached, total int) {
+	total = p.Tokens()
+	cached = e.cache.match(p)
+	e.cache.insert(p)
+	eff = float64(total-cached) + float64(cached)*e.cfg.CachedPrefillFrac
+	return eff, cached, total
+}
+
+// pick returns the least-loaded replica (earliest freeAt, lowest index on
+// ties) — the router every multi-replica deployment runs.
+func (e *Endpoint) pick() *replica {
+	best := &e.replicas[0]
+	for i := 1; i < len(e.replicas); i++ {
+		if e.replicas[i].freeAt < best.freeAt {
+			best = &e.replicas[i]
+		}
+	}
+	return best
+}
+
+// Serve is the closed-loop entry point: one live request, submitted at the
+// calling agent's virtual time, resolved immediately against the endpoint's
+// current timeline. It implements llm.Backend.
+//
+// Admission is in submission order (the order episode code issues calls),
+// which is deterministic; arrival timestamps still drive queueing delay and
+// batching, so contention emerges whenever per-agent clocks overlap.
+// Continuous batching appears as a join window: a request arriving within
+// MaxWait of the frontier batch's start joins it, paying its own prefill
+// and the incremental decode slowdown, without disturbing the already
+// reported completions of earlier members.
+func (e *Endpoint) Serve(c llm.Call) llm.Served {
+	eff, cached, total := e.promptCost(c.Prompt)
+	r := e.pick()
+
+	// Join the in-flight frontier batch when the window allows.
+	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
+		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
+		r.batchN++
+		r.batchTok += eff
+		if c.OutTokens > r.batchOut {
+			r.batchOut = c.OutTokens
+		}
+		end := r.batchStart + e.cfg.Profile.BatchServiceTime(r.batchN, r.batchTok, r.batchOut)
+		if end < r.batchEnd {
+			end = r.batchEnd
+		}
+		r.batchEnd, r.freeAt = end, end
+		wait := time.Duration(0)
+		if c.Arrival < r.batchStart {
+			wait = r.batchStart - c.Arrival
+		}
+		// Restate the batch's stats at its new size: every member — the
+		// already-reported ones included — rode a batch of batchN sequences
+		// taking (end - start) each.
+		e.stats.Requests++
+		e.stats.QueueWait += wait
+		perMember := end - r.batchStart
+		e.stats.Service += time.Duration(r.batchN)*perMember - r.recService
+		r.recService = time.Duration(r.batchN) * perMember
+		e.stats.BatchedSeqs += r.batchN*r.batchN - r.recSeqs
+		r.recSeqs = r.batchN * r.batchN
+		e.stats.PrefillTokens += total
+		e.stats.CachedTokens += cached
+		return llm.Served{Latency: end - c.Arrival, QueueWait: wait, CachedTokens: cached}
+	}
+
+	// Start a new batch: queue behind the replica's frontier if busy.
+	start := c.Arrival
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	wait := start - c.Arrival
+	service := e.cfg.Profile.BatchServiceTime(1, eff, c.OutTokens)
+	end := start + service
+	*r = replica{
+		freeAt: end, batchStart: start, batchEnd: end,
+		batchN: 1, batchTok: eff, batchOut: c.OutTokens,
+		recSeqs: 1, recService: service,
+	}
+	e.record(service, wait, 1, cached, total)
+	return llm.Served{Latency: end - c.Arrival, QueueWait: wait, CachedTokens: cached}
+}
+
+// record folds one served request into the running statistics.
+func (e *Endpoint) record(service, wait time.Duration, batchN, cached, total int) {
+	e.stats.Requests++
+	e.stats.QueueWait += wait
+	e.stats.Service += service
+	e.stats.BatchedSeqs += batchN
+	e.stats.PrefillTokens += total
+	e.stats.CachedTokens += cached
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/prompt"
+)
+
+// Compile-time check: a shared endpoint is a drop-in serving backend for
+// llm clients.
+var _ llm.Backend = (*Endpoint)(nil)
+
+// Request is one entry of an open-loop request trace.
+type Request struct {
+	Agent     string
+	Priority  int // lower is served first; FIFO within a class
+	Arrival   time.Duration
+	Prompt    prompt.Prompt
+	OutTokens int
+}
+
+// Completion describes how one replayed request was served.
+type Completion struct {
+	Agent        string
+	Arrival      time.Duration
+	Start        time.Duration // batch launch time
+	Done         time.Duration // batch completion time
+	QueueWait    time.Duration // Start - Arrival
+	BatchSize    int           // sequences in the request's batch
+	PromptTokens int
+	CachedTokens int
+}
+
+// ReplayResult bundles a replay's per-request completions (in submission
+// order) with aggregate statistics.
+type ReplayResult struct {
+	Completions []Completion
+	Stats       metrics.Serving
+	Batches     int
+	Makespan    time.Duration // last completion time
+}
+
+// Throughput reports served requests per simulated second over the
+// makespan.
+func (r ReplayResult) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(r.Completions)) / r.Makespan.Seconds()
+}
+
+// Replay runs a full request trace through a fresh endpoint with a
+// discrete-event loop: requests are admitted at their arrival times into a
+// priority/FIFO queue, and each idle replica launches a batch of up to
+// MaxBatch when the batch is full, when the oldest queued request has
+// waited MaxWait, or when no further arrivals are pending. All ties break
+// on submission order, so the replay is a pure function of (cfg, reqs).
+func Replay(cfg Config, reqs []Request) ReplayResult {
+	e := New(cfg)
+	res := ReplayResult{Completions: make([]Completion, len(reqs))}
+	if len(reqs) == 0 {
+		return res
+	}
+
+	// Arrival order, stable on submission index.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	})
+
+	var queue []int // request indices, kept sorted by (Priority, Arrival, index)
+	nextArr := 0
+	now := reqs[order[0]].Arrival
+	done := 0
+
+	admit := func() {
+		arrived := false
+		for nextArr < len(order) && reqs[order[nextArr]].Arrival <= now {
+			queue = append(queue, order[nextArr])
+			nextArr++
+			arrived = true
+		}
+		if !arrived {
+			return
+		}
+		sort.SliceStable(queue, func(a, b int) bool {
+			qa, qb := reqs[queue[a]], reqs[queue[b]]
+			if qa.Priority != qb.Priority {
+				return qa.Priority < qb.Priority
+			}
+			if qa.Arrival != qb.Arrival {
+				return qa.Arrival < qb.Arrival
+			}
+			return queue[a] < queue[b]
+		})
+	}
+
+	oldestArrival := func() time.Duration {
+		oldest := reqs[queue[0]].Arrival
+		for _, qi := range queue[1:] {
+			if reqs[qi].Arrival < oldest {
+				oldest = reqs[qi].Arrival
+			}
+		}
+		return oldest
+	}
+
+	shouldLaunch := func() bool {
+		if e.cfg.MaxBatch <= 1 || len(queue) >= e.cfg.MaxBatch {
+			return true
+		}
+		if nextArr >= len(order) {
+			return true // nothing else is coming; waiting is pure loss
+		}
+		return now-oldestArrival() >= e.cfg.MaxWait
+	}
+
+	for done < len(reqs) {
+		admit()
+
+		// Launch batches on every idle replica while the policy allows.
+		for launched := true; launched; {
+			launched = false
+			for ri := range e.replicas {
+				r := &e.replicas[ri]
+				if r.freeAt > now || len(queue) == 0 || !shouldLaunch() {
+					continue
+				}
+				n := len(queue)
+				if n > e.cfg.MaxBatch {
+					n = e.cfg.MaxBatch
+				}
+				batch := queue[:n]
+				queue = append([]int(nil), queue[n:]...)
+
+				totalEff, maxOut := 0.0, 0
+				type member struct{ cached, total int }
+				members := make([]member, n)
+				for bi, qi := range batch {
+					eff, cached, total := e.promptCost(reqs[qi].Prompt)
+					totalEff += eff
+					members[bi] = member{cached, total}
+					if reqs[qi].OutTokens > maxOut {
+						maxOut = reqs[qi].OutTokens
+					}
+				}
+				service := e.cfg.Profile.BatchServiceTime(n, totalEff, maxOut)
+				end := now + service
+				r.freeAt = end
+				res.Batches++
+				for bi, qi := range batch {
+					rq := reqs[qi]
+					wait := now - rq.Arrival
+					res.Completions[qi] = Completion{
+						Agent: rq.Agent, Arrival: rq.Arrival, Start: now, Done: end,
+						QueueWait: wait, BatchSize: n,
+						PromptTokens: members[bi].total, CachedTokens: members[bi].cached,
+					}
+					e.record(service, wait, n, members[bi].cached, members[bi].total)
+				}
+				if end > res.Makespan {
+					res.Makespan = end
+				}
+				done += n
+				launched = true
+			}
+		}
+		if done >= len(reqs) {
+			break
+		}
+
+		// Advance virtual time to the next event: an arrival, a replica
+		// freeing, or the oldest queued request's wait window expiring.
+		next := time.Duration(1<<63 - 1)
+		if nextArr < len(order) {
+			if t := reqs[order[nextArr]].Arrival; t < next {
+				next = t
+			}
+		}
+		if len(queue) > 0 && e.cfg.MaxBatch > 1 {
+			// Only a future window expiry is an event; an already-expired
+			// window means the queue is waiting on a replica, not on time.
+			if t := oldestArrival() + e.cfg.MaxWait; t > now && t < next {
+				next = t
+			}
+		}
+		for ri := range e.replicas {
+			if t := e.replicas[ri].freeAt; t > now && t < next {
+				next = t
+			}
+		}
+		if next <= now {
+			next = now + time.Nanosecond // safety: time must advance
+		}
+		now = next
+	}
+	res.Stats = e.Stats()
+	return res
+}

@@ -1,0 +1,77 @@
+// Package serve simulates a shared LLM serving endpoint: the substrate many
+// embodied agents contend for when they stop getting a dedicated model each
+// (paper Fig. 6/7 and Recs. 1–3).
+//
+// An Endpoint owns N replicas of one model deployment, an admission queue,
+// a continuous-batching scheduler and a prefix/KV cache. Requests carry
+// submission timestamps from per-agent virtual clocks; the endpoint orders
+// them on a global virtual timeline and returns completion times, so
+// queueing delay, batching gains and cache hit rates all emerge
+// deterministically from the root seed — no wall clock, no goroutines.
+//
+// Two modes share the same pricing model (llm.Profile.BatchServiceTime and
+// the prefix cache):
+//
+//   - Closed loop: Endpoint implements llm.Backend, so live episodes route
+//     every client call through the shared endpoint. Requests are admitted
+//     in submission order; a request arriving within the batching window of
+//     a replica's in-flight batch joins it (continuous batching), otherwise
+//     it queues behind the least-loaded replica.
+//   - Open loop: Replay takes a full request trace (arrival offsets, prompt
+//     structure, generation lengths) and runs a discrete-event loop over
+//     it, forming batches of up to MaxBatch that launch when full, when the
+//     oldest queued request has waited MaxWait, or when no further arrivals
+//     are pending. This is the classic serving-benchmark shape: fixed
+//     arrival schedule, swept scheduler policy.
+package serve
+
+import (
+	"time"
+
+	"embench/internal/llm"
+)
+
+// Config describes one shared serving deployment.
+type Config struct {
+	// Profile prices prefill/decode/overhead for every replica. A zero
+	// profile (Name == "") is filled in by the episode runner with the
+	// workload's planner profile.
+	Profile llm.Profile
+	// Replicas is the number of identical model instances behind the
+	// endpoint (default 1). Requests go to the least-loaded replica.
+	Replicas int
+	// MaxBatch caps sequences per continuous batch; <= 1 disables batching.
+	MaxBatch int
+	// MaxWait is the batching window: in open-loop replay, how long the
+	// oldest queued request may wait for companions before its batch
+	// launches; in closed-loop serving, how far after a batch's start a new
+	// arrival may still join it. Zero means "no waiting" — batches only
+	// coalesce requests that are already simultaneous.
+	MaxWait time.Duration
+	// CacheEntries sizes the prefix cache (cached section-prefixes, LRU);
+	// 0 disables the cache.
+	CacheEntries int
+	// CachedPrefillFrac is the fraction of prefill cost still paid for
+	// cache-hit tokens (default 0.1 — KV reuse is cheap but not free).
+	CachedPrefillFrac float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.CachedPrefillFrac <= 0 {
+		c.CachedPrefillFrac = 0.1
+	}
+	if c.CachedPrefillFrac > 1 {
+		c.CachedPrefillFrac = 1
+	}
+	return c
+}
