@@ -7,6 +7,7 @@
 //	embench -exp fig2,fig8 -bench-json BENCH_serve.json   # + machine-readable perf record
 //	embench -run CoELA [-diff medium] [-agents 2]         # run one episode
 //	embench -run CoELA -serve-replicas 1 -serve-batch 4   # ... against a shared endpoint
+//	embench -run CoELA -serve-fleet 4 -serve-routing cache-affinity  # fleet of episodes, one endpoint
 //	embench -list                                         # list workloads/experiments
 //
 // Experiments fan episodes out over -procs workers (default: all CPUs).
@@ -16,8 +17,13 @@
 //
 // The -serve-* flags route every LLM call of a -run episode through one
 // shared serving endpoint (internal/serve): -serve-replicas model
-// instances, continuous batches of up to -serve-batch sequences forming
-// over a -serve-window, and a -serve-cache-entries-sized prefix cache.
+// instances placed by -serve-routing, continuous batches of up to
+// -serve-batch sequences forming over a -serve-window, and a
+// -serve-cache-entries-sized per-replica prefix cache. -serve-fleet N
+// attaches N concurrently running episodes to ONE endpoint (cross-episode
+// contention), and -serve-aggregate batches each step's plan calls
+// explicitly (Rec. 1 step-phase aggregation). Flag-by-flag semantics live
+// in docs/EXPERIMENTS.md.
 package main
 
 import (
@@ -29,35 +35,22 @@ import (
 	"time"
 
 	"embench"
+	"embench/internal/benchjson"
 	"embench/internal/runner"
 	"embench/internal/trace"
 )
 
-// benchEntry is one experiment's machine-readable perf record.
-type benchEntry struct {
-	Experiment string  `json:"experiment"`
-	Episodes   int     `json:"episodes"`
-	Seed       uint64  `json:"seed"`
-	Procs      int     `json:"procs"`
-	WallMS     float64 `json:"wall_ms"`
-	ReportB    int     `json:"report_bytes"`
-	ReportRows int     `json:"report_lines"`
-}
-
-// benchFile is the schema written by -bench-json.
-type benchFile struct {
-	Suite       string       `json:"suite"`
-	GeneratedBy string       `json:"generated_by"`
-	Entries     []benchEntry `json:"entries"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-}
+// The -bench-json schema lives in internal/benchjson, shared with
+// cmd/perftrack so producer and consumer cannot drift.
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig8, table1, table2, opts, calibrate)")
+		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig9, table1, table2, opts, calibrate)")
 		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
 		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
+		parallel = flag.Bool("parallel", false,
+			"overlap independent per-agent spans within a step (Takeaway 6) for -run episodes")
 		episodes = flag.Int("episodes", 5, "episodes per configuration")
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		procs    = flag.Int("procs", runner.DefaultParallelism(),
@@ -69,8 +62,14 @@ func main() {
 		srvBatch = flag.Int("serve-batch", 1, "shared endpoint: max sequences per continuous batch")
 		srvWait  = flag.Duration("serve-window", 1500*time.Millisecond,
 			"shared endpoint: batching window (how long a batch waits/accepts joiners)")
-		srvCache = flag.Int("serve-cache-entries", 512, "shared endpoint: prefix-cache capacity (0 disables)")
-		list     = flag.Bool("list", false, "list workloads and experiments")
+		srvCache = flag.Int("serve-cache-entries", 512, "shared endpoint: per-replica prefix-cache capacity (0 disables)")
+		srvRoute = flag.String("serve-routing", "",
+			"shared endpoint: replica routing policy (least-loaded|cache-affinity|shortest-completion)")
+		srvFleet = flag.Int("serve-fleet", 0,
+			"run this many concurrent episodes of -run against ONE shared endpoint (0 = single episode with dedicated serving unless -serve-replicas is set)")
+		srvAgg = flag.Bool("serve-aggregate", false,
+			"step-phase query aggregation for decentralized workloads: batch all agents' plan calls of a step explicitly (Rec. 1; no effect on single-agent/centralized systems)")
+		list = flag.Bool("list", false, "list workloads and experiments")
 	)
 	flag.Parse()
 
@@ -79,7 +78,7 @@ func main() {
 		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
 		fmt.Println("experiments:", strings.Join(embench.Experiments(), ", "))
 	case *exp != "":
-		out := benchFile{Suite: "embench", GeneratedBy: "embench -bench-json"}
+		out := benchjson.File{Suite: "embench", GeneratedBy: "embench -bench-json"}
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
 			if name == "" {
@@ -94,7 +93,7 @@ func main() {
 			}
 			wall := time.Since(start)
 			fmt.Print(report)
-			out.Entries = append(out.Entries, benchEntry{
+			out.Entries = append(out.Entries, benchjson.Entry{
 				Experiment: name, Episodes: *episodes, Seed: *seed, Procs: *procs,
 				WallMS:     float64(wall.Microseconds()) / 1000,
 				ReportB:    len(report),
@@ -110,17 +109,42 @@ func main() {
 				*benchJSON, len(out.Entries), out.TotalWallMS)
 		}
 	case *run != "":
-		opt := embench.Options{Seed: *seed}
-		if *srvReplicas > 0 {
-			opt.Serve = &embench.ServeConfig{
-				Replicas: *srvReplicas, MaxBatch: *srvBatch,
-				MaxWait: *srvWait, CacheEntries: *srvCache,
+		routing, err := embench.ParseRouting(*srvRoute)
+		if err != nil {
+			fatal(err)
+		}
+		opt := embench.Options{Seed: *seed, Parallel: *parallel, Aggregate: *srvAgg}
+		sc := embench.ServeConfig{
+			Replicas: *srvReplicas, Routing: routing, MaxBatch: *srvBatch,
+			MaxWait: *srvWait, CacheEntries: *srvCache,
+		}
+		if *srvFleet > 0 {
+			// Fleet mode: the episodes (one is allowed — the degenerate
+			// fleet) run against one shared endpoint.
+			res, err := embench.RunFleet(*run, *diff, *agents, *srvFleet, opt, sc)
+			if err != nil {
+				fatal(err)
 			}
+			fmt.Printf("workload    %s (%s, seed %d) × %d concurrent episodes on one endpoint\n",
+				*run, *diff, *seed, *srvFleet)
+			for i, e := range res.Episodes {
+				fmt.Printf("episode %-2d  success=%-5v steps=%-3d sim=%6.1fm  queue=%5.1fs  cache=%3.0f%%\n",
+					i, e.Success, e.Steps, e.SimDuration.Minutes(),
+					e.Serving.MeanQueueWait().Seconds(), 100*e.Serving.CacheHitRate())
+			}
+			s := res.Serving
+			fmt.Printf("endpoint    %d requests on %d replica(s) [%s]: %.1fs mean queue wait, %.2f batch occupancy, %.0f%% cache hits\n",
+				s.Requests, s.Replicas, sc.Routing, s.MeanQueueWait().Seconds(),
+				s.BatchOccupancy(), 100*s.CacheHitRate())
+			return
+		}
+		if *srvReplicas > 0 {
+			opt.Serve = &sc
 		} else {
 			// Serve tuning flags do nothing without an endpoint; say so
 			// instead of silently running with dedicated serving.
 			flag.Visit(func(f *flag.Flag) {
-				if strings.HasPrefix(f.Name, "serve-") && f.Name != "serve-replicas" {
+				if strings.HasPrefix(f.Name, "serve-") && f.Name != "serve-replicas" && f.Name != "serve-aggregate" {
 					fmt.Fprintf(os.Stderr,
 						"embench: -%s has no effect without -serve-replicas > 0 (running with dedicated serving)\n", f.Name)
 				}
@@ -162,7 +186,7 @@ func main() {
 
 // writeBenchJSON persists the perf record with a trailing newline so the
 // file diffs cleanly across runs.
-func writeBenchJSON(path string, out benchFile) error {
+func writeBenchJSON(path string, out benchjson.File) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

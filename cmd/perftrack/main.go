@@ -1,0 +1,124 @@
+// Command perftrack appends benchmark wall-time records to a trajectory
+// file and flags regressions against the previous record — the
+// machine-readable perf history the ROADMAP's perf-trajectory item asks
+// for.
+//
+// Usage:
+//
+//	embench -exp fig9 -bench-json BENCH_fleet.json
+//	perftrack -in BENCH_fleet.json -history PERF_TRAJECTORY.jsonl -label "$GITHUB_SHA"
+//
+// Each invocation appends ONE line of JSON to the history file:
+// {label, entries: [{experiment, episodes, procs, wall_ms}...]}. Before
+// appending, every experiment's wall time is compared to its most recent
+// prior record; a ratio above -warn-ratio prints a warning (and, with
+// -fail-on-regress, exits nonzero). The file is append-only JSONL so PRs
+// accumulate a comparable series; commit it to keep the series across
+// machines, or let CI keep an ephemeral one per run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"embench/internal/benchjson"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "bench JSON written by embench -bench-json (required)")
+		history = flag.String("history", "PERF_TRAJECTORY.jsonl", "append-only JSONL trajectory file")
+		label   = flag.String("label", "local", "record label (commit SHA, PR number, ...)")
+		ratio   = flag.Float64("warn-ratio", 1.5, "warn when wall time exceeds the previous record by this factor")
+		fail    = flag.Bool("fail-on-regress", false, "exit 1 when a regression is flagged")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var bf benchjson.File
+	if err := json.Unmarshal(data, &bf); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *in, err))
+	}
+	if len(bf.Entries) == 0 {
+		fatal(fmt.Errorf("%s carries no experiment entries", *in))
+	}
+
+	prev := lastWallTimes(*history)
+	regressed := false
+	for _, e := range bf.Entries {
+		// Wall times are only comparable between identical run
+		// configurations (experiment, episodes, seed, procs); a record
+		// taken with different settings is not a baseline.
+		p, ok := prev[e.ConfigKey()]
+		if !ok || p <= 0 {
+			fmt.Printf("perftrack: %-10s %8.0f ms (no prior record for this config)\n", e.Experiment, e.WallMS)
+			continue
+		}
+		r := e.WallMS / p
+		mark := ""
+		if r > *ratio {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("perftrack: %-10s %8.0f ms (prev %.0f ms, x%.2f)%s\n",
+			e.Experiment, e.WallMS, p, r, mark)
+	}
+
+	f, err := os.OpenFile(*history, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	line, err := json.Marshal(benchjson.Record{Label: *label, Entries: bf.Entries})
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("perftrack: appended %q to %s\n", *label, *history)
+
+	if regressed && *fail {
+		os.Exit(1)
+	}
+}
+
+// lastWallTimes scans the history for the most recent wall time per run
+// configuration (see benchjson.Entry.ConfigKey). A missing or partially
+// corrupt file is not an error — the trajectory should keep accumulating
+// even if one line was mangled.
+func lastWallTimes(path string) map[string]float64 {
+	out := map[string]float64{}
+	f, err := os.Open(path)
+	if err != nil {
+		return out
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r benchjson.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			continue
+		}
+		for _, e := range r.Entries {
+			out[e.ConfigKey()] = e.WallMS
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perftrack:", err)
+	os.Exit(1)
+}

@@ -7,8 +7,9 @@
 // task environments, the six agent building blocks (sensing, planning,
 // communication, memory, reflection, execution), all four coordination
 // paradigms, and one experiment runner per table and figure in the paper's
-// evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for measured-vs-paper numbers.
+// evaluation. See docs/ARCHITECTURE.md for the module map and determinism
+// model and docs/EXPERIMENTS.md for per-figure recipes and CLI flag
+// semantics.
 //
 // Experiments are embarrassingly parallel at the episode level, and every
 // figure/table regeneration routes its episode batches through a
@@ -32,12 +33,14 @@
 package embench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"embench/internal/bench"
 	"embench/internal/multiagent"
+	"embench/internal/runner"
 	"embench/internal/serve"
 	"embench/internal/systems"
 	"embench/internal/world"
@@ -50,9 +53,17 @@ type Outcome = multiagent.Outcome
 type Options = multiagent.Options
 
 // ServeConfig describes a shared serving endpoint (queueing, continuous
-// batching, prefix cache, replicas); set Options.Serve to route an
-// episode's LLM traffic through one. See internal/serve.
+// batching, per-replica prefix caches, replicas, routing policy); set
+// Options.Serve to route an episode's LLM traffic through one, or pass it
+// to RunFleet to share one endpoint across episodes. See internal/serve.
 type ServeConfig = serve.Config
+
+// RoutingPolicy places new batches on replicas: least-loaded,
+// cache-affinity or shortest-completion. See serve.RoutingPolicy.
+type RoutingPolicy = serve.RoutingPolicy
+
+// ParseRouting converts a routing-policy name ("" = least-loaded).
+func ParseRouting(s string) (RoutingPolicy, error) { return serve.ParseRouting(s) }
 
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
@@ -77,6 +88,34 @@ func ParseDifficulty(s string) (world.Difficulty, error) {
 // workload's default team size.
 func Run(name, difficulty string, agents int, seed uint64) (Outcome, error) {
 	return RunOpt(name, difficulty, agents, Options{Seed: seed})
+}
+
+// FleetResult is a fleet run's outcome: per-episode metrics and traces in
+// episode order plus the shared endpoint's serving totals.
+type FleetResult = runner.FleetResult
+
+// RunFleet runs `episodes` concurrent episodes of one workload against a
+// single shared serving endpoint (serve.Fleet): the episodes' LLM traffic
+// contends for the same replicas, admission queue and prefix caches, with
+// deterministic discrete-event merging of the episodes' virtual-time
+// request streams. Episode seeds derive from opt.Seed exactly as
+// Experiment batches do, and the result is byte-identical across reruns.
+func RunFleet(name, difficulty string, agents, episodes int, opt Options, sc ServeConfig) (FleetResult, error) {
+	w, ok := systems.Get(name)
+	if !ok {
+		return FleetResult{}, fmt.Errorf("embench: unknown workload %q (see Workloads())", name)
+	}
+	diff, err := ParseDifficulty(difficulty)
+	if err != nil {
+		return FleetResult{}, err
+	}
+	if episodes < 1 {
+		episodes = 1
+	}
+	return runner.RunFleet(context.Background(), runner.FleetGroup{
+		Specs: runner.Specs(w, diff, agents, nil, opt, episodes, opt.Seed),
+		Serve: sc,
+	})
 }
 
 // RunOpt is Run with full runner options.
@@ -113,6 +152,7 @@ var experiments = map[string]func(cfg bench.Config) string{
 	"fig6":   func(cfg bench.Config) string { return bench.RenderFig6(bench.Fig6(cfg)) },
 	"fig7":   func(cfg bench.Config) string { return bench.RenderFig7(bench.Fig7(cfg)) },
 	"fig8":   func(cfg bench.Config) string { return bench.RenderFig8(bench.Fig8(cfg)) },
+	"fig9":   func(cfg bench.Config) string { return bench.RenderFig9(bench.Fig9(cfg)) },
 	"opts": func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
 	},

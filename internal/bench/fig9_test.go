@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"embench/internal/serve"
+)
+
+func fig9TestConfig() Config {
+	return Config{Episodes: 2, Seed: 11, Parallelism: 1}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rep := Fig9(fig9TestConfig())
+	wantFleet := len(Fig9Episodes) * len(fig9Replicas) * len(fig9Routings)
+	if len(rep.Fleet) != wantFleet {
+		t.Fatalf("fleet rows = %d, want %d", len(rep.Fleet), wantFleet)
+	}
+	if len(rep.Agg) != 2*len(Fig9AggAgents) {
+		t.Fatalf("aggregation rows = %d, want %d", len(rep.Agg), 2*len(Fig9AggAgents))
+	}
+	if len(rep.Routing) != 2*len(fig9Routings) {
+		t.Fatalf("routing rows = %d, want %d", len(rep.Routing), 2*len(fig9Routings))
+	}
+	for i, r := range rep.Fleet {
+		if r.TaskLatency <= 0 || r.SuccessRate < 0 || r.SuccessRate > 1 {
+			t.Fatalf("fleet row %d implausible: %+v", i, r)
+		}
+	}
+}
+
+// TestFig9AggregationBeatsJoinWindow is the acceptance criterion: explicit
+// step-phase aggregation must deliver lower mean plan-call latency than
+// join-window batching at every team size >= 4.
+func TestFig9AggregationBeatsJoinWindow(t *testing.T) {
+	rep := Fig9(fig9TestConfig())
+	byAgents := map[int]map[bool]Fig9AggRow{}
+	for _, r := range rep.Agg {
+		if byAgents[r.Agents] == nil {
+			byAgents[r.Agents] = map[bool]Fig9AggRow{}
+		}
+		byAgents[r.Agents][r.Aggregated] = r
+	}
+	for _, n := range Fig9AggAgents {
+		if n < 4 {
+			continue
+		}
+		join, agg := byAgents[n][false], byAgents[n][true]
+		if agg.MeanPlanCall >= join.MeanPlanCall {
+			t.Fatalf("aggregation should cut mean plan-call latency at %d agents: %v vs %v",
+				n, agg.MeanPlanCall, join.MeanPlanCall)
+		}
+		if agg.MeanQueueWait >= join.MeanQueueWait {
+			t.Fatalf("aggregation should cut queue wait at %d agents: %v vs %v",
+				n, agg.MeanQueueWait, join.MeanQueueWait)
+		}
+	}
+}
+
+// TestFig9FleetContentionShapes checks the fleet panel tells the paper's
+// story: more episodes on one deployment queue longer; replicas relieve
+// it; cross-episode sharing raises the cache hit rate over a single
+// episode.
+func TestFig9FleetContentionShapes(t *testing.T) {
+	rep := Fig9(fig9TestConfig())
+	pick := func(eps, replicas int, routing serve.RoutingPolicy) Fig9FleetRow {
+		for _, r := range rep.Fleet {
+			if r.Episodes == eps && r.Replicas == replicas && r.Routing == routing {
+				return r
+			}
+		}
+		t.Fatalf("missing fleet row %d/%d/%s", eps, replicas, routing)
+		return Fig9FleetRow{}
+	}
+	one := pick(1, 1, serve.RouteLeastLoaded)
+	four := pick(4, 1, serve.RouteLeastLoaded)
+	if four.MeanQueueWait <= one.MeanQueueWait {
+		t.Fatalf("4 episodes on 1 replica should queue longer than 1: %v vs %v",
+			four.MeanQueueWait, one.MeanQueueWait)
+	}
+	if four.CacheHitRate <= one.CacheHitRate {
+		t.Fatalf("cross-episode sharing should raise cache hits: %.3f vs %.3f",
+			four.CacheHitRate, one.CacheHitRate)
+	}
+	relieved := pick(4, 4, serve.RouteLeastLoaded)
+	if relieved.MeanQueueWait >= four.MeanQueueWait {
+		t.Fatalf("replicas should relieve fleet contention: %v vs %v",
+			relieved.MeanQueueWait, four.MeanQueueWait)
+	}
+	// Routing panel: cache-affinity must beat least-loaded on hit rate in
+	// the light-load open-loop replay.
+	var ll, ca Fig9RoutingRow
+	for _, r := range rep.Routing {
+		if r.Replicas == 4 && r.Routing == serve.RouteLeastLoaded {
+			ll = r
+		}
+		if r.Replicas == 4 && r.Routing == serve.RouteCacheAffinity {
+			ca = r
+		}
+	}
+	if ca.CacheHitRate <= ll.CacheHitRate {
+		t.Fatalf("routing replay: cache-affinity should beat least-loaded: %.3f vs %.3f",
+			ca.CacheHitRate, ll.CacheHitRate)
+	}
+}
+
+func TestFig9RerunAndParallelismByteIdentical(t *testing.T) {
+	cfg := fig9TestConfig()
+	a, b := Fig9(cfg), Fig9(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig9 reruns diverged")
+	}
+	par := cfg
+	par.Parallelism = 4
+	if !reflect.DeepEqual(a, Fig9(par)) {
+		t.Fatal("Fig9 results changed with worker-pool parallelism")
+	}
+	if RenderFig9(a) != RenderFig9(b) {
+		t.Fatal("Fig9 reports diverged across reruns")
+	}
+}

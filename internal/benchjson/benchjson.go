@@ -1,0 +1,40 @@
+// Package benchjson is the one definition of the machine-readable perf
+// record schema shared by cmd/embench (which writes it via -bench-json)
+// and cmd/perftrack (which appends it to the perf trajectory and checks
+// regressions). Keeping the types in one place means the producer and the
+// consumer cannot drift apart silently.
+package benchjson
+
+import "fmt"
+
+// Entry is one experiment's perf record.
+type Entry struct {
+	Experiment string  `json:"experiment"`
+	Episodes   int     `json:"episodes"`
+	Seed       uint64  `json:"seed"`
+	Procs      int     `json:"procs"`
+	WallMS     float64 `json:"wall_ms"`
+	ReportB    int     `json:"report_bytes,omitempty"`
+	ReportRows int     `json:"report_lines,omitempty"`
+}
+
+// ConfigKey identifies the entry's run configuration. Wall times are only
+// comparable between runs of the same configuration, so trajectory
+// baselines are keyed on this, not on the experiment name alone.
+func (e Entry) ConfigKey() string {
+	return fmt.Sprintf("%s|ep%d|seed%d|procs%d", e.Experiment, e.Episodes, e.Seed, e.Procs)
+}
+
+// File is the top-level object written by embench -bench-json.
+type File struct {
+	Suite       string  `json:"suite"`
+	GeneratedBy string  `json:"generated_by"`
+	Entries     []Entry `json:"entries"`
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// Record is one appended perf-trajectory line (JSONL).
+type Record struct {
+	Label   string  `json:"label"`
+	Entries []Entry `json:"entries"`
+}

@@ -207,11 +207,51 @@ func (a *Agent) PlanJoint(d CentralDomain, step int, ret memory.Retrieval, obs O
 }
 
 func (a *Agent) decide(step int, belief Belief, proposal Proposal, ret memory.Retrieval, obs Observation) PlanResult {
+	prep := a.preparePlan(step, belief, proposal, ret, obs)
+	if prep.Ready {
+		return prep.Result
+	}
+	resp := a.planClient.Complete(prep.Req)
+	res, selReq, needSel := a.FinishPlan(prep, resp)
+	if needSel {
+		res = a.FinishActSelect(res, a.planClient.Complete(selReq))
+	}
+	return res
+}
+
+// PlanPrep is a prepared planning query in flight between PreparePlan and
+// FinishPlan — the seam step-phase aggregation needs to collect all
+// agents' plan requests of a phase before any is served.
+type PlanPrep struct {
+	// Ready means no LLM call is needed (multi-step execution cooldown):
+	// Result is final and Req is meaningless.
+	Ready  bool
+	Result PlanResult
+	// Req is the planning query to issue on PlanClient.
+	Req llm.Request
+
+	step      int
+	proposal  Proposal
+	obsTokens int
+}
+
+// PreparePlan is the first half of Plan: build belief, query the oracle
+// and assemble the planning request, without issuing it. Callers issue
+// prep.Req themselves (individually or via llm.CompleteBatchMulti) and
+// complete the module with FinishPlan/FinishActSelect. Plan is the
+// single-call composition of the three.
+func (a *Agent) PreparePlan(d Domain, step int, ret memory.Retrieval, obs Observation, extra []memory.Record) PlanPrep {
+	belief := d.BuildBelief(a.ID, beliefRecords(ret, obs, extra))
+	proposal := d.Propose(a.ID, belief)
+	return a.preparePlan(step, belief, proposal, ret, obs)
+}
+
+func (a *Agent) preparePlan(step int, belief Belief, proposal Proposal, ret memory.Retrieval, obs Observation) PlanPrep {
 	// Multi-step execution (Rec. 7): while under a current plan, follow the
 	// oracle directly — the expensive LLM reasoning already happened.
 	if a.planCooldown > 0 {
 		a.planCooldown--
-		return PlanResult{Subgoal: proposal.Good, Proposal: proposal}
+		return PlanPrep{Ready: true, Result: PlanResult{Subgoal: proposal.Good, Proposal: proposal}}
 	}
 	memTokens, dlgTokens := splitTokens(ret)
 	p := planning.Build(planning.Context{
@@ -230,15 +270,28 @@ func (a *Agent) decide(step int, belief Belief, proposal Proposal, ret memory.Re
 		p, outTokens = mc.Apply(p, outTokens)
 		discount = mc.ErrorDiscount
 	}
-	resp := a.planClient.Complete(llm.Request{
-		Agent: a.name(), Module: trace.Planning, Step: step, Kind: "plan",
-		Prompt: p, OutTokens: outTokens,
-		Good: proposal.Good, Corruptions: anySlice(proposal.Corruptions),
-		Complexity: proposal.Complexity, Staleness: belief.Staleness,
-		ErrorDiscount: discount,
-	})
-	res := PlanResult{
-		Proposal:  proposal,
+	return PlanPrep{
+		Req: llm.Request{
+			Agent: a.name(), Module: trace.Planning, Step: step, Kind: "plan",
+			Prompt: p, OutTokens: outTokens,
+			Good: proposal.Good, Corruptions: anySlice(proposal.Corruptions),
+			Complexity: proposal.Complexity, Staleness: belief.Staleness,
+			ErrorDiscount: discount,
+		},
+		step: step, proposal: proposal, obsTokens: obs.Tokens,
+	}
+}
+
+// FinishPlan is the second half of Plan: fold the LLM response into a
+// PlanResult, apply the no-reflection persistence loop and the multi-step
+// cooldown. When the config runs CoELA-style action selection it returns
+// the follow-up request (to issue on PlanClient, then FinishActSelect)
+// with needSel true. The persistence draw consumes the agent's persist
+// stream in exactly the same order as the unsplit path, so aggregated and
+// per-agent runs stay decision-aligned.
+func (a *Agent) FinishPlan(prep PlanPrep, resp llm.Response) (res PlanResult, selReq llm.Request, needSel bool) {
+	res = PlanResult{
+		Proposal:  prep.proposal,
 		Corrupted: resp.Corrupted,
 		UsedLLM:   true,
 		Truncated: resp.Truncated,
@@ -255,28 +308,39 @@ func (a *Agent) decide(step int, belief Belief, proposal Proposal, ret memory.Re
 	} else {
 		a.loopRepeats = 0
 	}
-	// CoELA-style action selection: a further LLM call turns the plan into
-	// a concrete action and can itself pick wrong.
-	if a.Cfg.ActSelect && res.Subgoal != nil {
-		sel := a.planClient.Complete(llm.Request{
-			Agent: a.name(), Module: trace.Execution, Step: step, Kind: "act-select",
-			Prompt:    planning.Build(planning.Context{SystemTokens: 120, TaskTokens: 40, ObsTokens: obs.Tokens}),
-			OutTokens: planning.ActSelectOutTokens,
-			Good:      res.Subgoal, Corruptions: anySlice(proposal.Corruptions),
-			Complexity: proposal.Complexity / 2,
-		})
-		if sg, ok := sel.Decision.(Subgoal); ok {
-			if sel.Corrupted {
-				res.Corrupted = true
-			}
-			res.Subgoal = sg
-		}
-	}
 	if a.Cfg.PlanHorizon > 1 {
 		a.planCooldown = a.Cfg.PlanHorizon - 1
 	}
+	// CoELA-style action selection: a further LLM call turns the plan into
+	// a concrete action and can itself pick wrong.
+	if a.Cfg.ActSelect && res.Subgoal != nil {
+		selReq = llm.Request{
+			Agent: a.name(), Module: trace.Execution, Step: prep.step, Kind: "act-select",
+			Prompt:    planning.Build(planning.Context{SystemTokens: 120, TaskTokens: 40, ObsTokens: prep.obsTokens}),
+			OutTokens: planning.ActSelectOutTokens,
+			Good:      res.Subgoal, Corruptions: anySlice(prep.proposal.Corruptions),
+			Complexity: prep.proposal.Complexity / 2,
+		}
+		return res, selReq, true
+	}
+	return res, llm.Request{}, false
+}
+
+// FinishActSelect folds the action-selection response into the plan
+// result.
+func (a *Agent) FinishActSelect(res PlanResult, sel llm.Response) PlanResult {
+	if sg, ok := sel.Decision.(Subgoal); ok {
+		if sel.Corrupted {
+			res.Corrupted = true
+		}
+		res.Subgoal = sg
+	}
 	return res
 }
+
+// PlanClient exposes the planning-module client (aggregated phase batches
+// issue prepared requests on it).
+func (a *Agent) PlanClient() *llm.Client { return a.planClient }
 
 func anySlice(gs []Subgoal) []any {
 	out := make([]any, len(gs))

@@ -26,6 +26,10 @@ type Served struct {
 	// QueueWait is the admission-queue portion of Latency (zero for a
 	// dedicated direct client).
 	QueueWait time.Duration
+	// BatchSize is the number of sequences in the batch the request was
+	// served in at completion time (1 for an unbatched request or a direct
+	// client).
+	BatchSize int
 	// CachedTokens counts prompt tokens whose prefill was discounted by a
 	// shared prefix/KV cache.
 	CachedTokens int
@@ -35,9 +39,47 @@ type Served struct {
 // backend on the Client) charges the client's own profile latency — a
 // dedicated, contention-free deployment. A shared serve.Endpoint implements
 // Backend too, so many agents' clients contend for the same replicas,
-// admission queue and prefix cache.
+// admission queue and prefix cache; a serve.FleetClient extends the sharing
+// across concurrently running episodes.
+//
+// # Contract
+//
+// A Backend decides serving TIME only. The decision/error channel, prompt
+// fitting and token accounting stay in the Client, so swapping backends (or
+// removing one) must never change what an agent decides — only when its
+// clock says the answer arrived. Three rules make that hold:
+//
+//   - Determinism: Serve must be a pure function of the backend's
+//     construction parameters and the sequence of calls it has admitted so
+//     far. No wall clock, no goroutine-order dependence, no global state.
+//   - Submission-order admission: backends admit calls in the order they
+//     are submitted, using Arrival only for queueing/batching arithmetic.
+//     Each individual agent's clock is monotone, but a backend handle
+//     multiplexes many agents (and a fleet client multiplexes whole
+//     episodes), so successive calls may carry non-monotone arrivals —
+//     backends must not assume otherwise.
+//   - RNG-stream alignment: the Client consumes exactly the same random
+//     draws (latency jitter, format-retry Bernoullis, error channel) whether
+//     or not a backend is attached — the jitter draw is taken and discarded
+//     on the backend path. Two runs of one seed that differ only in backend
+//     therefore make identical decisions call for call, and any difference
+//     in outcome isolates the serving policy. New backend implementations
+//     must not consume client streams.
 type Backend interface {
 	Serve(Call) Served
+}
+
+// BatchBackend is implemented by backends that can serve an explicitly
+// aggregated batch — several calls submitted together as one serving
+// request (paper Rec. 1's step-phase query aggregation). Unlike the
+// continuous-batching join window, where the server opportunistically
+// coalesces requests that happen to overlap, ServeBatch is a client-side
+// promise: these calls belong together, launch them as one batch. The
+// batch launches once its last member has arrived; per-member outcomes are
+// returned in submission order.
+type BatchBackend interface {
+	Backend
+	ServeBatch([]Call) []Served
 }
 
 // SetBackend routes the client's serving time through b; nil restores the

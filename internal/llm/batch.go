@@ -54,22 +54,8 @@ func (c *Client) CompleteBatch(reqs []Request) []Response {
 	totalPrompt := 0
 	maxOut := 0
 	for i, req := range reqs {
-		fitted := prompt.Fit(req.Prompt, c.contextBudget(req.OutTokens))
-		fittedPrompts[i] = fitted.Prompt
-		promptTok := fitted.Prompt.Tokens()
-		r := Response{
-			PromptTokens: promptTok,
-			OutputTokens: req.OutTokens,
-			Truncated:    fitted.Truncated,
-		}
-		r.ErrorP = c.ErrorProbability(promptTok, fitted.Truncated, req)
-		r.Decision = req.Good
-		if len(req.Corruptions) > 0 && c.stream.Bernoulli(r.ErrorP) {
-			r.Corrupted = true
-			r.Decision = req.Corruptions[c.stream.Pick(len(req.Corruptions))]
-		}
-		resps[i] = r
-		totalPrompt += promptTok
+		resps[i], fittedPrompts[i] = c.draw(req)
+		totalPrompt += resps[i].PromptTokens
 		if req.OutTokens > maxOut {
 			maxOut = req.OutTokens
 		}
@@ -113,6 +99,118 @@ func (c *Client) CompleteBatch(reqs []Request) []Response {
 				LLMCall:      true,
 			})
 		}
+	}
+	return resps
+}
+
+// CompleteBatchMulti is step-phase query aggregation across agents (paper
+// Rec. 1 end to end): the same-phase queries of several agents — each with
+// its own client, RNG stream and virtual clock — are collected into one
+// explicit serving batch. reqs[i] is issued on clients[i]; all clients
+// must target the same deployment (they share clients[0]'s backend and the
+// batch is priced with clients[0]'s profile).
+//
+// RNG-stream alignment: for every request, the owning client's stream is
+// consumed in exactly Complete's order — error draw, jitter draw,
+// format-retry draws — so an aggregated run makes the same decisions,
+// call for call, as a per-agent run of the same seed. Only the serving
+// timeline differs, which is what lets fig9 isolate aggregation against
+// join-window batching. On the direct (no-backend) path the jitter draw
+// scales the member's batch latency, mirroring Complete; on the backend
+// path it is discarded, exactly as Complete's backend path discards it.
+//
+// Serving: with a BatchBackend attached, the whole phase is submitted as
+// one explicit batch (Endpoint.ServeBatch) and each member experiences its
+// own completion latency; with a plain Backend the calls are submitted
+// back-to-back (degrading to the join window); with no backend the batch
+// is priced directly with BatchServiceTime. Format retries resubmit
+// individually after the batch completes, exactly as Complete's retries
+// do.
+func CompleteBatchMulti(clients []*Client, reqs []Request) []Response {
+	if len(clients) != len(reqs) {
+		panic("llm: CompleteBatchMulti clients/reqs length mismatch")
+	}
+	n := len(reqs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []Response{clients[0].Complete(reqs[0])}
+	}
+
+	resps := make([]Response, n)
+	fitted := make([]prompt.Prompt, n)
+	attempts := make([]int, n)
+	jitterFactor := make([]float64, n)
+	totalPrompt, maxOut := 0, 0
+	for i, req := range reqs {
+		c := clients[i]
+		resps[i], fitted[i] = c.draw(req)
+		// Same draw order as Complete: the jitter draw, then the
+		// format-retry draws. With a backend attached the jitter factor is
+		// discarded (the endpoint's timeline is the latency model, exactly
+		// as on Complete's backend path); on the direct path it scales the
+		// member's share of the batch latency, so aggregated and per-agent
+		// runs stay comparable jitter-for-jitter.
+		jitterFactor[i] = 1
+		if c.profile.JitterFrac > 0 {
+			jitterFactor[i] = c.stream.Jitter(1, c.profile.JitterFrac)
+		}
+		attempts[i] = c.retryDraws()
+		totalPrompt += resps[i].PromptTokens
+		if req.OutTokens > maxOut {
+			maxOut = req.OutTokens
+		}
+	}
+
+	// Serving latency per member.
+	lats := make([]time.Duration, n)
+	backend := clients[0].backend
+	switch {
+	case backend != nil:
+		calls := make([]Call, n)
+		for i := range reqs {
+			calls[i] = Call{
+				Agent: reqs[i].Agent, Arrival: clients[i].now(),
+				Prompt: fitted[i], PromptTokens: resps[i].PromptTokens,
+				OutTokens: reqs[i].OutTokens,
+			}
+		}
+		if bb, ok := backend.(BatchBackend); ok {
+			for i, s := range bb.ServeBatch(calls) {
+				lats[i] = s.Latency
+			}
+		} else {
+			for i := range calls {
+				lats[i] = backend.Serve(calls[i]).Latency
+			}
+		}
+		// Retries resubmit individually, after the failed batch attempt.
+		for i := range reqs {
+			for a := 1; a < attempts[i]; a++ {
+				s := backend.Serve(Call{
+					Agent: reqs[i].Agent, Arrival: clients[i].now() + lats[i],
+					Prompt: fitted[i], PromptTokens: resps[i].PromptTokens,
+					OutTokens: reqs[i].OutTokens,
+				})
+				lats[i] += s.Latency
+			}
+		}
+	default:
+		lat := clients[0].batchLatency(n, totalPrompt, maxOut)
+		for i := range lats {
+			lats[i] = time.Duration(attempts[i]) * time.Duration(float64(lat)*jitterFactor[i])
+		}
+	}
+
+	for i := range resps {
+		resps[i].Latency = lats[i]
+		resps[i].OutputTokens = attempts[i] * reqs[i].OutTokens
+		clients[i].chargeAs(reqs[i], Response{
+			Latency:      lats[i],
+			PromptTokens: resps[i].PromptTokens,
+			OutputTokens: resps[i].OutputTokens,
+		}, reqs[i].Kind+"(phase)")
 	}
 	return resps
 }

@@ -152,3 +152,141 @@ func TestBatchServiceTimeMatchesClientModel(t *testing.T) {
 		t.Fatal("FixedLatency should override the batch token model")
 	}
 }
+
+// --- step-phase aggregation across clients (CompleteBatchMulti) ---
+
+// multiReqs builds one plan-shaped request per agent.
+func multiReqs(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Agent: "agent", Module: trace.Planning, Step: 1, Kind: "plan",
+			Prompt: promptOf(1200 + 100*i), OutTokens: 100,
+			Good: "g", Corruptions: []any{"b1", "b2"}, Complexity: 0.25,
+		}
+	}
+	return reqs
+}
+
+// multiClients builds n clients with per-agent streams off one root seed,
+// the way an episode builds its agents.
+func multiClients(n int, p Profile, clocks []*simclock.Clock, tr *trace.Trace) []*Client {
+	src := rng.New(42)
+	out := make([]*Client, n)
+	for i := range out {
+		out[i] = NewClient(p, src.NewStream("agent"+string(rune('0'+i))+"/plan"), clocks[i], tr)
+	}
+	return out
+}
+
+// TestCompleteBatchMultiAlignsDecisionsWithComplete is the RNG-stream
+// alignment contract: issuing the same requests through a phase batch
+// must produce exactly the decisions and corruption draws the per-agent
+// Complete path produces, because each client's stream is consumed in the
+// same order.
+func TestCompleteBatchMultiAlignsDecisionsWithComplete(t *testing.T) {
+	const n = 4
+	run := func(batch bool) []Response {
+		clocks := make([]*simclock.Clock, n)
+		for i := range clocks {
+			clocks[i] = simclock.New()
+		}
+		clients := multiClients(n, GPT4, clocks, trace.New())
+		reqs := multiReqs(n)
+		if batch {
+			return CompleteBatchMulti(clients, reqs)
+		}
+		out := make([]Response, n)
+		for i := range reqs {
+			out[i] = clients[i].Complete(reqs[i])
+		}
+		return out
+	}
+	agg, solo := run(true), run(false)
+	for i := range agg {
+		if agg[i].Decision != solo[i].Decision || agg[i].Corrupted != solo[i].Corrupted ||
+			agg[i].ErrorP != solo[i].ErrorP || agg[i].OutputTokens != solo[i].OutputTokens {
+			t.Fatalf("agent %d decision diverged under aggregation:\nagg  %+v\nsolo %+v",
+				i, agg[i], solo[i])
+		}
+	}
+}
+
+// TestCompleteBatchMultiDirectPricing: without a backend, every member of
+// the phase batch pays the joint batch service time (scaled by its own
+// retry count), not n sequential latencies.
+func TestCompleteBatchMultiDirectPricing(t *testing.T) {
+	const n = 4
+	p := Profile{Name: "det", Overhead: time.Second, PrefillRate: 1000, DecodeRate: 10,
+		ContextWindow: 8192, Capability: 0.9} // no jitter, no retries
+	clocks := make([]*simclock.Clock, n)
+	for i := range clocks {
+		clocks[i] = simclock.New()
+	}
+	clients := multiClients(n, p, clocks, trace.New())
+	reqs := multiReqs(n)
+	resps := CompleteBatchMulti(clients, reqs)
+	totalPrompt := 0
+	for _, r := range resps {
+		totalPrompt += r.PromptTokens
+	}
+	want := p.BatchServiceTime(n, float64(totalPrompt), 100)
+	for i, r := range resps {
+		if r.Latency != want {
+			t.Fatalf("member %d latency = %v, want joint batch time %v", i, r.Latency, want)
+		}
+		if clocks[i].Now() != want {
+			t.Fatalf("member %d clock advanced %v, want %v", i, clocks[i].Now(), want)
+		}
+	}
+	solo := p.Latency(resps[0].PromptTokens, 100)
+	if want >= time.Duration(n)*solo {
+		t.Fatal("phase batch should beat n sequential calls")
+	}
+}
+
+// TestCompleteBatchMultiUsesBatchBackend: with a BatchBackend attached the
+// phase leaves as ONE explicit batch — every member reports the full
+// batch size.
+func TestCompleteBatchMultiUsesBatchBackend(t *testing.T) {
+	const n = 3
+	p := Profile{Name: "det", Overhead: time.Second, PrefillRate: 1000, DecodeRate: 10,
+		ContextWindow: 8192, Capability: 0.9}
+	bb := &recordingBatchBackend{}
+	clocks := make([]*simclock.Clock, n)
+	for i := range clocks {
+		clocks[i] = simclock.New()
+	}
+	clients := multiClients(n, p, clocks, trace.New())
+	for _, c := range clients {
+		c.SetBackend(bb)
+	}
+	CompleteBatchMulti(clients, multiReqs(n))
+	if bb.batches != 1 || bb.singles != 0 {
+		t.Fatalf("phase should submit exactly one explicit batch: %d batches, %d singles",
+			bb.batches, bb.singles)
+	}
+	if bb.lastSize != n {
+		t.Fatalf("batch carried %d calls, want %d", bb.lastSize, n)
+	}
+}
+
+// recordingBatchBackend counts how traffic reaches it.
+type recordingBatchBackend struct {
+	batches, singles, lastSize int
+}
+
+func (b *recordingBatchBackend) Serve(c Call) Served {
+	b.singles++
+	return Served{Latency: time.Second, BatchSize: 1}
+}
+
+func (b *recordingBatchBackend) ServeBatch(calls []Call) []Served {
+	b.batches++
+	b.lastSize = len(calls)
+	out := make([]Served, len(calls))
+	for i := range out {
+		out[i] = Served{Latency: 2 * time.Second, BatchSize: len(calls)}
+	}
+	return out
+}

@@ -90,9 +90,12 @@ func (c *Client) ErrorProbability(promptTokens int, truncated bool, req Request)
 	return p
 }
 
-// Complete runs one grounded query: fit the prompt to the context window,
-// draw the error channel, charge serving latency, record the trace event.
-func (c *Client) Complete(req Request) Response {
+// draw runs the per-request decision pipeline shared by Complete,
+// CompleteBatch and CompleteBatchMulti: fit the prompt to the context
+// window, compute pErr and draw the decision from the client's stream.
+// Keeping this in one place is what keeps the three serving paths'
+// RNG-stream consumption aligned.
+func (c *Client) draw(req Request) (Response, prompt.Prompt) {
 	fitted := prompt.Fit(req.Prompt, c.contextBudget(req.OutTokens))
 	promptTok := fitted.Prompt.Tokens()
 	resp := Response{
@@ -106,9 +109,12 @@ func (c *Client) Complete(req Request) Response {
 		resp.Corrupted = true
 		resp.Decision = req.Corruptions[c.stream.Pick(len(req.Corruptions))]
 	}
-	lat := c.serve(req.Agent, fitted.Prompt, promptTok, req.OutTokens)
-	// Malformed generations must be regenerated (up to two retries); each
-	// attempt pays the full serving latency.
+	return resp, fitted.Prompt
+}
+
+// retryDraws consumes the format-retry draws (malformed generations must
+// be regenerated, up to two retries) and returns the attempt count.
+func (c *Client) retryDraws() int {
 	attempts := 1
 	for i := 0; i < 2; i++ {
 		if !c.stream.Bernoulli(c.profile.FormatRetryProb) {
@@ -116,6 +122,16 @@ func (c *Client) Complete(req Request) Response {
 		}
 		attempts++
 	}
+	return attempts
+}
+
+// Complete runs one grounded query: fit the prompt to the context window,
+// draw the error channel, charge serving latency, record the trace event.
+func (c *Client) Complete(req Request) Response {
+	resp, fitted := c.draw(req)
+	lat := c.serve(req.Agent, fitted, resp.PromptTokens, req.OutTokens)
+	// Each retry attempt pays the full serving latency.
+	attempts := c.retryDraws()
 	resp.Latency = time.Duration(attempts) * lat
 	if c.backend != nil && attempts > 1 {
 		// Each retry is a fresh submission to the shared endpoint, issued
@@ -125,7 +141,7 @@ func (c *Client) Complete(req Request) Response {
 		for a := 1; a < attempts; a++ {
 			s := c.backend.Serve(Call{
 				Agent: req.Agent, Arrival: c.now() + total,
-				Prompt: fitted.Prompt, PromptTokens: promptTok, OutTokens: req.OutTokens,
+				Prompt: fitted, PromptTokens: resp.PromptTokens, OutTokens: req.OutTokens,
 			})
 			total += s.Latency
 		}
@@ -148,6 +164,13 @@ func (c *Client) contextBudget(outTokens int) int {
 }
 
 func (c *Client) charge(req Request, resp Response) {
+	c.chargeAs(req, resp, req.Kind)
+}
+
+// chargeAs is charge with an overridden trace kind (batched/phase-
+// aggregated calls annotate their serving mode while keeping the base kind
+// as a prefix for breakdowns).
+func (c *Client) chargeAs(req Request, resp Response, kind string) {
 	if c.clock != nil {
 		c.clock.Advance(resp.Latency)
 	}
@@ -156,7 +179,7 @@ func (c *Client) charge(req Request, resp Response) {
 			Step:         req.Step,
 			Agent:        req.Agent,
 			Module:       req.Module,
-			Kind:         req.Kind,
+			Kind:         kind,
 			Latency:      resp.Latency,
 			PromptTokens: resp.PromptTokens,
 			OutputTokens: resp.OutputTokens,

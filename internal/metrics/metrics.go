@@ -1,6 +1,19 @@
 // Package metrics aggregates episode outcomes into the quantities the paper
 // reports: success rate, average steps, end-to-end latency, per-module
 // latency shares, token totals and message efficiency.
+//
+// The two layers are Episode (one task attempt, reduced from its trace by
+// FromTrace) and Summary (a batch of episodes for one configuration,
+// reduced by Summarize). Serving carries shared-endpoint statistics
+// (internal/serve) alongside either layer: for an episode it is that
+// episode's own share of the endpoint traffic, for a summary the merged
+// totals. Serving's fields are deliberately all sums — never means or
+// rates — so aggregates merge exactly across episodes, fleets and worker
+// pools regardless of grouping; the derived quantities (MeanQueueWait,
+// BatchOccupancy, CacheHitRate) are computed on demand from the sums.
+//
+// Everything here is pure arithmetic over finished traces: no clocks, no
+// randomness, so aggregation can never perturb determinism.
 package metrics
 
 import (

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"embench/internal/core"
+	"embench/internal/llm"
 	"embench/internal/metrics"
 	"embench/internal/modules/comms"
 	"embench/internal/modules/memory"
@@ -44,14 +45,45 @@ type Options struct {
 	// internal/serve) instead of a dedicated per-client deployment. A zero
 	// Profile inside defaults to the workload's planner profile. nil = off.
 	Serve *serve.Config
+	// Backend attaches an externally owned serving backend (a
+	// serve.FleetClient when many episodes share one deployment) instead
+	// of building a per-episode endpoint from Serve. Takes precedence over
+	// Serve. The caller owns the backend's lifecycle; the episode only
+	// routes its LLM calls through it and reads its serving stats at
+	// finish.
+	Backend llm.Backend
+	// Aggregate turns on step-phase query aggregation (Rec. 1 end to end)
+	// in decentralized runners: all agents' plan calls of a step — and
+	// their act-select follow-ups — are collected into one explicit
+	// serving batch (llm.CompleteBatchMulti) instead of being issued
+	// per-agent and relying on the endpoint's join window to coalesce
+	// them. RNG streams stay aligned with the per-agent path; the whole
+	// team now plans before anyone acts, so the only decision input that
+	// can shift is belief staleness (assessed at the step's start for all
+	// agents instead of mid-step).
+	Aggregate bool
 }
 
-// newEndpoint builds the episode's shared endpoint from opt.Serve (nil when
-// serving is direct) and attaches it to cfg as the clients' backend. Each
-// episode gets a fresh endpoint: it carries timeline state, and per-episode
-// construction is what keeps parallel episode runs bit-identical to
-// sequential ones.
-func (o Options) newEndpoint(cfg *core.AgentConfig) *serve.Endpoint {
+// servingStats is the seam finish() reads episode serving statistics
+// through; serve.Endpoint and serve.FleetClient both implement it.
+type servingStats interface {
+	ServingStats() metrics.Serving
+}
+
+// newEndpoint attaches the episode's serving backend to cfg and returns
+// the stats source to read at finish (nil when serving is direct). With
+// opt.Backend set, the externally owned backend (e.g. a fleet client) is
+// used as-is; otherwise opt.Serve builds a fresh per-episode endpoint —
+// an endpoint carries timeline state, and per-episode construction is
+// what keeps parallel episode runs bit-identical to sequential ones.
+func (o Options) newEndpoint(cfg *core.AgentConfig) servingStats {
+	if o.Backend != nil {
+		cfg.Backend = o.Backend
+		if s, ok := o.Backend.(servingStats); ok {
+			return s
+		}
+		return nil
+	}
 	if o.Serve == nil {
 		return nil
 	}
@@ -81,15 +113,17 @@ type Outcome struct {
 }
 
 // finish reduces the run into an Outcome. The episode duration comes from
-// the runner's timeline clock, which respects parallel overlap; endpoint
-// serving statistics (nil when serving direct) ride along in the episode.
-func finish(d core.Domain, tr *trace.Trace, clock *simclock.Clock, endpoint *serve.Endpoint) Outcome {
+// the runner's timeline clock, which respects parallel overlap; serving
+// statistics (nil when serving direct) ride along in the episode — for a
+// fleet episode they are the episode's own share of the shared endpoint's
+// traffic.
+func finish(d core.Domain, tr *trace.Trace, clock *simclock.Clock, stats servingStats) Outcome {
 	success := d.Success()
 	reachedLimit := !success && d.Step() >= d.MaxSteps()
 	ep := metrics.FromTrace(tr, success, reachedLimit, d.Step())
 	ep.SimDuration = clock.Now()
-	if endpoint != nil {
-		ep.Serving = endpoint.Stats()
+	if stats != nil {
+		ep.Serving = stats.ServingStats()
 	}
 	return Outcome{Episode: ep, Trace: tr}
 }

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"context"
+	"sync"
+
+	"embench/internal/metrics"
+	"embench/internal/serve"
+	"embench/internal/trace"
+)
+
+// FleetGroup is one shared-deployment run: a batch of episode specs that
+// all attach to a single serve.Fleet (one endpoint — replicas, queues,
+// caches — contended by every episode in the group).
+type FleetGroup struct {
+	Specs []EpisodeSpec
+	// Serve configures the shared endpoint. A zero Profile is defaulted to
+	// the first spec's (post-mutation) planner profile, mirroring the
+	// per-episode endpoint default.
+	Serve serve.Config
+}
+
+// FleetResult is one group's outcome: per-episode metrics and traces in
+// spec order, plus the endpoint-level serving totals across all episodes
+// (each episode's own share is in its Episode.Serving).
+type FleetResult struct {
+	Episodes []metrics.Episode
+	Traces   []*trace.Trace
+	Serving  metrics.Serving
+}
+
+// fleetServe resolves the group's endpoint configuration: an explicit
+// profile wins, otherwise the first episode's planner (with its mutation
+// applied, since mutations may swap models).
+func (g FleetGroup) fleetServe() serve.Config {
+	sc := g.Serve
+	if sc.Profile.Name == "" && len(g.Specs) > 0 {
+		cfg := g.Specs[0].Workload.Config
+		if g.Specs[0].Mutation != nil {
+			g.Specs[0].Mutation(&cfg)
+		}
+		sc.Profile = cfg.Planner
+	}
+	return sc
+}
+
+// RunFleet executes one fleet group: every episode runs on its own
+// goroutine, attached to one shared serve.Fleet. Concurrency here is not
+// an option but a requirement — the fleet's conservative merge blocks an
+// episode's LLM call until every other live episode has revealed its next
+// request, so the group advances as a lock-step discrete-event
+// simulation. Because the merged admission order is a pure function of
+// the episodes' virtual-time request sequences, the result is
+// byte-identical across reruns and independent of how the goroutines are
+// scheduled.
+//
+// ctx is checked once before launch (episodes are not interruptible
+// mid-flight; a fleet episode blocked in the merge cannot observe
+// cancellation without deadlocking the group).
+func RunFleet(ctx context.Context, g FleetGroup) (FleetResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return FleetResult{}, err
+	}
+	n := len(g.Specs)
+	res := FleetResult{
+		Episodes: make([]metrics.Episode, n),
+		Traces:   make([]*trace.Trace, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+	fleet := serve.NewFleet(g.fleetServe(), n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := fleet.Client(i)
+			// Finish must run even if the episode panics, or the rest of
+			// the fleet blocks forever waiting for this episode's next
+			// request.
+			defer client.Finish()
+			spec := g.Specs[i]
+			spec.Options.Backend = client
+			spec.Options.Serve = nil
+			out := spec.run()
+			res.Episodes[i], res.Traces[i] = out.Episode, out.Trace
+		}(i)
+	}
+	wg.Wait()
+	res.Serving = fleet.Stats()
+	return res, nil
+}
+
+// RunFleets executes many independent fleet groups, at most parallelism
+// groups concurrently (each group internally runs len(Specs) goroutines).
+// Results come back in group submission order; like Run, any parallelism
+// value — including 1 — produces byte-identical results, because each
+// group is internally deterministic and groups share no state.
+func RunFleets(ctx context.Context, groups []FleetGroup, parallelism int) ([]FleetResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(groups)
+	results := make([]FleetResult, n)
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := range groups {
+			r, err := RunFleet(ctx, groups[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := RunFleet(context.Background(), groups[i])
+				if err != nil {
+					// Background context never cancels; RunFleet has no
+					// other error path.
+					panic("runner: fleet group: " + err.Error())
+				}
+				results[i] = r
+			}
+		}()
+	}
+
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"embench/internal/multiagent"
+	"embench/internal/serve"
+	"embench/internal/systems"
+	"embench/internal/world"
+)
+
+func fleetTestGroup(t *testing.T, episodes int, seed uint64) FleetGroup {
+	t.Helper()
+	w, ok := systems.Get("CoELA")
+	if !ok {
+		t.Fatal("CoELA workload missing")
+	}
+	return FleetGroup{
+		Specs: Specs(w, world.Medium, 3, nil,
+			multiagent.Options{Parallel: true}, episodes, seed),
+		Serve: serve.Config{
+			Replicas: 2, MaxBatch: 4,
+			MaxWait: 1500 * time.Millisecond, CacheEntries: 256,
+		},
+	}
+}
+
+// TestFleetRunByteIdentical is the acceptance-criterion test: one shared
+// endpoint serving >= 2 concurrently running episodes must produce
+// byte-identical results across reruns — goroutine scheduling must never
+// leak into the merged serving order.
+func TestFleetRunByteIdentical(t *testing.T) {
+	g := fleetTestGroup(t, 3, 9)
+	a, err := RunFleet(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := RunFleet(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Episodes, b.Episodes) || a.Serving != b.Serving {
+			t.Fatalf("fleet rerun %d diverged", i)
+		}
+	}
+}
+
+// TestFleetsParityAcrossParallelism pins -procs independence: group-level
+// parallelism must not change any group's result.
+func TestFleetsParityAcrossParallelism(t *testing.T) {
+	groups := []FleetGroup{
+		fleetTestGroup(t, 2, 1),
+		fleetTestGroup(t, 3, 5),
+		fleetTestGroup(t, 2, 11),
+		fleetTestGroup(t, 4, 17),
+	}
+	seq, err := RunFleets(context.Background(), groups, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 4, 8} {
+		par, err := RunFleets(context.Background(), groups, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("fleet results changed at parallelism %d", procs)
+		}
+	}
+}
+
+// TestFleetPreservesDecisions: a fleet only reroutes serving time, so each
+// episode's decisions — steps, success, LLM calls — must match the same
+// spec run with dedicated serving; simulated time must not shrink.
+func TestFleetPreservesDecisions(t *testing.T) {
+	g := fleetTestGroup(t, 3, 21)
+	res, err := RunFleet(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range g.Specs {
+		solo := spec.run()
+		fe := res.Episodes[i]
+		if solo.Episode.Steps != fe.Steps || solo.Episode.Success != fe.Success ||
+			solo.Episode.LLMCalls != fe.LLMCalls {
+			t.Fatalf("episode %d decisions changed under fleet serving:\nsolo  %+v\nfleet %+v",
+				i, solo.Episode, fe)
+		}
+		if fe.SimDuration < solo.Episode.SimDuration {
+			t.Fatalf("episode %d got faster under contention: %v vs %v",
+				i, fe.SimDuration, solo.Episode.SimDuration)
+		}
+	}
+}
+
+// TestFleetPerEpisodeStatsCoverEndpoint checks the stats attribution: the
+// per-episode shares must add up to the endpoint totals for the additive
+// token counters, and every episode must have been served.
+func TestFleetPerEpisodeStatsCoverEndpoint(t *testing.T) {
+	g := fleetTestGroup(t, 3, 2)
+	res, err := RunFleet(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var requests, prefill, cached int
+	for i, e := range res.Episodes {
+		if e.Serving.Requests == 0 {
+			t.Fatalf("episode %d has no serving share", i)
+		}
+		requests += e.Serving.Requests
+		prefill += e.Serving.PrefillTokens
+		cached += e.Serving.CachedTokens
+	}
+	if requests != res.Serving.Requests || prefill != res.Serving.PrefillTokens ||
+		cached != res.Serving.CachedTokens {
+		t.Fatalf("episode shares don't cover endpoint totals: req %d/%d prefill %d/%d cached %d/%d",
+			requests, res.Serving.Requests, prefill, res.Serving.PrefillTokens,
+			cached, res.Serving.CachedTokens)
+	}
+	if res.Serving.CacheHitRate() <= 0 {
+		t.Fatal("fleet episodes share preambles; the endpoint should see cache hits")
+	}
+}
+
+func TestFleetEmptyAndCancelled(t *testing.T) {
+	if res, err := RunFleet(context.Background(), FleetGroup{}); err != nil || len(res.Episodes) != 0 {
+		t.Fatalf("empty group = %+v, %v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFleet(ctx, fleetTestGroup(t, 2, 1)); err == nil {
+		t.Fatal("cancelled context should refuse to launch")
+	}
+	if _, err := RunFleets(ctx, []FleetGroup{fleetTestGroup(t, 2, 1)}, 1); err == nil {
+		t.Fatal("cancelled context should refuse the group list")
+	}
+}

@@ -2,6 +2,8 @@
 // specifications out over a bounded worker pool while keeping results
 // byte-identical to a sequential run.
 //
+// # Independent episodes (Run, Batch)
+//
 // Episodes are embarrassingly parallel — each one owns its domain, agents,
 // clocks and trace, and all randomness is rooted in the spec's seed — so the
 // only work the runner does is scheduling: specs are dispatched to
@@ -10,9 +12,23 @@
 // with the suite's historical rootSeed + i*SeedStride scheme, so a parallel
 // run of a batch reproduces the sequential run bit for bit.
 //
-// The runner is the first piece of scale-out infrastructure for the
-// harness; the bench package routes every figure and table regeneration
-// through it, and future sharding/async work builds on the same EpisodeSpec
+// # Fleet episodes (RunFleet, RunFleets)
+//
+// A FleetGroup breaks the independence on purpose: its episodes attach to
+// one shared serve.Fleet, contending for the same replicas, admission
+// queue and prefix caches — the cross-episode serving regime the paper's
+// scalability recommendations target. The episodes of a group MUST run
+// concurrently (the fleet's conservative virtual-time merge blocks an
+// episode's LLM call until every other live episode reveals its next
+// request), so RunFleet gives each episode its own goroutine regardless
+// of worker-pool settings; parallelism applies between groups, which stay
+// independent. Determinism survives the sharing: the merge orders
+// requests by (virtual arrival, episode index), never by goroutine
+// schedule, so fleet results are byte-identical across reruns and any
+// parallelism level.
+//
+// The bench package routes every figure and table regeneration through
+// this package; future sharding/async work builds on the same EpisodeSpec
 // vocabulary.
 package runner
 

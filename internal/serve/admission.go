@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"time"
+
+	"embench/internal/prompt"
+)
+
+// admitted is one request's cache-priced admission into a batch: the
+// effective (cache-discounted) prefill tokens it pays, and the cached/raw
+// token split for statistics.
+type admitted struct {
+	eff    float64
+	cached int
+	total  int
+}
+
+// discountedEff is THE cache-discount pricing formula: cache-hit tokens
+// pay CachedPrefillFrac of their prefill cost. Admission (promptCostOn)
+// and routing estimates (estimateCompletion) both price through it.
+func (e *Endpoint) discountedEff(cached, total int) float64 {
+	return float64(total-cached) + float64(cached)*e.cfg.CachedPrefillFrac
+}
+
+// promptCostOn prices a prompt's prefill through one replica's prefix
+// cache: returns the effective token count (see discountedEff), the
+// cached token count, and the raw total. The prompt is inserted
+// afterwards so followers on the same replica can reuse it.
+func (e *Endpoint) promptCostOn(r *replica, p prompt.Prompt) (eff float64, cached, total int) {
+	total = p.Tokens()
+	cached = r.cache.match(p)
+	r.cache.insert(p)
+	return e.discountedEff(cached, total), cached, total
+}
+
+// admitBatch is THE request-admission path: it prices a batch of prompts
+// against one replica's prefix cache in admission order and returns the
+// batch service time plus per-member pricing. Closed-loop serving
+// (Endpoint.Serve new batches), explicit step-phase batches
+// (Endpoint.ServeBatch) and open-loop replay (Replay batch launches) all
+// admit through this helper, so a given request sequence prices
+// identically whichever path carries it — the property the
+// closed-vs-open-loop regression test pins down.
+func (e *Endpoint) admitBatch(r *replica, prompts []prompt.Prompt, outs []int) (service time.Duration, members []admitted, totalEff float64, maxOut int) {
+	members = make([]admitted, len(prompts))
+	for i, p := range prompts {
+		eff, cached, total := e.promptCostOn(r, p)
+		totalEff += eff
+		members[i] = admitted{eff: eff, cached: cached, total: total}
+		if outs[i] > maxOut {
+			maxOut = outs[i]
+		}
+	}
+	service = e.cfg.Profile.BatchServiceTime(len(prompts), totalEff, maxOut)
+	return service, members, totalEff, maxOut
+}

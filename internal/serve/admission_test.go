@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"embench/internal/llm"
+)
+
+// toCalls converts a replay trace to closed-loop calls in arrival order.
+func toCalls(reqs []Request) []llm.Call {
+	calls := make([]llm.Call, len(reqs))
+	for i, r := range reqs {
+		calls[i] = llm.Call{Agent: r.Agent, Arrival: r.Arrival,
+			Prompt: r.Prompt, PromptTokens: r.Prompt.Tokens(), OutTokens: r.OutTokens}
+	}
+	return calls
+}
+
+// TestServeAndReplayPriceIdentically is the shared-admission regression:
+// the closed-loop path (Endpoint.Serve) and the open-loop path (Replay)
+// must produce identical statistics for the same trace, because both
+// admit through one helper. Two shapes are pinned: a spread-out trace
+// (every request runs alone) and a simultaneous-arrival trace whose
+// closed-loop join window forms exactly the batch Replay launches.
+func TestServeAndReplayPriceIdentically(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		reqs []Request
+	}{
+		{
+			name: "sequential-no-overlap",
+			cfg:  Config{Profile: noJitter, Replicas: 1, CacheEntries: 64},
+			reqs: testTrace(3, 4, time.Minute, 2*time.Second),
+		},
+		{
+			name: "sequential-two-replicas",
+			cfg:  Config{Profile: noJitter, Replicas: 2, CacheEntries: 64},
+			reqs: testTrace(2, 4, time.Minute, 2*time.Second),
+		},
+		{
+			name: "simultaneous-batch",
+			cfg: Config{Profile: noJitter, Replicas: 1, MaxBatch: 4,
+				MaxWait: time.Second, CacheEntries: 64},
+			// 4 requests at the same instant = exactly one full batch: the
+			// closed-loop join window and the replay queue both form it.
+			reqs: testTrace(4, 2, time.Minute, 0),
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			open := Replay(tc.cfg, tc.reqs)
+			e := New(tc.cfg)
+			for _, c := range toCalls(tc.reqs) {
+				e.Serve(c)
+			}
+			if e.Stats() != open.Stats {
+				t.Fatalf("closed-loop and open-loop pricing diverged:\nclosed %+v\nopen   %+v",
+					e.Stats(), open.Stats)
+			}
+		})
+	}
+}
+
+// TestServeBatchPricesLikeReplayBatch pins the third admission path:
+// an explicit step-phase batch (ServeBatch) must price exactly like the
+// same members launched as one replay batch.
+func TestServeBatchPricesLikeReplayBatch(t *testing.T) {
+	cfg := Config{Profile: noJitter, Replicas: 1, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 64}
+	reqs := testTrace(4, 1, time.Minute, 0) // one step, 4 simultaneous requests
+	open := Replay(cfg, reqs)
+	e := New(cfg)
+	served := e.ServeBatch(toCalls(reqs))
+	if e.Stats() != open.Stats {
+		t.Fatalf("explicit batch and replay batch pricing diverged:\nbatch %+v\nopen  %+v",
+			e.Stats(), open.Stats)
+	}
+	for i, s := range served {
+		c := open.Completions[i]
+		if s.Latency != c.Done-c.Arrival || s.QueueWait != c.QueueWait ||
+			s.BatchSize != c.BatchSize || s.CachedTokens != c.CachedTokens {
+			t.Fatalf("member %d diverged: served %+v vs completion %+v", i, s, c)
+		}
+	}
+}

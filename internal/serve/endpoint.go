@@ -8,9 +8,12 @@ import (
 	"embench/internal/prompt"
 )
 
-// replica is one model instance's timeline position: when it frees, and the
-// shape of its in-flight frontier batch (for continuous-batching joins).
+// replica is one model instance's timeline position: when it frees, the
+// shape of its in-flight frontier batch (for continuous-batching joins),
+// and its own prefix/KV cache — cache state is per instance, which is what
+// makes cache-affinity routing meaningful.
 type replica struct {
+	cache      *prefixCache
 	freeAt     time.Duration
 	batchStart time.Duration
 	batchEnd   time.Duration
@@ -25,16 +28,34 @@ type replica struct {
 	recService time.Duration
 }
 
+// startBatch rewrites the replica's frontier for a freshly launched batch,
+// preserving the replica's cache across the rewrite.
+func (r *replica) startBatch(start, end time.Duration, n int, tok float64, out int, service time.Duration) {
+	cache := r.cache
+	*r = replica{
+		cache:  cache,
+		freeAt: end, batchStart: start, batchEnd: end,
+		batchN: n, batchTok: tok, batchOut: out,
+		recSeqs: n * n, recService: time.Duration(n) * service,
+	}
+}
+
 // Endpoint is one shared serving deployment. It is not safe for concurrent
-// use; each simulated episode owns its own endpoint (the episode runner
-// builds one per episode, which is what keeps -procs parallelism
-// bit-identical to sequential runs).
+// use by itself: a single simulated episode may own one directly (the
+// per-episode closed loop of fig8), while cross-episode sharing goes
+// through Fleet, which serializes and deterministically orders access.
 type Endpoint struct {
 	cfg      Config
 	replicas []replica
-	cache    *prefixCache
 	stats    metrics.Serving
 }
+
+// Compile-time checks: an endpoint is a drop-in serving backend for llm
+// clients, including explicitly aggregated step-phase batches.
+var (
+	_ llm.Backend      = (*Endpoint)(nil)
+	_ llm.BatchBackend = (*Endpoint)(nil)
+)
 
 // New builds an endpoint from cfg (zero fields defaulted).
 func New(cfg Config) *Endpoint {
@@ -42,7 +63,9 @@ func New(cfg Config) *Endpoint {
 	e := &Endpoint{
 		cfg:      cfg,
 		replicas: make([]replica, cfg.Replicas),
-		cache:    newPrefixCache(cfg.CacheEntries),
+	}
+	for i := range e.replicas {
+		e.replicas[i].cache = newPrefixCache(cfg.CacheEntries)
 	}
 	e.stats.Replicas = cfg.Replicas
 	return e
@@ -54,56 +77,38 @@ func (e *Endpoint) Config() Config { return e.cfg }
 // Stats reports accumulated serving statistics.
 func (e *Endpoint) Stats() metrics.Serving { return e.stats }
 
-// Reset clears timeline, cache and statistics for reuse.
+// ServingStats implements the serving-statistics seam the episode runners
+// read at episode end; for a dedicated endpoint it is simply Stats.
+func (e *Endpoint) ServingStats() metrics.Serving { return e.stats }
+
+// Reset clears timeline, caches and statistics for reuse.
 func (e *Endpoint) Reset() {
 	for i := range e.replicas {
-		e.replicas[i] = replica{}
+		e.replicas[i] = replica{cache: newPrefixCache(e.cfg.CacheEntries)}
 	}
-	e.cache = newPrefixCache(e.cfg.CacheEntries)
 	e.stats = metrics.Serving{Replicas: e.cfg.Replicas}
-}
-
-// promptCost prices a prompt's prefill through the prefix cache: returns
-// the effective token count (cache-hit tokens pay CachedPrefillFrac), the
-// cached token count, and the raw total.
-func (e *Endpoint) promptCost(p prompt.Prompt) (eff float64, cached, total int) {
-	total = p.Tokens()
-	cached = e.cache.match(p)
-	e.cache.insert(p)
-	eff = float64(total-cached) + float64(cached)*e.cfg.CachedPrefillFrac
-	return eff, cached, total
-}
-
-// pick returns the least-loaded replica (earliest freeAt, lowest index on
-// ties) — the router every multi-replica deployment runs.
-func (e *Endpoint) pick() *replica {
-	best := &e.replicas[0]
-	for i := 1; i < len(e.replicas); i++ {
-		if e.replicas[i].freeAt < best.freeAt {
-			best = &e.replicas[i]
-		}
-	}
-	return best
 }
 
 // Serve is the closed-loop entry point: one live request, submitted at the
 // calling agent's virtual time, resolved immediately against the endpoint's
 // current timeline. It implements llm.Backend.
 //
-// Admission is in submission order (the order episode code issues calls),
-// which is deterministic; arrival timestamps still drive queueing delay and
+// Admission is in submission order (the order episode code issues calls, or
+// the globally merged virtual-time order under a Fleet), which is
+// deterministic; arrival timestamps still drive queueing delay and
 // batching, so contention emerges whenever per-agent clocks overlap.
 // Continuous batching appears as a join window: a request arriving within
 // MaxWait of the frontier batch's start joins it, paying its own prefill
 // and the incremental decode slowdown, without disturbing the already
-// reported completions of earlier members.
+// reported completions of earlier members. The routing policy picks the
+// replica (see RoutingPolicy).
 func (e *Endpoint) Serve(c llm.Call) llm.Served {
-	eff, cached, total := e.promptCost(c.Prompt)
-	r := e.pick()
+	r := e.route(c.Arrival, c.Prompt, c.OutTokens)
 
 	// Join the in-flight frontier batch when the window allows.
 	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
 		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
+		eff, cached, total := e.promptCostOn(r, c.Prompt)
 		r.batchN++
 		r.batchTok += eff
 		if c.OutTokens > r.batchOut {
@@ -130,7 +135,10 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		r.recSeqs = r.batchN * r.batchN
 		e.stats.PrefillTokens += total
 		e.stats.CachedTokens += cached
-		return llm.Served{Latency: end - c.Arrival, QueueWait: wait, CachedTokens: cached}
+		return llm.Served{
+			Latency: end - c.Arrival, QueueWait: wait,
+			BatchSize: r.batchN, CachedTokens: cached,
+		}
 	}
 
 	// Start a new batch: queue behind the replica's frontier if busy.
@@ -139,15 +147,59 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		start = r.freeAt
 	}
 	wait := start - c.Arrival
-	service := e.cfg.Profile.BatchServiceTime(1, eff, c.OutTokens)
+	service, members, totalEff, maxOut := e.admitBatch(r,
+		[]prompt.Prompt{c.Prompt}, []int{c.OutTokens})
 	end := start + service
-	*r = replica{
-		freeAt: end, batchStart: start, batchEnd: end,
-		batchN: 1, batchTok: eff, batchOut: c.OutTokens,
-		recSeqs: 1, recService: service,
+	r.startBatch(start, end, 1, totalEff, maxOut, service)
+	e.record(service, wait, 1, members[0].cached, members[0].total)
+	return llm.Served{
+		Latency: end - c.Arrival, QueueWait: wait,
+		BatchSize: 1, CachedTokens: members[0].cached,
 	}
-	e.record(service, wait, 1, cached, total)
-	return llm.Served{Latency: end - c.Arrival, QueueWait: wait, CachedTokens: cached}
+}
+
+// ServeBatch serves an explicitly aggregated batch (llm.BatchBackend): the
+// calls launch together as one batch on one replica, starting once the
+// last member has arrived and the replica frees. Client-side aggregation
+// supersedes the server's join cap — the batch is one request, so MaxBatch
+// does not split it — but a later join-window arrival may still ride along
+// while slots remain. Results are in submission order.
+func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
+	if len(calls) == 0 {
+		return nil
+	}
+	if len(calls) == 1 {
+		return []llm.Served{e.Serve(calls[0])}
+	}
+	arrival := calls[0].Arrival
+	for _, c := range calls[1:] {
+		if c.Arrival > arrival {
+			arrival = c.Arrival
+		}
+	}
+	r := e.route(arrival, calls[0].Prompt, calls[0].OutTokens)
+	start := arrival
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	prompts := make([]prompt.Prompt, len(calls))
+	outs := make([]int, len(calls))
+	for i, c := range calls {
+		prompts[i], outs[i] = c.Prompt, c.OutTokens
+	}
+	service, members, totalEff, maxOut := e.admitBatch(r, prompts, outs)
+	end := start + service
+	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
+	out := make([]llm.Served, len(calls))
+	for i, c := range calls {
+		wait := start - c.Arrival
+		e.record(service, wait, len(calls), members[i].cached, members[i].total)
+		out[i] = llm.Served{
+			Latency: end - c.Arrival, QueueWait: wait,
+			BatchSize: len(calls), CachedTokens: members[i].cached,
+		}
+	}
+	return out
 }
 
 // record folds one served request into the running statistics.

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/metrics"
+)
+
+// Fleet promotes an Endpoint to a cross-episode shared deployment: one set
+// of replicas, queues and caches that several concurrently running
+// episodes contend for — the paper's many-agents-one-deployment regime at
+// fleet scale.
+//
+// Each attached episode owns a FleetClient (its llm.Backend). Episodes run
+// on separate goroutines, so their requests interleave arbitrarily in
+// wall time; the fleet merges them into one deterministic admission order
+// with a conservative discrete-event rule: a request is admitted only
+// when every still-attached episode has either revealed its next request
+// or finished, and then the revealed pending request with the smallest
+// (arrival, client id) key goes first. The merged order is a pure
+// function of the episodes' submission sequences — what each episode
+// submits, in the order it submits it — and never of goroutine
+// scheduling; that is the determinism guarantee. It is NOT a globally
+// arrival-sorted order: an episode multiplexes many per-agent clocks, so
+// its later submissions can carry earlier arrivals (exactly as
+// closed-loop admission within a single episode is submission-ordered,
+// with arrivals driving only the queueing and batching arithmetic).
+//
+// The price of the conservative rule is blocking: a client's Serve call
+// parks until its request reaches the head of the merged order. All
+// episodes of a fleet must therefore run concurrently (the runner
+// guarantees this — see runner.RunFleet); driving a fleet's clients from
+// one goroutine deadlocks as soon as two episodes are attached.
+type Fleet struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ep      *Endpoint
+	clients []*FleetClient
+}
+
+// FleetClient is one episode's handle on a shared Fleet. It implements
+// llm.Backend and llm.BatchBackend; episode runners attach it via
+// multiagent.Options.Backend. Finish MUST be called when the episode ends
+// (the runner does this, panic-safely) or the remaining episodes block
+// forever waiting for the finished one's next request.
+type FleetClient struct {
+	f    *Fleet
+	id   int
+	done bool
+	pend *fleetPending
+	// stats is this episode's share of the endpoint's traffic: what the
+	// episode's own requests experienced. The endpoint-level totals
+	// (Fleet.Stats) restate joined batches retroactively, so per-episode
+	// shares sum approximately — not exactly — to the fleet totals.
+	stats metrics.Serving
+}
+
+// fleetPending is one submitted-but-unserved request (or explicit batch).
+type fleetPending struct {
+	arrival time.Duration // merge key: max member arrival for batches
+	call    llm.Call
+	batch   []llm.Call // non-nil for ServeBatch submissions
+	served  bool
+	res     llm.Served
+	resB    []llm.Served
+}
+
+// Compile-time checks: fleet clients are full serving backends.
+var (
+	_ llm.Backend      = (*FleetClient)(nil)
+	_ llm.BatchBackend = (*FleetClient)(nil)
+)
+
+// NewFleet builds a fleet of `episodes` clients sharing one endpoint built
+// from cfg.
+func NewFleet(cfg Config, episodes int) *Fleet {
+	f := &Fleet{ep: New(cfg)}
+	f.cond = sync.NewCond(&f.mu)
+	for i := 0; i < episodes; i++ {
+		f.clients = append(f.clients, &FleetClient{f: f, id: i})
+		f.clients[i].stats.Replicas = f.ep.cfg.Replicas
+	}
+	return f
+}
+
+// Client returns episode i's backend handle.
+func (f *Fleet) Client(i int) *FleetClient { return f.clients[i] }
+
+// Size reports the number of attached episodes.
+func (f *Fleet) Size() int { return len(f.clients) }
+
+// Config reports the underlying endpoint's effective configuration.
+func (f *Fleet) Config() Config { return f.ep.Config() }
+
+// Stats reports the endpoint-level serving totals across all episodes.
+// Safe at any time (all endpoint mutation happens under the fleet mutex);
+// a mid-run read simply returns a partial snapshot of an ongoing run.
+func (f *Fleet) Stats() metrics.Serving {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ep.Stats()
+}
+
+// dispatch admits pending requests while the conservative rule allows:
+// every still-attached client must have an unserved pending request
+// before the revealed minimum — smallest (arrival, client id) — may be
+// served. Runs with f.mu held; every serve wakes all waiters.
+func (f *Fleet) dispatch() {
+	for {
+		var best *FleetClient
+		for _, c := range f.clients {
+			if c.done {
+				continue
+			}
+			if c.pend == nil || c.pend.served {
+				return // an episode has not revealed its next request yet
+			}
+			if best == nil || c.pend.arrival < best.pend.arrival {
+				best = c
+			}
+		}
+		if best == nil {
+			return // every episode finished
+		}
+		p := best.pend
+		if p.batch != nil {
+			p.resB = f.ep.ServeBatch(p.batch)
+		} else {
+			p.res = f.ep.Serve(p.call)
+		}
+		p.served = true
+		f.cond.Broadcast()
+	}
+}
+
+// submit parks the calling episode's request in the merge and blocks until
+// it has been admitted and served.
+func (c *FleetClient) submit(p *fleetPending) {
+	f := c.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c.done {
+		panic("serve: FleetClient used after Finish")
+	}
+	c.pend = p
+	f.dispatch()
+	for !p.served {
+		f.cond.Wait()
+	}
+	c.pend = nil
+}
+
+// Serve implements llm.Backend: the episode's next request enters the
+// cross-episode merge and resolves against the shared endpoint once it is
+// globally next.
+func (c *FleetClient) Serve(call llm.Call) llm.Served {
+	p := &fleetPending{arrival: call.Arrival, call: call}
+	c.submit(p)
+	c.fold(p.res, call)
+	return p.res
+}
+
+// ServeBatch implements llm.BatchBackend: an explicitly aggregated
+// step-phase batch enters the merge as one unit, keyed by its last
+// member's arrival (the batch cannot launch before it is complete).
+func (c *FleetClient) ServeBatch(calls []llm.Call) []llm.Served {
+	if len(calls) == 0 {
+		return nil
+	}
+	arrival := calls[0].Arrival
+	for _, call := range calls[1:] {
+		if call.Arrival > arrival {
+			arrival = call.Arrival
+		}
+	}
+	p := &fleetPending{arrival: arrival, batch: calls}
+	c.submit(p)
+	for i, s := range p.resB {
+		c.fold(s, calls[i])
+	}
+	return p.resB
+}
+
+// fold accumulates one served request into the episode's serving share.
+// Only the owning episode's goroutine calls it, so no lock is needed.
+func (c *FleetClient) fold(s llm.Served, call llm.Call) {
+	c.stats.Requests++
+	c.stats.QueueWait += s.QueueWait
+	c.stats.Service += s.Latency - s.QueueWait
+	c.stats.BatchedSeqs += s.BatchSize
+	c.stats.PrefillTokens += call.Prompt.Tokens()
+	c.stats.CachedTokens += s.CachedTokens
+}
+
+// ServingStats reports the episode's share of the fleet's serving traffic;
+// the episode runner folds it into the episode metrics at finish.
+func (c *FleetClient) ServingStats() metrics.Serving { return c.stats }
+
+// Finish detaches the episode from the merge: its absence no longer holds
+// back other episodes' admissions. Idempotent; safe to defer.
+func (c *FleetClient) Finish() {
+	f := c.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.done = true
+	f.dispatch()
+	f.cond.Broadcast()
+}

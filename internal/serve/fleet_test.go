@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"embench/internal/llm"
+)
+
+// fleetScript drives a fleet of scripted episode goroutines: episode e
+// issues calls[e] in order (each arrival already stamped) and records what
+// it was served. Returns per-episode served slices.
+func fleetScript(cfg Config, calls [][]llm.Call) [][]llm.Served {
+	f := NewFleet(cfg, len(calls))
+	out := make([][]llm.Served, len(calls))
+	var wg sync.WaitGroup
+	for e := range calls {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			c := f.Client(e)
+			defer c.Finish()
+			for _, call := range calls[e] {
+				out[e] = append(out[e], c.Serve(call))
+			}
+		}(e)
+	}
+	wg.Wait()
+	return out
+}
+
+// scriptCalls builds `eps` episodes of `steps` staggered planning-sized
+// calls each.
+func scriptCalls(eps, steps int, period, stagger time.Duration) [][]llm.Call {
+	calls := make([][]llm.Call, eps)
+	for e := 0; e < eps; e++ {
+		for s := 0; s < steps; s++ {
+			calls[e] = append(calls[e], llm.Call{
+				Agent:   fmt.Sprintf("e%d", e),
+				Arrival: time.Duration(s)*period + time.Duration(e)*stagger,
+				Prompt:  sharedPrompt(fmt.Sprintf("e%d", e), 40+10*s),
+				OutTokens: 50,
+			})
+		}
+	}
+	return calls
+}
+
+func TestFleetRerunByteIdentical(t *testing.T) {
+	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 128}
+	calls := scriptCalls(4, 6, 8*time.Second, 300*time.Millisecond)
+	a := fleetScript(cfg, calls)
+	for i := 0; i < 10; i++ {
+		if b := fleetScript(cfg, calls); !reflect.DeepEqual(a, b) {
+			t.Fatalf("fleet rerun %d diverged despite identical call scripts", i)
+		}
+	}
+}
+
+func TestFleetMergesByGlobalArrivalOrder(t *testing.T) {
+	// Episode 1's first call arrives BEFORE episode 0's, so it must be
+	// admitted first — episode 0's call queues behind it — no matter that
+	// goroutine scheduling may submit them in any wall-clock order.
+	cfg := Config{Profile: noJitter, Replicas: 1}
+	calls := [][]llm.Call{
+		{{Agent: "e0", Arrival: 2 * time.Second, Prompt: sharedPrompt("e0", 20), OutTokens: 50}},
+		{{Agent: "e1", Arrival: 0, Prompt: sharedPrompt("e1", 20), OutTokens: 50}},
+	}
+	out := fleetScript(cfg, calls)
+	if out[1][0].QueueWait != 0 {
+		t.Fatalf("earlier-arriving episode 1 should not queue: %+v", out[1][0])
+	}
+	if out[0][0].QueueWait <= 0 {
+		t.Fatalf("later-arriving episode 0 should queue behind episode 1: %+v", out[0][0])
+	}
+}
+
+func TestFleetTieBreaksOnEpisodeID(t *testing.T) {
+	cfg := Config{Profile: noJitter, Replicas: 1}
+	calls := [][]llm.Call{
+		{{Agent: "e0", Arrival: time.Second, Prompt: sharedPrompt("e0", 20), OutTokens: 50}},
+		{{Agent: "e1", Arrival: time.Second, Prompt: sharedPrompt("e1", 20), OutTokens: 50}},
+	}
+	for i := 0; i < 20; i++ {
+		out := fleetScript(cfg, calls)
+		if out[0][0].QueueWait != 0 || out[1][0].QueueWait <= 0 {
+			t.Fatalf("equal arrivals must admit the lower episode id first: %+v / %+v",
+				out[0][0], out[1][0])
+		}
+	}
+}
+
+func TestFleetFinishUnblocksOthers(t *testing.T) {
+	// Episode 1 makes no calls at all; if Finish didn't detach it, episode
+	// 0's first Serve would block forever.
+	cfg := Config{Profile: noJitter, Replicas: 1}
+	calls := [][]llm.Call{
+		{{Agent: "e0", Arrival: 0, Prompt: sharedPrompt("e0", 20), OutTokens: 50}},
+		nil,
+	}
+	done := make(chan [][]llm.Served, 1)
+	go func() { done <- fleetScript(cfg, calls) }()
+	select {
+	case out := <-done:
+		if len(out[0]) != 1 {
+			t.Fatalf("episode 0 served %d calls, want 1", len(out[0]))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fleet deadlocked: Finish did not detach the idle episode")
+	}
+}
+
+func TestFleetCrossEpisodeCacheAndStats(t *testing.T) {
+	// Two episodes share the system/task preamble: the second stream's
+	// requests must hit the prefix the first one warmed — sharing that a
+	// per-episode endpoint can never see.
+	cfg := Config{Profile: noJitter, Replicas: 1, CacheEntries: 128}
+	calls := scriptCalls(2, 4, 10*time.Second, 500*time.Millisecond)
+	f := NewFleet(cfg, 2)
+	var wg sync.WaitGroup
+	for e := 0; e < 2; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			c := f.Client(e)
+			defer c.Finish()
+			for _, call := range calls[e] {
+				c.Serve(call)
+			}
+		}(e)
+	}
+	wg.Wait()
+	total := f.Stats()
+	if total.Requests != 8 {
+		t.Fatalf("endpoint served %d requests, want 8", total.Requests)
+	}
+	if total.CacheHitRate() <= 0 {
+		t.Fatal("cross-episode prefix sharing should produce cache hits")
+	}
+	s0, s1 := f.Client(0).ServingStats(), f.Client(1).ServingStats()
+	if s0.Requests != 4 || s1.Requests != 4 {
+		t.Fatalf("per-episode shares = %d/%d requests, want 4/4", s0.Requests, s1.Requests)
+	}
+	if s1.CachedTokens == 0 {
+		t.Fatal("episode 1 should hit prefixes episode 0 warmed")
+	}
+	if got := s0.PrefillTokens + s1.PrefillTokens; got != total.PrefillTokens {
+		t.Fatalf("episode shares should cover the endpoint's prefill: %d vs %d",
+			got, total.PrefillTokens)
+	}
+}
+
+func TestFleetServeBatchMergesAsUnit(t *testing.T) {
+	// Episode 0 submits an explicit two-call phase batch keyed by its last
+	// member (arrival 3s); episode 1's single call at 1s must be admitted
+	// first even though the batch's first member nominally arrived at 0.
+	cfg := Config{Profile: noJitter, Replicas: 1, MaxBatch: 4, MaxWait: time.Second}
+	f := NewFleet(cfg, 2)
+	var wg sync.WaitGroup
+	var batch []llm.Served
+	var single llm.Served
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := f.Client(0)
+		defer c.Finish()
+		batch = c.ServeBatch([]llm.Call{
+			{Agent: "e0a", Arrival: 0, Prompt: sharedPrompt("e0a", 20), OutTokens: 50},
+			{Agent: "e0b", Arrival: 3 * time.Second, Prompt: sharedPrompt("e0b", 20), OutTokens: 50},
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		c := f.Client(1)
+		defer c.Finish()
+		single = c.Serve(llm.Call{Agent: "e1", Arrival: time.Second,
+			Prompt: sharedPrompt("e1", 20), OutTokens: 50})
+	}()
+	wg.Wait()
+	if single.QueueWait != 0 {
+		t.Fatalf("episode 1's earlier call should be admitted before the batch: %+v", single)
+	}
+	if len(batch) != 2 || batch[0].BatchSize != 2 || batch[1].BatchSize != 2 {
+		t.Fatalf("explicit batch should serve as one unit: %+v", batch)
+	}
+	if batch[1].QueueWait <= 0 {
+		t.Fatal("batch should queue behind episode 1's in-flight request")
+	}
+}
+
+// BenchmarkFleet is the cross-episode merge perf smoke: 4 scripted
+// episodes × 16 calls through a shared two-replica endpoint.
+func BenchmarkFleet(b *testing.B) {
+	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 128}
+	calls := scriptCalls(4, 16, 8*time.Second, 300*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleetScript(cfg, calls)
+	}
+}

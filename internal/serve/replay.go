@@ -4,14 +4,9 @@ import (
 	"sort"
 	"time"
 
-	"embench/internal/llm"
 	"embench/internal/metrics"
 	"embench/internal/prompt"
 )
-
-// Compile-time check: a shared endpoint is a drop-in serving backend for
-// llm clients.
-var _ llm.Backend = (*Endpoint)(nil)
 
 // Request is one entry of an open-loop request trace.
 type Request struct {
@@ -54,10 +49,13 @@ func (r ReplayResult) Throughput() float64 {
 
 // Replay runs a full request trace through a fresh endpoint with a
 // discrete-event loop: requests are admitted at their arrival times into a
-// priority/FIFO queue, and each idle replica launches a batch of up to
-// MaxBatch when the batch is full, when the oldest queued request has
-// waited MaxWait, or when no further arrivals are pending. All ties break
-// on submission order, so the replay is a pure function of (cfg, reqs).
+// priority/FIFO queue, and batches of up to MaxBatch launch on an idle
+// replica (picked by the routing policy) when the batch is full, when the
+// oldest queued request has waited MaxWait, or when no further arrivals
+// are pending. Batch pricing goes through the same admission helper as
+// closed-loop serving, so a trace costs the same in either mode. All ties
+// break on submission order, so the replay is a pure function of
+// (cfg, reqs).
 func Replay(cfg Config, reqs []Request) ReplayResult {
 	e := New(cfg)
 	res := ReplayResult{Completions: make([]Completion, len(reqs))}
@@ -124,52 +122,43 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 	for done < len(reqs) {
 		admit()
 
-		// Launch batches on every idle replica while the policy allows.
-		for launched := true; launched; {
-			launched = false
-			for ri := range e.replicas {
-				r := &e.replicas[ri]
-				if r.freeAt > now || len(queue) == 0 || !shouldLaunch() {
-					continue
-				}
-				n := len(queue)
-				if n > e.cfg.MaxBatch {
-					n = e.cfg.MaxBatch
-				}
-				batch := queue[:n]
-				queue = append([]int(nil), queue[n:]...)
-
-				totalEff, maxOut := 0.0, 0
-				type member struct{ cached, total int }
-				members := make([]member, n)
-				for bi, qi := range batch {
-					eff, cached, total := e.promptCost(reqs[qi].Prompt)
-					totalEff += eff
-					members[bi] = member{cached, total}
-					if reqs[qi].OutTokens > maxOut {
-						maxOut = reqs[qi].OutTokens
-					}
-				}
-				service := e.cfg.Profile.BatchServiceTime(n, totalEff, maxOut)
-				end := now + service
-				r.freeAt = end
-				res.Batches++
-				for bi, qi := range batch {
-					rq := reqs[qi]
-					wait := now - rq.Arrival
-					res.Completions[qi] = Completion{
-						Agent: rq.Agent, Arrival: rq.Arrival, Start: now, Done: end,
-						QueueWait: wait, BatchSize: n,
-						PromptTokens: members[bi].total, CachedTokens: members[bi].cached,
-					}
-					e.record(service, wait, n, members[bi].cached, members[bi].total)
-				}
-				if end > res.Makespan {
-					res.Makespan = end
-				}
-				done += n
-				launched = true
+		// Launch batches while an idle replica and the policy allow; the
+		// routing policy picks which idle replica hosts each batch.
+		for len(queue) > 0 && shouldLaunch() {
+			r := e.routeIdle(now, reqs[queue[0]].Prompt)
+			if r == nil {
+				break
 			}
+			n := len(queue)
+			if n > e.cfg.MaxBatch {
+				n = e.cfg.MaxBatch
+			}
+			batch := queue[:n]
+			queue = append([]int(nil), queue[n:]...)
+
+			prompts := make([]prompt.Prompt, n)
+			outs := make([]int, n)
+			for bi, qi := range batch {
+				prompts[bi], outs[bi] = reqs[qi].Prompt, reqs[qi].OutTokens
+			}
+			service, members, totalEff, maxOut := e.admitBatch(r, prompts, outs)
+			end := now + service
+			r.startBatch(now, end, n, totalEff, maxOut, service)
+			res.Batches++
+			for bi, qi := range batch {
+				rq := reqs[qi]
+				wait := now - rq.Arrival
+				res.Completions[qi] = Completion{
+					Agent: rq.Agent, Arrival: rq.Arrival, Start: now, Done: end,
+					QueueWait: wait, BatchSize: n,
+					PromptTokens: members[bi].total, CachedTokens: members[bi].cached,
+				}
+				e.record(service, wait, n, members[bi].cached, members[bi].total)
+			}
+			if end > res.Makespan {
+				res.Makespan = end
+			}
+			done += n
 		}
 		if done >= len(reqs) {
 			break

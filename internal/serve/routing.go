@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"embench/internal/prompt"
+)
+
+// RoutingPolicy selects which replica an admitted request (or launching
+// batch) is placed on. Every policy is deterministic: scores are pure
+// functions of the endpoint's virtual-time state and ties always break on
+// the lowest replica index, so routing never depends on goroutine
+// scheduling.
+type RoutingPolicy string
+
+const (
+	// RouteLeastLoaded places the request on the replica that frees
+	// earliest — the classic load balancer, blind to cache locality.
+	RouteLeastLoaded RoutingPolicy = "least-loaded"
+	// RouteCacheAffinity places the request on the replica whose prefix/KV
+	// cache covers the most leading prompt tokens, accepting some queueing
+	// to keep warm prefixes hot (sticky sessions, as serving stacks route
+	// conversations). Load breaks ties.
+	RouteCacheAffinity RoutingPolicy = "cache-affinity"
+	// RouteShortestCompletion estimates, per replica, when the request
+	// would actually finish — queueing behind the frontier plus service
+	// time under that replica's cache discount — and picks the minimum.
+	// It is the latency-aware blend of the other two.
+	RouteShortestCompletion RoutingPolicy = "shortest-completion"
+)
+
+// ParseRouting converts a CLI/config string into a RoutingPolicy. The empty
+// string selects the default (least-loaded).
+func ParseRouting(s string) (RoutingPolicy, error) {
+	switch RoutingPolicy(s) {
+	case "", RouteLeastLoaded:
+		return RouteLeastLoaded, nil
+	case RouteCacheAffinity:
+		return RouteCacheAffinity, nil
+	case RouteShortestCompletion:
+		return RouteShortestCompletion, nil
+	}
+	return RouteLeastLoaded, fmt.Errorf("serve: unknown routing policy %q (%s|%s|%s)",
+		s, RouteLeastLoaded, RouteCacheAffinity, RouteShortestCompletion)
+}
+
+// route picks the replica for a request under the endpoint's routing
+// policy. The prompt drives cache-aware policies; arrival anchors
+// completion estimates.
+func (e *Endpoint) route(arrival time.Duration, p prompt.Prompt, outTokens int) *replica {
+	switch e.cfg.Routing {
+	case RouteCacheAffinity:
+		return e.routeCacheAffinity(p)
+	case RouteShortestCompletion:
+		return e.routeShortestCompletion(arrival, p, outTokens)
+	default:
+		return e.routeLeastLoaded()
+	}
+}
+
+// routeLeastLoaded returns the replica with the earliest freeAt, lowest
+// index on ties — the router every multi-replica deployment runs.
+func (e *Endpoint) routeLeastLoaded() *replica {
+	best := &e.replicas[0]
+	for i := 1; i < len(e.replicas); i++ {
+		if e.replicas[i].freeAt < best.freeAt {
+			best = &e.replicas[i]
+		}
+	}
+	return best
+}
+
+// routeCacheAffinity returns the replica whose cache covers the most
+// leading tokens of p; ties fall back to least-loaded, then lowest index.
+func (e *Endpoint) routeCacheAffinity(p prompt.Prompt) *replica {
+	best := &e.replicas[0]
+	bestHit := best.cache.match(p)
+	for i := 1; i < len(e.replicas); i++ {
+		r := &e.replicas[i]
+		hit := r.cache.match(p)
+		if hit > bestHit || (hit == bestHit && r.freeAt < best.freeAt) {
+			best, bestHit = r, hit
+		}
+	}
+	return best
+}
+
+// routeShortestCompletion returns the replica minimizing the estimated
+// completion time of the request: start (arrival or the replica freeing,
+// whichever is later) plus single-sequence service under that replica's
+// cache discount. The estimate ignores join-window coalescing — like real
+// routers, it prices the request as if it ran alone.
+func (e *Endpoint) routeShortestCompletion(arrival time.Duration, p prompt.Prompt, outTokens int) *replica {
+	best := &e.replicas[0]
+	bestDone := e.estimateCompletion(best, arrival, p, outTokens)
+	for i := 1; i < len(e.replicas); i++ {
+		r := &e.replicas[i]
+		if done := e.estimateCompletion(r, arrival, p, outTokens); done < bestDone {
+			best, bestDone = r, done
+		}
+	}
+	return best
+}
+
+// estimateCompletion prices one request on one replica without mutating
+// cache or timeline state.
+func (e *Endpoint) estimateCompletion(r *replica, arrival time.Duration, p prompt.Prompt, outTokens int) time.Duration {
+	start := arrival
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	eff := e.discountedEff(r.cache.match(p), p.Tokens())
+	return start + e.cfg.Profile.BatchServiceTime(1, eff, outTokens)
+}
+
+// routeIdle picks, among replicas idle at virtual time now, the launch
+// target for a batch whose head request carries prompt p — the open-loop
+// (Replay) flavor of routing, where launches only ever happen on idle
+// replicas. Returns nil when no replica is idle.
+func (e *Endpoint) routeIdle(now time.Duration, p prompt.Prompt) *replica {
+	var best *replica
+	bestHit := -1
+	for i := range e.replicas {
+		r := &e.replicas[i]
+		if r.freeAt > now {
+			continue
+		}
+		switch e.cfg.Routing {
+		case RouteCacheAffinity, RouteShortestCompletion:
+			// Among idle replicas, completion differs only through the
+			// cache discount, so both cache-aware policies reduce to
+			// best-prefix-match — with the same earliest-freeAt tie-break
+			// as closed-loop routeCacheAffinity, so open and closed loop
+			// route identically on identical state.
+			hit := r.cache.match(p)
+			if best == nil || hit > bestHit ||
+				(hit == bestHit && r.freeAt < best.freeAt) {
+				best, bestHit = r, hit
+			}
+		default:
+			if best == nil || r.freeAt < best.freeAt {
+				best = r
+			}
+		}
+	}
+	return best
+}

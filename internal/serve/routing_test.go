@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/prompt"
+	"embench/internal/rng"
+)
+
+// personaTrace builds the prefix-heavy routing workload: n streams, each
+// with a large fixed-size persona section after the shared preamble, on a
+// lightly loaded schedule with seeded arrival jitter (so cache-blind
+// routing cannot stay accidentally sticky through pure periodicity).
+func personaTrace(n, steps int, seed uint64) []Request {
+	jit := rng.New(seed).NewStream("routing")
+	var reqs []Request
+	for s := 0; s < steps; s++ {
+		for a := 0; a < n; a++ {
+			reqs = append(reqs, Request{
+				Agent: fmt.Sprintf("a%d", a),
+				Arrival: time.Duration(s)*time.Minute +
+					time.Duration(a)*3*time.Second +
+					time.Duration(jit.Range(0, 9000))*time.Millisecond,
+				Prompt: prompt.New(
+					prompt.Section{Name: "system", Tokens: 220},
+					prompt.Section{Name: "task", Tokens: 90},
+					prompt.Section{Name: fmt.Sprintf("persona-a%d", a), Tokens: 1200},
+					prompt.Section{Name: "hist", Tokens: 60 + 40*s, Droppable: true},
+				),
+				OutTokens: 140,
+			})
+		}
+	}
+	return reqs
+}
+
+func routingReplay(policy RoutingPolicy, replicas int) ReplayResult {
+	return Replay(Config{
+		Profile: noJitter, Replicas: replicas, Routing: policy,
+		MaxBatch: 1, CacheEntries: 128,
+	}, personaTrace(4, 8, 11))
+}
+
+// TestCacheAffinityBeatsLeastLoadedOnPrefixHeavyTrace is the routing-
+// policy comparison the fleet experiment relies on: when streams carry
+// big stable prefixes and load is light, pinning a stream to the replica
+// that served it before must win on cache hit rate — least-loaded keeps
+// handing the request to the longest-idle replica, whose cache is cold
+// for that stream.
+func TestCacheAffinityBeatsLeastLoadedOnPrefixHeavyTrace(t *testing.T) {
+	ll := routingReplay(RouteLeastLoaded, 4)
+	ca := routingReplay(RouteCacheAffinity, 4)
+	if ca.Stats.CacheHitRate() <= ll.Stats.CacheHitRate() {
+		t.Fatalf("cache-affinity should beat least-loaded on prefix-heavy traces: %.3f vs %.3f",
+			ca.Stats.CacheHitRate(), ll.Stats.CacheHitRate())
+	}
+	// Fewer prefill tokens actually computed means affinity also serves
+	// the trace no slower end to end.
+	if ca.Makespan > ll.Makespan {
+		t.Fatalf("affinity hits should not lengthen the makespan: %v vs %v",
+			ca.Makespan, ll.Makespan)
+	}
+}
+
+func TestShortestCompletionNeverLosesToLeastLoadedHere(t *testing.T) {
+	// On the light-load persona trace the completion estimate is dominated
+	// by the cache discount, so shortest-completion should capture the
+	// affinity wins too.
+	ll := routingReplay(RouteLeastLoaded, 4)
+	sc := routingReplay(RouteShortestCompletion, 4)
+	if sc.Stats.CacheHitRate() <= ll.Stats.CacheHitRate() {
+		t.Fatalf("shortest-completion should inherit the cache wins: %.3f vs %.3f",
+			sc.Stats.CacheHitRate(), ll.Stats.CacheHitRate())
+	}
+}
+
+func TestRoutingPoliciesDeterministic(t *testing.T) {
+	for _, p := range []RoutingPolicy{RouteLeastLoaded, RouteCacheAffinity, RouteShortestCompletion} {
+		a, b := routingReplay(p, 2), routingReplay(p, 2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s replay diverged across identical runs", p)
+		}
+	}
+}
+
+// TestClosedLoopCacheAffinityRouting exercises routing on the closed-loop
+// path: two sticky streams on two replicas, issued alternately. Affinity
+// must keep each stream's persona warm; least-loaded bounces them.
+func TestClosedLoopCacheAffinityRouting(t *testing.T) {
+	serveAll := func(policy RoutingPolicy) float64 {
+		e := New(Config{Profile: noJitter, Replicas: 2, Routing: policy, CacheEntries: 128})
+		for _, r := range personaTrace(2, 8, 3) {
+			e.Serve(llm.Call{Agent: r.Agent, Arrival: r.Arrival,
+				Prompt: r.Prompt, PromptTokens: r.Prompt.Tokens(), OutTokens: r.OutTokens})
+		}
+		return e.Stats().CacheHitRate()
+	}
+	if serveAll(RouteCacheAffinity) <= serveAll(RouteLeastLoaded) {
+		t.Fatal("closed-loop cache-affinity should beat least-loaded on sticky streams")
+	}
+}
+
+func TestParseRouting(t *testing.T) {
+	for in, want := range map[string]RoutingPolicy{
+		"":                    RouteLeastLoaded,
+		"least-loaded":        RouteLeastLoaded,
+		"cache-affinity":      RouteCacheAffinity,
+		"shortest-completion": RouteShortestCompletion,
+	} {
+		got, err := ParseRouting(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseRouting(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseRouting("round-robin"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}

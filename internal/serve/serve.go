@@ -3,26 +3,57 @@
 // (paper Fig. 6/7 and Recs. 1–3).
 //
 // An Endpoint owns N replicas of one model deployment, an admission queue,
-// a continuous-batching scheduler and a prefix/KV cache. Requests carry
-// submission timestamps from per-agent virtual clocks; the endpoint orders
-// them on a global virtual timeline and returns completion times, so
-// queueing delay, batching gains and cache hit rates all emerge
+// a continuous-batching scheduler and a per-replica prefix/KV cache.
+// Requests carry submission timestamps from per-agent virtual clocks; the
+// endpoint orders them on a global virtual timeline and returns completion
+// times, so queueing delay, batching gains and cache hit rates all emerge
 // deterministically from the root seed — no wall clock, no goroutines.
 //
-// Two modes share the same pricing model (llm.Profile.BatchServiceTime and
-// the prefix cache):
+// # Modes
+//
+// Three modes share the same pricing model (llm.Profile.BatchServiceTime,
+// the per-replica prefix caches, and one admission helper — see
+// admission.go — so a given request sequence costs the same whichever
+// path carries it):
 //
 //   - Closed loop: Endpoint implements llm.Backend, so live episodes route
 //     every client call through the shared endpoint. Requests are admitted
 //     in submission order; a request arriving within the batching window of
 //     a replica's in-flight batch joins it (continuous batching), otherwise
-//     it queues behind the least-loaded replica.
+//     it starts a new batch on the replica the routing policy picks.
+//     Explicitly aggregated step-phase batches (llm.BatchBackend, paper
+//     Rec. 1) launch as one batch via ServeBatch.
 //   - Open loop: Replay takes a full request trace (arrival offsets, prompt
 //     structure, generation lengths) and runs a discrete-event loop over
 //     it, forming batches of up to MaxBatch that launch when full, when the
 //     oldest queued request has waited MaxWait, or when no further arrivals
 //     are pending. This is the classic serving-benchmark shape: fixed
 //     arrival schedule, swept scheduler policy.
+//   - Fleet: a Fleet wraps one Endpoint and attaches several concurrently
+//     running episodes to it. Each episode talks to its own FleetClient
+//     (an llm.Backend); the fleet merges the episodes' submission streams
+//     with a conservative rule — a request is only admitted once every
+//     still-running episode has revealed its next request, earliest
+//     revealed (arrival, episode) first — so cross-episode contention is
+//     simulated deterministically no matter how the episode goroutines
+//     are scheduled.
+//
+// # Routing
+//
+// Multi-replica endpoints place each new batch by a RoutingPolicy:
+// least-loaded (earliest-free replica), cache-affinity (replica with the
+// warmest matching prefix cache) or shortest-expected-completion (queueing
+// plus cache-discounted service, the latency-aware blend). Caches are per
+// replica, so routing decides not just load spread but which prefixes stay
+// hot where.
+//
+// # Determinism
+//
+// Everything in this package is driven by virtual time and breaks ties on
+// submission order or replica index. The only concurrency is Fleet's, and
+// it is barrier-synchronized on virtual arrivals: the merged admission
+// order is a pure function of the episodes' request timelines. See
+// docs/ARCHITECTURE.md for the clock model.
 package serve
 
 import (
@@ -38,9 +69,14 @@ type Config struct {
 	// workload's planner profile.
 	Profile llm.Profile
 	// Replicas is the number of identical model instances behind the
-	// endpoint (default 1). Requests go to the least-loaded replica.
+	// endpoint (default 1).
 	Replicas int
+	// Routing places each new batch on a replica: least-loaded (default),
+	// cache-affinity or shortest-completion. See RoutingPolicy.
+	Routing RoutingPolicy
 	// MaxBatch caps sequences per continuous batch; <= 1 disables batching.
+	// Explicit step-phase batches (ServeBatch) are not split by MaxBatch —
+	// client-side aggregation supersedes the server's join cap.
 	MaxBatch int
 	// MaxWait is the batching window: in open-loop replay, how long the
 	// oldest queued request may wait for companions before its batch
@@ -48,8 +84,8 @@ type Config struct {
 	// arrival may still join it. Zero means "no waiting" — batches only
 	// coalesce requests that are already simultaneous.
 	MaxWait time.Duration
-	// CacheEntries sizes the prefix cache (cached section-prefixes, LRU);
-	// 0 disables the cache.
+	// CacheEntries sizes each replica's prefix cache (cached
+	// section-prefixes, LRU); 0 disables caching.
 	CacheEntries int
 	// CachedPrefillFrac is the fraction of prefill cost still paid for
 	// cache-hit tokens (default 0.1 — KV reuse is cheap but not free).
@@ -60,6 +96,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Replicas < 1 {
 		c.Replicas = 1
+	}
+	if c.Routing == "" {
+		c.Routing = RouteLeastLoaded
 	}
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 1
