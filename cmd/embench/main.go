@@ -5,9 +5,11 @@
 //
 //	embench -exp fig2 [-episodes 5] [-seed 1] [-procs N]  # regenerate a figure
 //	embench -exp fig2,fig8 -bench-json BENCH_serve.json   # + machine-readable perf record
+//	embench -exp fig10 -fleet-sizes 16,64,256 -serve-shards 1,4  # fleet-admission scale sweep
 //	embench -run CoELA [-diff medium] [-agents 2]         # run one episode
 //	embench -run CoELA -serve-replicas 1 -serve-batch 4   # ... against a shared endpoint
 //	embench -run CoELA -serve-fleet 4 -serve-routing cache-affinity  # fleet of episodes, one endpoint
+//	embench -run CoELA -serve-fleet 64 -serve-shards 4    # ... sharded across 4 endpoints
 //	embench -list                                         # list workloads/experiments
 //
 // Experiments fan episodes out over -procs workers (default: all CPUs).
@@ -31,10 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"embench"
+	"embench/internal/bench"
 	"embench/internal/benchjson"
 	"embench/internal/runner"
 	"embench/internal/trace"
@@ -67,6 +71,10 @@ func main() {
 			"shared endpoint: replica routing policy (least-loaded|cache-affinity|shortest-completion)")
 		srvFleet = flag.Int("serve-fleet", 0,
 			"run this many concurrent episodes of -run against ONE shared endpoint (0 = single episode with dedicated serving unless -serve-replicas is set)")
+		srvShards = flag.String("serve-shards", "",
+			"fleet shard count: with -run -serve-fleet, one integer (split the fleet across that many independent endpoints); with -exp fig10, a comma-separated shard axis (default 1,4)")
+		fleetSizes = flag.String("fleet-sizes", "",
+			"fig10 fleet-size axis, comma-separated (default 16,64,256,1024,2048; CI uses a reduced axis)")
 		srvAgg = flag.Bool("serve-aggregate", false,
 			"step-phase query aggregation for decentralized workloads: batch all agents' plan calls of a step explicitly (Rec. 1; no effect on single-agent/centralized systems)")
 		list = flag.Bool("list", false, "list workloads and experiments")
@@ -78,6 +86,14 @@ func main() {
 		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
 		fmt.Println("experiments:", strings.Join(embench.Experiments(), ", "))
 	case *exp != "":
+		sizes, err := parseIntList(*fleetSizes)
+		if err != nil {
+			fatal(fmt.Errorf("-fleet-sizes: %w", err))
+		}
+		shardAxis, err := parseIntList(*srvShards)
+		if err != nil {
+			fatal(fmt.Errorf("-serve-shards: %w", err))
+		}
 		out := benchjson.File{Suite: "embench", GeneratedBy: "embench -bench-json"}
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
@@ -85,19 +101,39 @@ func main() {
 				continue
 			}
 			start := time.Now()
-			report, err := embench.ExperimentOpt(name, embench.ExperimentConfig{
+			report, metrics, err := embench.ExperimentFull(name, embench.ExperimentConfig{
 				Episodes: *episodes, Seed: *seed, Parallelism: *procs,
+				FleetSizes: sizes, FleetShards: shardAxis,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			wall := time.Since(start)
 			fmt.Print(report)
+			// The axis is rendered from the EFFECTIVE parsed axes —
+			// defaults filled in, not the raw flag text — so spelling the
+			// default ladder explicitly, cosmetic list spellings, and a
+			// bare `-exp fig10` all share one trajectory config key per
+			// actual configuration.
+			axis := ""
+			if strings.EqualFold(name, "fig10") {
+				effSizes, effShards := sizes, shardAxis
+				if len(effSizes) == 0 {
+					effSizes = bench.Fig10FleetSizes
+				}
+				if len(effShards) == 0 {
+					effShards = bench.Fig10Shards
+				}
+				axis = fmt.Sprintf("sizes=%s;shards=%s",
+					joinInts(effSizes), joinInts(effShards))
+			}
 			out.Entries = append(out.Entries, benchjson.Entry{
 				Experiment: name, Episodes: *episodes, Seed: *seed, Procs: *procs,
 				WallMS:     float64(wall.Microseconds()) / 1000,
 				ReportB:    len(report),
 				ReportRows: strings.Count(report, "\n"),
+				Axis:       axis,
+				Metrics:    metrics,
 			})
 			out.TotalWallMS += float64(wall.Microseconds()) / 1000
 		}
@@ -120,13 +156,22 @@ func main() {
 		}
 		if *srvFleet > 0 {
 			// Fleet mode: the episodes (one is allowed — the degenerate
-			// fleet) run against one shared endpoint.
-			res, err := embench.RunFleet(*run, *diff, *agents, *srvFleet, opt, sc)
+			// fleet) run against a shared deployment of -serve-shards
+			// independent endpoints (default 1).
+			shards := 1
+			if *srvShards != "" {
+				list, err := parseIntList(*srvShards)
+				if err != nil || len(list) != 1 {
+					fatal(fmt.Errorf("-serve-shards with -run takes one integer, got %q", *srvShards))
+				}
+				shards = list[0]
+			}
+			res, err := embench.RunFleet(*run, *diff, *agents, *srvFleet, shards, opt, sc)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("workload    %s (%s, seed %d) × %d concurrent episodes on one endpoint\n",
-				*run, *diff, *seed, *srvFleet)
+			fmt.Printf("workload    %s (%s, seed %d) × %d concurrent episodes on %d shard(s)\n",
+				*run, *diff, *seed, *srvFleet, shards)
 			for i, e := range res.Episodes {
 				fmt.Printf("episode %-2d  success=%-5v steps=%-3d sim=%6.1fm  queue=%5.1fs  cache=%3.0f%%\n",
 					i, e.Success, e.Steps, e.SimDuration.Minutes(),
@@ -192,6 +237,36 @@ func writeBenchJSON(path string, out benchjson.File) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// joinInts renders ints as a canonical comma list.
+func joinInts(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseIntList parses a comma-separated list of positive integers; the
+// empty string is nil (use the experiment's default axis).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -10,11 +10,14 @@
 //
 // Each invocation appends ONE line of JSON to the history file:
 // {label, entries: [{experiment, episodes, procs, wall_ms}...]}. Before
-// appending, every experiment's wall time is compared to its most recent
-// prior record; a ratio above -warn-ratio prints a warning (and, with
-// -fail-on-regress, exits nonzero). The file is append-only JSONL so PRs
-// accumulate a comparable series; commit it to keep the series across
-// machines, or let CI keep an ephemeral one per run.
+// appending, every experiment's wall time is compared to its baseline —
+// the FASTEST of the last -baseline-window prior records for the same run
+// configuration, which absorbs single-run scheduler noise (a noisy slow
+// record never becomes the bar to beat); a ratio above -warn-ratio prints
+// a warning (and, with -fail-on-regress, exits nonzero). The file is
+// append-only JSONL so PRs accumulate a comparable series; commit it to
+// keep the series across machines, or let CI keep an ephemeral one per
+// run.
 package main
 
 import (
@@ -32,7 +35,8 @@ func main() {
 		in      = flag.String("in", "", "bench JSON written by embench -bench-json (required)")
 		history = flag.String("history", "PERF_TRAJECTORY.jsonl", "append-only JSONL trajectory file")
 		label   = flag.String("label", "local", "record label (commit SHA, PR number, ...)")
-		ratio   = flag.Float64("warn-ratio", 1.5, "warn when wall time exceeds the previous record by this factor")
+		ratio   = flag.Float64("warn-ratio", 1.5, "warn when wall time exceeds the baseline by this factor")
+		window  = flag.Int("baseline-window", 3, "baseline = fastest of this many most recent prior records per config (noise floor)")
 		fail    = flag.Bool("fail-on-regress", false, "exit 1 when a regression is flagged")
 	)
 	flag.Parse()
@@ -53,12 +57,12 @@ func main() {
 		fatal(fmt.Errorf("%s carries no experiment entries", *in))
 	}
 
-	prev := lastWallTimes(*history)
+	prev := baselineWallTimes(*history, *window)
 	regressed := false
 	for _, e := range bf.Entries {
 		// Wall times are only comparable between identical run
-		// configurations (experiment, episodes, seed, procs); a record
-		// taken with different settings is not a baseline.
+		// configurations (experiment, episodes, seed, procs, axes); a
+		// record taken with different settings is not a baseline.
 		p, ok := prev[e.ConfigKey()]
 		if !ok || p <= 0 {
 			fmt.Printf("perftrack: %-10s %8.0f ms (no prior record for this config)\n", e.Experiment, e.WallMS)
@@ -70,8 +74,8 @@ func main() {
 			mark = "  << REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("perftrack: %-10s %8.0f ms (prev %.0f ms, x%.2f)%s\n",
-			e.Experiment, e.WallMS, p, r, mark)
+		fmt.Printf("perftrack: %-10s %8.0f ms (baseline %.0f ms over last %d, x%.2f)%s\n",
+			e.Experiment, e.WallMS, p, *window, r, mark)
 	}
 
 	f, err := os.OpenFile(*history, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -93,15 +97,19 @@ func main() {
 	}
 }
 
-// lastWallTimes scans the history for the most recent wall time per run
-// configuration (see benchjson.Entry.ConfigKey). A missing or partially
-// corrupt file is not an error — the trajectory should keep accumulating
-// even if one line was mangled.
-func lastWallTimes(path string) map[string]float64 {
-	out := map[string]float64{}
+// baselineWallTimes scans the history and reports, per run configuration
+// (see benchjson.Entry.ConfigKey), the fastest wall time among the last
+// `window` records — the noise-floor baseline a new measurement is held
+// against. A missing or partially corrupt file is not an error — the
+// trajectory should keep accumulating even if one line was mangled.
+func baselineWallTimes(path string, window int) map[string]float64 {
+	if window < 1 {
+		window = 1
+	}
+	recent := map[string][]float64{} // config key -> last `window` wall times
 	f, err := os.Open(path)
 	if err != nil {
-		return out
+		return map[string]float64{}
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -112,8 +120,23 @@ func lastWallTimes(path string) map[string]float64 {
 			continue
 		}
 		for _, e := range r.Entries {
-			out[e.ConfigKey()] = e.WallMS
+			k := e.ConfigKey()
+			w := append(recent[k], e.WallMS)
+			if len(w) > window {
+				w = w[len(w)-window:]
+			}
+			recent[k] = w
 		}
+	}
+	out := make(map[string]float64, len(recent))
+	for k, w := range recent {
+		best := w[0]
+		for _, v := range w[1:] {
+			if v > 0 && (best <= 0 || v < best) {
+				best = v
+			}
+		}
+		out[k] = best
 	}
 	return out
 }

@@ -95,12 +95,15 @@ func Run(name, difficulty string, agents int, seed uint64) (Outcome, error) {
 type FleetResult = runner.FleetResult
 
 // RunFleet runs `episodes` concurrent episodes of one workload against a
-// single shared serving endpoint (serve.Fleet): the episodes' LLM traffic
+// shared serving deployment (serve.Fleet): the episodes' LLM traffic
 // contends for the same replicas, admission queue and prefix caches, with
 // deterministic discrete-event merging of the episodes' virtual-time
-// request streams. Episode seeds derive from opt.Seed exactly as
-// Experiment batches do, and the result is byte-identical across reruns.
-func RunFleet(name, difficulty string, agents, episodes int, opt Options, sc ServeConfig) (FleetResult, error) {
+// request streams. shards > 1 splits the fleet across that many
+// independent endpoints (episode i on shard i % shards; see
+// serve.ShardedFleet). Episode seeds derive from opt.Seed exactly as
+// Experiment batches do, and the result is byte-identical across reruns;
+// large fleets are activation-gated automatically (runner.FleetGroup).
+func RunFleet(name, difficulty string, agents, episodes, shards int, opt Options, sc ServeConfig) (FleetResult, error) {
 	w, ok := systems.Get(name)
 	if !ok {
 		return FleetResult{}, fmt.Errorf("embench: unknown workload %q (see Workloads())", name)
@@ -113,8 +116,9 @@ func RunFleet(name, difficulty string, agents, episodes int, opt Options, sc Ser
 		episodes = 1
 	}
 	return runner.RunFleet(context.Background(), runner.FleetGroup{
-		Specs: runner.Specs(w, diff, agents, nil, opt, episodes, opt.Seed),
-		Serve: sc,
+		Specs:  runner.Specs(w, diff, agents, nil, opt, episodes, opt.Seed),
+		Serve:  sc,
+		Shards: shards,
 	})
 }
 
@@ -142,21 +146,38 @@ func Experiments() []string {
 	return out
 }
 
-var experiments = map[string]func(cfg bench.Config) string{
-	"table1": func(bench.Config) string { return systems.RenderTaxonomy() },
-	"table2": func(bench.Config) string { return systems.RenderSuite() },
-	"fig2":   func(cfg bench.Config) string { return bench.RenderFig2(bench.Fig2(cfg)) },
-	"fig3":   func(cfg bench.Config) string { return bench.RenderFig3(bench.Fig3(cfg)) },
-	"fig4":   func(cfg bench.Config) string { return bench.RenderFig4(bench.Fig4(cfg)) },
-	"fig5":   func(cfg bench.Config) string { return bench.RenderFig5(bench.Fig5(cfg)) },
-	"fig6":   func(cfg bench.Config) string { return bench.RenderFig6(bench.Fig6(cfg)) },
-	"fig7":   func(cfg bench.Config) string { return bench.RenderFig7(bench.Fig7(cfg)) },
-	"fig8":   func(cfg bench.Config) string { return bench.RenderFig8(bench.Fig8(cfg)) },
-	"fig9":   func(cfg bench.Config) string { return bench.RenderFig9(bench.Fig9(cfg)) },
-	"opts": func(cfg bench.Config) string {
-		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
+// experimentOut is one experiment's rendered report plus optional
+// machine-readable perf metrics (recorded in -bench-json / the perf
+// trajectory; nil for experiments that only report simulated quantities).
+type experimentOut struct {
+	report  string
+	metrics map[string]float64
+}
+
+// plain wraps a render-only experiment.
+func plain(fn func(bench.Config) string) func(bench.Config) experimentOut {
+	return func(cfg bench.Config) experimentOut { return experimentOut{report: fn(cfg)} }
+}
+
+var experiments = map[string]func(cfg bench.Config) experimentOut{
+	"table1": plain(func(bench.Config) string { return systems.RenderTaxonomy() }),
+	"table2": plain(func(bench.Config) string { return systems.RenderSuite() }),
+	"fig2":   plain(func(cfg bench.Config) string { return bench.RenderFig2(bench.Fig2(cfg)) }),
+	"fig3":   plain(func(cfg bench.Config) string { return bench.RenderFig3(bench.Fig3(cfg)) }),
+	"fig4":   plain(func(cfg bench.Config) string { return bench.RenderFig4(bench.Fig4(cfg)) }),
+	"fig5":   plain(func(cfg bench.Config) string { return bench.RenderFig5(bench.Fig5(cfg)) }),
+	"fig6":   plain(func(cfg bench.Config) string { return bench.RenderFig6(bench.Fig6(cfg)) }),
+	"fig7":   plain(func(cfg bench.Config) string { return bench.RenderFig7(bench.Fig7(cfg)) }),
+	"fig8":   plain(func(cfg bench.Config) string { return bench.RenderFig8(bench.Fig8(cfg)) }),
+	"fig9":   plain(func(cfg bench.Config) string { return bench.RenderFig9(bench.Fig9(cfg)) }),
+	"fig10": func(cfg bench.Config) experimentOut {
+		rep := bench.Fig10(cfg)
+		return experimentOut{report: bench.RenderFig10(rep), metrics: bench.Fig10Metrics(rep)}
 	},
-	"calibrate": func(cfg bench.Config) string { return bench.CalibrationReport(bench.Fig2(cfg)) },
+	"opts": plain(func(cfg bench.Config) string {
+		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
+	}),
+	"calibrate": plain(func(cfg bench.Config) string { return bench.CalibrationReport(bench.Fig2(cfg)) }),
 }
 
 // ExperimentConfig sizes an experiment run.
@@ -168,6 +189,12 @@ type ExperimentConfig struct {
 	// Parallelism sizes the episode worker pool; <= 1 runs sequentially.
 	// Reports are bit-identical at every value.
 	Parallelism int
+	// FleetSizes overrides fig10's fleet-size axis (nil = default ladder
+	// 16..2048); the CLI's -fleet-sizes.
+	FleetSizes []int
+	// FleetShards overrides fig10's shard axis (nil = {1, 4}); the CLI's
+	// -serve-shards under -exp.
+	FleetShards []int
 }
 
 // Experiment regenerates one table/figure and returns the rendered report.
@@ -179,14 +206,26 @@ func Experiment(name string, episodes int, seed uint64) (string, error) {
 // ExperimentOpt is Experiment with full run configuration, including the
 // episode-runner parallelism.
 func ExperimentOpt(name string, cfg ExperimentConfig) (string, error) {
+	report, _, err := ExperimentFull(name, cfg)
+	return report, err
+}
+
+// ExperimentFull is ExperimentOpt plus the experiment's machine-readable
+// perf metrics (nil for most experiments; fig10 reports per-fleet-size
+// wall times and heap-vs-linear speedups, which the CLI folds into
+// -bench-json records and the perf trajectory).
+func ExperimentFull(name string, cfg ExperimentConfig) (string, map[string]float64, error) {
 	fn, ok := experiments[strings.ToLower(name)]
 	if !ok {
-		return "", fmt.Errorf("embench: unknown experiment %q (one of %s)",
+		return "", nil, fmt.Errorf("embench: unknown experiment %q (one of %s)",
 			name, strings.Join(Experiments(), ", "))
 	}
-	return fn(bench.Config{
+	out := fn(bench.Config{
 		Episodes:    cfg.Episodes,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
-	}), nil
+		FleetSizes:  cfg.FleetSizes,
+		FleetShards: cfg.FleetShards,
+	})
+	return out.report, out.metrics, nil
 }

@@ -31,6 +31,12 @@ type Config struct {
 	// Parallelism is the episode worker-pool size; <= 1 runs batches
 	// sequentially. Results are identical at any value.
 	Parallelism int
+	// FleetSizes overrides fig10's fleet-size axis (nil = the default
+	// ladder, Fig10FleetSizes). CI uses a reduced axis; the recorded
+	// trajectory runs the full one.
+	FleetSizes []int
+	// FleetShards overrides fig10's shard axis (nil = Fig10Shards).
+	FleetShards []int
 }
 
 func (c Config) episodes() int {

@@ -33,6 +33,10 @@ type Served struct {
 	// CachedTokens counts prompt tokens whose prefill was discounted by a
 	// shared prefix/KV cache.
 	CachedTokens int
+	// PromptTokens is the prompt's total token count as the backend priced
+	// it at admission (zero for backends that do not report it). Carrying
+	// it back saves accounting layers a re-walk of the prompt sections.
+	PromptTokens int
 }
 
 // Backend abstracts where serving time comes from. The default (a nil

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"runtime"
 	"sync"
 
 	"embench/internal/metrics"
@@ -9,24 +10,49 @@ import (
 	"embench/internal/trace"
 )
 
+// DefaultActivationThreshold is the fleet size at which RunFleet switches
+// from plain goroutine-per-episode to the bounded activation pool. Below
+// it the pool's gate traffic costs more than it saves; at or above it the
+// pool keeps the number of actively executing episode stacks at
+// ~GOMAXPROCS no matter how large the fleet grows.
+const DefaultActivationThreshold = 64
+
 // FleetGroup is one shared-deployment run: a batch of episode specs that
-// all attach to a single serve.Fleet (one endpoint — replicas, queues,
-// caches — contended by every episode in the group).
+// all attach to a single serve.Fleet — or, with Shards > 1, to K
+// independent fleets with deterministic round-robin episode placement
+// (one endpoint each; see serve.ShardedFleet).
 type FleetGroup struct {
 	Specs []EpisodeSpec
-	// Serve configures the shared endpoint. A zero Profile is defaulted to
-	// the first spec's (post-mutation) planner profile, mirroring the
+	// Serve configures the shared endpoint(s). A zero Profile is defaulted
+	// to the first spec's (post-mutation) planner profile, mirroring the
 	// per-episode endpoint default.
 	Serve serve.Config
+	// Shards splits the group across this many independent endpoints
+	// (episode i attaches to shard i % Shards). <= 1 means one shared
+	// endpoint — the plain Fleet.
+	Shards int
+	// Activation bounds how many of the group's episodes actively execute
+	// at once (arrival-driven episode activation): an episode runs only
+	// while the merge is waiting on its next request, and parks — slot
+	// released — while its revealed request waits to be admitted. 0 uses
+	// the default policy: no gating below DefaultActivationThreshold
+	// episodes, a GOMAXPROCS-sized pool at or above it. > 0 forces a pool
+	// of that many slots; < 0 disables gating at any size. Gating never
+	// changes results — only how many goroutines are simultaneously
+	// runnable.
+	Activation int
 }
 
 // FleetResult is one group's outcome: per-episode metrics and traces in
 // spec order, plus the endpoint-level serving totals across all episodes
-// (each episode's own share is in its Episode.Serving).
+// (each episode's own share is in its Episode.Serving). For a sharded
+// group, Serving is the cross-shard rollup and ShardServing holds each
+// shard's own totals in shard order.
 type FleetResult struct {
-	Episodes []metrics.Episode
-	Traces   []*trace.Trace
-	Serving  metrics.Serving
+	Episodes     []metrics.Episode
+	Traces       []*trace.Trace
+	Serving      metrics.Serving
+	ShardServing []metrics.Serving
 }
 
 // fleetServe resolves the group's endpoint configuration: an explicit
@@ -44,15 +70,51 @@ func (g FleetGroup) fleetServe() serve.Config {
 	return sc
 }
 
+// activationGate is a counting semaphore implementing serve.Gate: slots
+// are buffer capacity, Acquire fills one, Release drains one.
+type activationGate chan struct{}
+
+func (g activationGate) Acquire() { g <- struct{}{} }
+func (g activationGate) Release() { <-g }
+
+// gateFor resolves the group's activation policy into a gate (nil = no
+// gating) for a group of n episodes.
+func (g FleetGroup) gateFor(n int) serve.Gate {
+	slots := 0
+	switch {
+	case g.Activation < 0:
+		return nil
+	case g.Activation > 0:
+		slots = g.Activation
+	case n >= DefaultActivationThreshold:
+		slots = runtime.GOMAXPROCS(0)
+	default:
+		return nil
+	}
+	if slots >= n {
+		return nil // a slot for everyone is no bound at all
+	}
+	return make(activationGate, slots)
+}
+
 // RunFleet executes one fleet group: every episode runs on its own
-// goroutine, attached to one shared serve.Fleet. Concurrency here is not
-// an option but a requirement — the fleet's conservative merge blocks an
-// episode's LLM call until every other live episode has revealed its next
+// goroutine, attached to one shared serve.Fleet (or its shard of a
+// serve.ShardedFleet). Concurrency here is not an option but a
+// requirement — the fleet's conservative merge blocks an episode's LLM
+// call until every other live episode of its shard has revealed its next
 // request, so the group advances as a lock-step discrete-event
 // simulation. Because the merged admission order is a pure function of
 // the episodes' virtual-time request sequences, the result is
 // byte-identical across reruns and independent of how the goroutines are
 // scheduled.
+//
+// Large groups do not cost a live stack per episode: at or above
+// DefaultActivationThreshold episodes (see FleetGroup.Activation), episode
+// execution is gated through a bounded activation pool — an episode
+// goroutine runs only while the merge needs its next request and parks
+// with its slot released while its revealed request waits — so a
+// 2048-episode fleet executes with roughly GOMAXPROCS active episodes at
+// any moment.
 //
 // ctx is checked once before launch (episodes are not interruptible
 // mid-flight; a fleet episode blocked in the merge cannot observe
@@ -72,12 +134,25 @@ func RunFleet(ctx context.Context, g FleetGroup) (FleetResult, error) {
 	if n == 0 {
 		return res, nil
 	}
-	fleet := serve.NewFleet(g.fleetServe(), n)
+	fleet := serve.NewShardedFleet(g.fleetServe(), n, g.Shards)
+	gate := g.gateFor(n)
+	if gate != nil {
+		fleet.SetGate(gate)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if gate != nil {
+				// Hold an activation slot while executing episode code;
+				// the fleet client releases it whenever this episode is
+				// parked in the merge. Release must run after Finish (the
+				// deferred calls below unwind in reverse order), so the
+				// episode detaches while still counted active.
+				gate.Acquire()
+				defer gate.Release()
+			}
 			client := fleet.Client(i)
 			// Finish must run even if the episode panics, or the rest of
 			// the fleet blocks forever waiting for this episode's next
@@ -92,14 +167,23 @@ func RunFleet(ctx context.Context, g FleetGroup) (FleetResult, error) {
 	}
 	wg.Wait()
 	res.Serving = fleet.Stats()
+	if fleet.Shards() > 1 {
+		res.ShardServing = fleet.ShardStats()
+	}
 	return res, nil
 }
 
 // RunFleets executes many independent fleet groups, at most parallelism
-// groups concurrently (each group internally runs len(Specs) goroutines).
-// Results come back in group submission order; like Run, any parallelism
-// value — including 1 — produces byte-identical results, because each
-// group is internally deterministic and groups share no state.
+// groups concurrently (each group internally runs len(Specs) goroutines,
+// activation-gated when large). Results come back in group submission
+// order; like Run, any parallelism value — including 1 — produces
+// byte-identical results, because each group is internally deterministic
+// and groups share no state.
+//
+// Cancellation and errors follow Run's contract: when ctx is cancelled
+// mid-batch, dispatch stops, in-flight groups drain, and the context
+// error is returned; a group error (lowest group index wins) is returned
+// the same way. Partial results are never returned.
 func RunFleets(ctx context.Context, groups []FleetGroup, parallelism int) ([]FleetResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -121,19 +205,14 @@ func RunFleets(ctx context.Context, groups []FleetGroup, parallelism int) ([]Fle
 	}
 
 	idx := make(chan int)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r, err := RunFleet(context.Background(), groups[i])
-				if err != nil {
-					// Background context never cancels; RunFleet has no
-					// other error path.
-					panic("runner: fleet group: " + err.Error())
-				}
-				results[i] = r
+				results[i], errs[i] = RunFleet(ctx, groups[i])
 			}
 		}()
 	}
@@ -151,6 +230,16 @@ dispatch:
 	close(idx)
 	wg.Wait()
 
+	if err == nil {
+		// Propagate the first (lowest-index) group error through the pool,
+		// exactly as the sequential path would have surfaced it.
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

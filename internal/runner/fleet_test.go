@@ -126,6 +126,113 @@ func TestFleetPerEpisodeStatsCoverEndpoint(t *testing.T) {
 	}
 }
 
+// TestFleetActivationPoolMatchesUngated pins that arrival-driven episode
+// activation is pure scheduling: a tightly gated run (2 slots for 8
+// episodes) must produce byte-identical results to the ungated run.
+func TestFleetActivationPoolMatchesUngated(t *testing.T) {
+	base := fleetTestGroup(t, 8, 31)
+
+	ungated := base
+	ungated.Activation = -1
+	want, err := RunFleet(context.Background(), ungated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gated := base
+	gated.Activation = 2
+	got, err := RunFleet(context.Background(), gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("activation pool changed fleet results")
+	}
+}
+
+// TestFleetActivationPoolDeadlockFree is the liveness check for the
+// default-threshold path: a group past DefaultActivationThreshold runs
+// gated (GOMAXPROCS slots) and must complete under -race.
+func TestFleetActivationPoolDeadlockFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fleet")
+	}
+	g := fleetTestGroup(t, DefaultActivationThreshold+8, 7)
+	done := make(chan error, 1)
+	go func() {
+		res, err := RunFleet(context.Background(), g)
+		if err == nil && len(res.Episodes) != DefaultActivationThreshold+8 {
+			err = context.DeadlineExceeded
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("activation-pool fleet deadlocked")
+	}
+}
+
+// TestFleetShardedDeterministicAndRolledUp: a sharded group is
+// byte-identical across reruns, reports per-shard stats that sum to the
+// rollup, and serves every episode.
+func TestFleetShardedDeterministicAndRolledUp(t *testing.T) {
+	g := fleetTestGroup(t, 6, 13)
+	g.Shards = 3
+	a, err := RunFleet(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ShardServing) != 3 {
+		t.Fatalf("ShardServing has %d shards, want 3", len(a.ShardServing))
+	}
+	var reqs, prefill int
+	for _, s := range a.ShardServing {
+		reqs += s.Requests
+		prefill += s.PrefillTokens
+	}
+	if reqs != a.Serving.Requests || prefill != a.Serving.PrefillTokens {
+		t.Fatalf("shard stats don't sum to rollup: req %d/%d prefill %d/%d",
+			reqs, a.Serving.Requests, prefill, a.Serving.PrefillTokens)
+	}
+	for i, e := range a.Episodes {
+		if e.Serving.Requests == 0 {
+			t.Fatalf("episode %d was never served", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b, err := RunFleet(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sharded fleet rerun %d diverged", i)
+		}
+	}
+}
+
+// TestRunFleetsPropagatesWorkerErrors: a cancelled context must surface as
+// an error from the worker path — the seed panicked inside the pool
+// instead of returning it.
+func TestRunFleetsPropagatesWorkerErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	groups := []FleetGroup{
+		fleetTestGroup(t, 2, 1), fleetTestGroup(t, 2, 2),
+		fleetTestGroup(t, 2, 3), fleetTestGroup(t, 2, 4),
+	}
+	res, err := RunFleets(ctx, groups, 2)
+	if err == nil {
+		t.Fatal("cancelled context returned no error from the worker pool")
+	}
+	if res != nil {
+		t.Fatalf("error path returned partial results: %v", res)
+	}
+}
+
 func TestFleetEmptyAndCancelled(t *testing.T) {
 	if res, err := RunFleet(context.Background(), FleetGroup{}); err != nil || len(res.Episodes) != 0 {
 		t.Fatalf("empty group = %+v, %v", res, err)

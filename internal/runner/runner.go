@@ -15,17 +15,21 @@
 // # Fleet episodes (RunFleet, RunFleets)
 //
 // A FleetGroup breaks the independence on purpose: its episodes attach to
-// one shared serve.Fleet, contending for the same replicas, admission
-// queue and prefix caches — the cross-episode serving regime the paper's
-// scalability recommendations target. The episodes of a group MUST run
-// concurrently (the fleet's conservative virtual-time merge blocks an
-// episode's LLM call until every other live episode reveals its next
+// one shared serve.Fleet — or, sharded, to K independent fleets —
+// contending for the same replicas, admission queue and prefix caches:
+// the cross-episode serving regime the paper's scalability
+// recommendations target. The episodes of a group MUST run concurrently
+// (the fleet's conservative virtual-time merge blocks an episode's LLM
+// call until every other live episode of its shard reveals its next
 // request), so RunFleet gives each episode its own goroutine regardless
-// of worker-pool settings; parallelism applies between groups, which stay
-// independent. Determinism survives the sharing: the merge orders
-// requests by (virtual arrival, episode index), never by goroutine
-// schedule, so fleet results are byte-identical across reruns and any
-// parallelism level.
+// of worker-pool settings; large groups are activation-gated so only
+// ~GOMAXPROCS of those goroutines execute episode code at any moment
+// (arrival-driven episode activation — see FleetGroup.Activation), and
+// parallelism applies between groups, which stay independent.
+// Determinism survives all of it: the merge orders requests by (virtual
+// arrival, episode index), never by goroutine schedule, so fleet results
+// are byte-identical across reruns, any parallelism level, and any
+// activation bound.
 //
 // The bench package routes every figure and table regeneration through
 // this package; future sharding/async work builds on the same EpisodeSpec

@@ -2,8 +2,6 @@ package serve
 
 import (
 	"time"
-
-	"embench/internal/prompt"
 )
 
 // admitted is one request's cache-priced admission into a batch: the
@@ -22,35 +20,42 @@ func (e *Endpoint) discountedEff(cached, total int) float64 {
 	return float64(total-cached) + float64(cached)*e.cfg.CachedPrefillFrac
 }
 
-// promptCostOn prices a prompt's prefill through one replica's prefix
-// cache: returns the effective token count (see discountedEff), the
-// cached token count, and the raw total. The prompt is inserted
-// afterwards so followers on the same replica can reuse it.
-func (e *Endpoint) promptCostOn(r *replica, p prompt.Prompt) (eff float64, cached, total int) {
-	total = p.Tokens()
-	cached = r.cache.match(p)
-	r.cache.insert(p)
-	return e.discountedEff(cached, total), cached, total
+// promptCostOn prices a memoized prompt's prefill through one replica's
+// prefix cache: returns the effective token count (see discountedEff), the
+// cached token count, and the raw total. The prompt's prefixes are
+// inserted afterwards so followers on the same replica can reuse it. The
+// prefix chain was hashed once, upstream, when the request entered the
+// endpoint — routing probes and admission share the same promptKey.
+func (e *Endpoint) promptCostOn(r *replica, k promptKey) (eff float64, cached, total int) {
+	cached = r.cache.matchKey(k)
+	r.cache.insertKey(k)
+	return e.discountedEff(cached, k.total), cached, k.total
 }
 
-// admitBatch is THE request-admission path: it prices a batch of prompts
-// against one replica's prefix cache in admission order and returns the
-// batch service time plus per-member pricing. Closed-loop serving
-// (Endpoint.Serve new batches), explicit step-phase batches
+// admitBatch is THE request-admission path: it prices a batch of memoized
+// prompts against one replica's prefix cache in admission order and
+// returns the batch service time plus per-member pricing. Closed-loop
+// serving (Endpoint.Serve new batches), explicit step-phase batches
 // (Endpoint.ServeBatch) and open-loop replay (Replay batch launches) all
 // admit through this helper, so a given request sequence prices
 // identically whichever path carries it — the property the
 // closed-vs-open-loop regression test pins down.
-func (e *Endpoint) admitBatch(r *replica, prompts []prompt.Prompt, outs []int) (service time.Duration, members []admitted, totalEff float64, maxOut int) {
-	members = make([]admitted, len(prompts))
-	for i, p := range prompts {
-		eff, cached, total := e.promptCostOn(r, p)
+//
+// The returned members slice is scratch owned by the endpoint: it is valid
+// until the next admission and must not be retained across calls.
+func (e *Endpoint) admitBatch(r *replica, keys []promptKey, outs []int) (service time.Duration, members []admitted, totalEff float64, maxOut int) {
+	if cap(e.mbuf) < len(keys) {
+		e.mbuf = make([]admitted, len(keys))
+	}
+	members = e.mbuf[:len(keys)]
+	for i, k := range keys {
+		eff, cached, total := e.promptCostOn(r, k)
 		totalEff += eff
 		members[i] = admitted{eff: eff, cached: cached, total: total}
 		if outs[i] > maxOut {
 			maxOut = outs[i]
 		}
 	}
-	service = e.cfg.Profile.BatchServiceTime(len(prompts), totalEff, maxOut)
+	service = e.cfg.Profile.BatchServiceTime(len(keys), totalEff, maxOut)
 	return service, members, totalEff, maxOut
 }

@@ -62,37 +62,76 @@ func chainSection(h uint64, s prompt.Section) uint64 {
 	return h
 }
 
-// match reports how many leading tokens of p are covered by cached
-// prefixes: sections are matched front-to-back and the chain stops at the
-// first miss, mirroring KV-cache prefix reuse.
-func (c *prefixCache) match(p prompt.Prompt) int {
+// sectionKey is one prefix of a prompt: the chained FNV key covering the
+// prompt up to and including a section, and that section's token size.
+type sectionKey struct {
+	key  uint64
+	size int
+}
+
+// promptKey is a prompt's memoized prefix-chain identity. Routing probes
+// every replica's cache and admission prices + inserts the prompt, so a
+// request's chain is hashed once here and shared by all of them instead of
+// being recomputed per probe.
+type promptKey struct {
+	secs  []sectionKey
+	total int // total prompt tokens (the sum of section sizes)
+}
+
+// chainKeysInto computes p's prefix chain, reusing buf's backing array.
+// The caller owns the lifetime: a scratch buffer may be reused once the
+// returned key is no longer referenced.
+func chainKeysInto(buf []sectionKey, p prompt.Prompt) promptKey {
+	k := promptKey{secs: buf[:0]}
+	h := fnvOffset
+	for _, s := range p.Sections {
+		h = chainSection(h, s)
+		sz := s.Size()
+		k.secs = append(k.secs, sectionKey{key: h, size: sz})
+		k.total += sz
+	}
+	return k
+}
+
+// chainKeys is chainKeysInto with a fresh backing array.
+func chainKeys(p prompt.Prompt) promptKey { return chainKeysInto(nil, p) }
+
+// matchKey reports how many leading tokens of the keyed prompt are covered
+// by cached prefixes: sections are matched front-to-back and the chain
+// stops at the first miss, mirroring KV-cache prefix reuse.
+func (c *prefixCache) matchKey(k promptKey) int {
 	if c == nil {
 		return 0
 	}
-	h := fnvOffset
 	cached := 0
-	for _, s := range p.Sections {
-		h = chainSection(h, s)
-		if _, ok := c.last[h]; !ok {
+	for _, s := range k.secs {
+		if _, ok := c.last[s.key]; !ok {
 			break
 		}
-		cached += s.Size()
+		cached += s.size
 	}
 	return cached
 }
 
-// insert touches every prefix of p (so the whole prompt becomes reusable by
-// followers) and evicts least-recently-touched entries beyond capacity.
-func (c *prefixCache) insert(p prompt.Prompt) {
+// match is matchKey over an unmemoized prompt (tests and one-shot probes).
+func (c *prefixCache) match(p prompt.Prompt) int {
+	if c == nil {
+		return 0
+	}
+	return c.matchKey(chainKeys(p))
+}
+
+// insertKey touches every prefix of the keyed prompt (so the whole prompt
+// becomes reusable by followers) and evicts least-recently-touched entries
+// beyond capacity.
+func (c *prefixCache) insertKey(k promptKey) {
 	if c == nil {
 		return
 	}
-	h := fnvOffset
-	for _, s := range p.Sections {
-		h = chainSection(h, s)
+	for _, s := range k.secs {
 		c.tick++
-		c.last[h] = c.tick
-		c.order = append(c.order, lruEvent{key: h, tick: c.tick})
+		c.last[s.key] = c.tick
+		c.order = append(c.order, lruEvent{key: s.key, tick: c.tick})
 	}
 	for len(c.last) > c.cap {
 		ev := c.order[0]
@@ -113,4 +152,12 @@ func (c *prefixCache) insert(p prompt.Prompt) {
 		}
 		c.order = live
 	}
+}
+
+// insert is insertKey over an unmemoized prompt (tests and one-shot use).
+func (c *prefixCache) insert(p prompt.Prompt) {
+	if c == nil {
+		return
+	}
+	c.insertKey(chainKeys(p))
 }

@@ -5,7 +5,6 @@ import (
 
 	"embench/internal/llm"
 	"embench/internal/metrics"
-	"embench/internal/prompt"
 )
 
 // replica is one model instance's timeline position: when it frees, the
@@ -48,6 +47,14 @@ type Endpoint struct {
 	cfg      Config
 	replicas []replica
 	stats    metrics.Serving
+	// Single-call scratch, reused across Serve calls (the endpoint is not
+	// concurrency-safe by contract): the prefix-chain buffer, plus
+	// one-element admission slices so the unbatched hot path allocates
+	// nothing per request.
+	kbuf   []sectionKey
+	oneKey [1]promptKey
+	oneOut [1]int
+	mbuf   []admitted
 }
 
 // Compile-time checks: an endpoint is a drop-in serving backend for llm
@@ -103,12 +110,16 @@ func (e *Endpoint) Reset() {
 // reported completions of earlier members. The routing policy picks the
 // replica (see RoutingPolicy).
 func (e *Endpoint) Serve(c llm.Call) llm.Served {
-	r := e.route(c.Arrival, c.Prompt, c.OutTokens)
+	// Hash the prompt's prefix chain exactly once; routing probes and
+	// admission pricing below all share this key.
+	k := chainKeysInto(e.kbuf, c.Prompt)
+	e.kbuf = k.secs
+	r := e.route(c.Arrival, k, c.OutTokens)
 
 	// Join the in-flight frontier batch when the window allows.
 	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
 		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
-		eff, cached, total := e.promptCostOn(r, c.Prompt)
+		eff, cached, total := e.promptCostOn(r, k)
 		r.batchN++
 		r.batchTok += eff
 		if c.OutTokens > r.batchOut {
@@ -137,7 +148,7 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		e.stats.CachedTokens += cached
 		return llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
-			BatchSize: r.batchN, CachedTokens: cached,
+			BatchSize: r.batchN, CachedTokens: cached, PromptTokens: total,
 		}
 	}
 
@@ -147,14 +158,14 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		start = r.freeAt
 	}
 	wait := start - c.Arrival
-	service, members, totalEff, maxOut := e.admitBatch(r,
-		[]prompt.Prompt{c.Prompt}, []int{c.OutTokens})
+	e.oneKey[0], e.oneOut[0] = k, c.OutTokens
+	service, members, totalEff, maxOut := e.admitBatch(r, e.oneKey[:], e.oneOut[:])
 	end := start + service
 	r.startBatch(start, end, 1, totalEff, maxOut, service)
 	e.record(service, wait, 1, members[0].cached, members[0].total)
 	return llm.Served{
 		Latency: end - c.Arrival, QueueWait: wait,
-		BatchSize: 1, CachedTokens: members[0].cached,
+		BatchSize: 1, CachedTokens: members[0].cached, PromptTokens: members[0].total,
 	}
 }
 
@@ -177,17 +188,17 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 			arrival = c.Arrival
 		}
 	}
-	r := e.route(arrival, calls[0].Prompt, calls[0].OutTokens)
+	keys := make([]promptKey, len(calls))
+	outs := make([]int, len(calls))
+	for i, c := range calls {
+		keys[i], outs[i] = chainKeys(c.Prompt), c.OutTokens
+	}
+	r := e.route(arrival, keys[0], calls[0].OutTokens)
 	start := arrival
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	prompts := make([]prompt.Prompt, len(calls))
-	outs := make([]int, len(calls))
-	for i, c := range calls {
-		prompts[i], outs[i] = c.Prompt, c.OutTokens
-	}
-	service, members, totalEff, maxOut := e.admitBatch(r, prompts, outs)
+	service, members, totalEff, maxOut := e.admitBatch(r, keys, outs)
 	end := start + service
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
 	out := make([]llm.Served, len(calls))
@@ -197,6 +208,7 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: len(calls), CachedTokens: members[i].cached,
+			PromptTokens: members[i].total,
 		}
 	}
 	return out

@@ -28,6 +28,19 @@ import (
 // closed-loop admission within a single episode is submission-ordered,
 // with arrivals driving only the queueing and batching arithmetic).
 //
+// # Scale
+//
+// The merge is built to stay cheap at thousands of episodes: revealed
+// pending requests live in a min-heap keyed by (arrival, client id), so
+// each admission costs O(log N) instead of a linear rescan, and a served
+// client is woken through its own one-slot channel, so an admission wakes
+// exactly the episode whose request completed instead of broadcasting to
+// all N. An optional Gate (SetGate) additionally bounds how many episode
+// goroutines execute episode code at once — parked clients release their
+// slot while they wait in the merge — which is what lets a 2048-episode
+// fleet run with a worker-pool's worth of active stacks (see
+// runner.RunFleet's activation pool).
+//
 // The price of the conservative rule is blocking: a client's Serve call
 // parks until its request reaches the head of the merged order. All
 // episodes of a fleet must therefore run concurrently (the runner
@@ -35,9 +48,34 @@ import (
 // one goroutine deadlocks as soon as two episodes are attached.
 type Fleet struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	ep      *Endpoint
 	clients []*FleetClient
+	// heap holds the clients whose next request is revealed but unserved,
+	// ordered by (pend.arrival, id); unrevealed counts the live clients
+	// that are not in the heap. Admission may proceed exactly when
+	// unrevealed == 0 — the conservative rule as two O(1)-readable facts.
+	heap       []*FleetClient
+	unrevealed int
+	// gate, when set, bounds active episode execution (see Gate). Read
+	// without the mutex: it must be set before any episode runs and never
+	// changed afterwards.
+	gate Gate
+	// linear selects the seed reference merge (linear scan + broadcast),
+	// kept for differential tests and the fig10 before/after benchmark.
+	linear bool
+	cond   *sync.Cond // linear mode only
+}
+
+// Gate bounds how many fleet episodes actively execute at once. A client
+// releases its slot while it is parked in the merge (its request revealed,
+// waiting to be admitted) and re-acquires it when its request completes,
+// so at any moment only slot holders run episode code. Implementations
+// must be safe for concurrent use; a counting semaphore is the intended
+// shape. Acquire must not be called while holding fleet-internal locks
+// (the fleet guarantees this).
+type Gate interface {
+	Acquire()
+	Release()
 }
 
 // FleetClient is one episode's handle on a shared Fleet. It implements
@@ -50,6 +88,15 @@ type FleetClient struct {
 	id   int
 	done bool
 	pend *fleetPending
+	// wake carries the "your request was served" signal: one-slot
+	// buffered, written by the admitting goroutine (under the fleet
+	// mutex), consumed by the owning episode goroutine — exactly one
+	// token per submitted request, so a serve wakes only this client.
+	wake chan struct{}
+	// scratch is the per-client pending struct, reused across requests:
+	// a client has at most one outstanding request, so Serve/ServeBatch
+	// never need a fresh allocation.
+	scratch fleetPending
 	// stats is this episode's share of the endpoint's traffic: what the
 	// episode's own requests experienced. The endpoint-level totals
 	// (Fleet.Stats) restate joined batches retroactively, so per-episode
@@ -77,13 +124,38 @@ var (
 // from cfg.
 func NewFleet(cfg Config, episodes int) *Fleet {
 	f := &Fleet{ep: New(cfg)}
-	f.cond = sync.NewCond(&f.mu)
-	for i := 0; i < episodes; i++ {
-		f.clients = append(f.clients, &FleetClient{f: f, id: i})
-		f.clients[i].stats.Replicas = f.ep.cfg.Replicas
-	}
+	f.init(episodes)
 	return f
 }
+
+// NewLinearFleet builds a fleet that merges with the seed reference
+// implementation: an O(N) linear scan over all clients per admission and a
+// broadcast wakeup of every parked episode per serve. It admits the exact
+// same order as NewFleet — the differential merge test pins that — and
+// exists only as the comparison baseline: fig10 measures the heap merge's
+// speedup against it, and tests diff the two implementations on randomized
+// workloads. Gates are ignored in this mode.
+func NewLinearFleet(cfg Config, episodes int) *Fleet {
+	f := &Fleet{ep: New(cfg), linear: true}
+	f.cond = sync.NewCond(&f.mu)
+	f.init(episodes)
+	return f
+}
+
+func (f *Fleet) init(episodes int) {
+	f.clients = make([]*FleetClient, episodes)
+	f.heap = make([]*FleetClient, 0, episodes)
+	f.unrevealed = episodes
+	for i := range f.clients {
+		f.clients[i] = &FleetClient{f: f, id: i, wake: make(chan struct{}, 1)}
+		f.clients[i].stats.Replicas = f.ep.cfg.Replicas
+	}
+}
+
+// SetGate installs an activation gate (see Gate). It must be called before
+// any episode issues a request and the gate must already be held by every
+// episode goroutine when it starts running episode code.
+func (f *Fleet) SetGate(g Gate) { f.gate = g }
 
 // Client returns episode i's backend handle.
 func (f *Fleet) Client(i int) *FleetClient { return f.clients[i] }
@@ -103,35 +175,78 @@ func (f *Fleet) Stats() metrics.Serving {
 	return f.ep.Stats()
 }
 
-// dispatch admits pending requests while the conservative rule allows:
-// every still-attached client must have an unserved pending request
-// before the revealed minimum — smallest (arrival, client id) — may be
-// served. Runs with f.mu held; every serve wakes all waiters.
-func (f *Fleet) dispatch() {
+// --- heap of revealed pending requests, keyed by (arrival, client id) ---
+
+// lessThan orders revealed clients by their merge key.
+func lessThan(a, b *FleetClient) bool {
+	if a.pend.arrival != b.pend.arrival {
+		return a.pend.arrival < b.pend.arrival
+	}
+	return a.id < b.id
+}
+
+// heapPush adds a revealed client. Runs with f.mu held.
+func (f *Fleet) heapPush(c *FleetClient) {
+	f.heap = append(f.heap, c)
+	i := len(f.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lessThan(f.heap[i], f.heap[parent]) {
+			break
+		}
+		f.heap[i], f.heap[parent] = f.heap[parent], f.heap[i]
+		i = parent
+	}
+}
+
+// heapPopMin removes and returns the earliest revealed client. Runs with
+// f.mu held; the heap must be non-empty.
+func (f *Fleet) heapPopMin() *FleetClient {
+	min := f.heap[0]
+	last := len(f.heap) - 1
+	f.heap[0] = f.heap[last]
+	f.heap[last] = nil
+	f.heap = f.heap[:last]
+	i := 0
 	for {
-		var best *FleetClient
-		for _, c := range f.clients {
-			if c.done {
-				continue
-			}
-			if c.pend == nil || c.pend.served {
-				return // an episode has not revealed its next request yet
-			}
-			if best == nil || c.pend.arrival < best.pend.arrival {
-				best = c
-			}
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(f.heap) && lessThan(f.heap[l], f.heap[smallest]) {
+			smallest = l
 		}
-		if best == nil {
-			return // every episode finished
+		if r < len(f.heap) && lessThan(f.heap[r], f.heap[smallest]) {
+			smallest = r
 		}
-		p := best.pend
+		if smallest == i {
+			return min
+		}
+		f.heap[i], f.heap[smallest] = f.heap[smallest], f.heap[i]
+		i = smallest
+	}
+}
+
+// dispatch admits pending requests while the conservative rule allows:
+// every still-attached client must have revealed an unserved pending
+// request (unrevealed == 0) before the heap minimum — smallest
+// (arrival, client id) — may be served. Each admission pops the heap,
+// serves against the shared endpoint, and signals exactly the served
+// client's wake channel. Runs with f.mu held.
+func (f *Fleet) dispatch() {
+	for f.unrevealed == 0 && len(f.heap) > 0 {
+		c := f.heapPopMin()
+		// c is live again but its next request is not revealed yet.
+		f.unrevealed++
+		p := c.pend
 		if p.batch != nil {
 			p.resB = f.ep.ServeBatch(p.batch)
 		} else {
 			p.res = f.ep.Serve(p.call)
 		}
 		p.served = true
-		f.cond.Broadcast()
+		// One-slot buffer and at most one outstanding request per client:
+		// the send can only find the buffer empty, so it never blocks and
+		// never drops a needed token.
+		c.wake <- struct{}{}
 	}
 }
 
@@ -139,26 +254,48 @@ func (f *Fleet) dispatch() {
 // it has been admitted and served.
 func (c *FleetClient) submit(p *fleetPending) {
 	f := c.f
+	if f.linear {
+		c.submitLinear(p)
+		return
+	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if c.done {
+		f.mu.Unlock()
 		panic("serve: FleetClient used after Finish")
 	}
 	c.pend = p
+	f.heapPush(c)
+	f.unrevealed--
 	f.dispatch()
-	for !p.served {
-		f.cond.Wait()
+	served := p.served
+	f.mu.Unlock()
+	if served {
+		// Our own dispatch call admitted us (possibly along with others);
+		// the token is already in the buffer — drain it so the next
+		// submission starts clean.
+		<-c.wake
+		return
 	}
-	c.pend = nil
+	// Park. While parked we hold no activation slot: the gate is released
+	// so another episode can run, and re-acquired once our request has
+	// been served and episode code is about to resume.
+	if g := f.gate; g != nil {
+		g.Release()
+		<-c.wake
+		g.Acquire()
+	} else {
+		<-c.wake
+	}
 }
 
 // Serve implements llm.Backend: the episode's next request enters the
 // cross-episode merge and resolves against the shared endpoint once it is
 // globally next.
 func (c *FleetClient) Serve(call llm.Call) llm.Served {
-	p := &fleetPending{arrival: call.Arrival, call: call}
+	p := &c.scratch
+	*p = fleetPending{arrival: call.Arrival, call: call}
 	c.submit(p)
-	c.fold(p.res, call)
+	c.fold(p.res)
 	return p.res
 }
 
@@ -175,22 +312,25 @@ func (c *FleetClient) ServeBatch(calls []llm.Call) []llm.Served {
 			arrival = call.Arrival
 		}
 	}
-	p := &fleetPending{arrival: arrival, batch: calls}
+	p := &c.scratch
+	*p = fleetPending{arrival: arrival, batch: calls}
 	c.submit(p)
-	for i, s := range p.resB {
-		c.fold(s, calls[i])
+	for _, s := range p.resB {
+		c.fold(s)
 	}
 	return p.resB
 }
 
 // fold accumulates one served request into the episode's serving share.
-// Only the owning episode's goroutine calls it, so no lock is needed.
-func (c *FleetClient) fold(s llm.Served, call llm.Call) {
+// Only the owning episode's goroutine calls it, so no lock is needed. The
+// prompt total comes back from the endpoint's admission pricing
+// (Served.PromptTokens), saving a re-walk of the prompt sections.
+func (c *FleetClient) fold(s llm.Served) {
 	c.stats.Requests++
 	c.stats.QueueWait += s.QueueWait
 	c.stats.Service += s.Latency - s.QueueWait
 	c.stats.BatchedSeqs += s.BatchSize
-	c.stats.PrefillTokens += call.Prompt.Tokens()
+	c.stats.PrefillTokens += s.PromptTokens
 	c.stats.CachedTokens += s.CachedTokens
 }
 
@@ -208,6 +348,66 @@ func (c *FleetClient) Finish() {
 		return
 	}
 	c.done = true
-	f.dispatch()
+	if !f.linear {
+		// The finishing client is by construction not in the heap (its
+		// owning goroutine only calls Finish between requests), so it was
+		// counted unrevealed; removing it may unblock admissions, and
+		// dispatch wakes exactly the clients it serves.
+		f.unrevealed--
+		f.dispatch()
+		return
+	}
+	f.dispatchLinear()
 	f.cond.Broadcast()
+}
+
+// --- seed reference merge: linear scan + broadcast (NewLinearFleet) ---
+
+// dispatchLinear is the seed admission loop: an O(N) scan over every
+// client per admitted request. Runs with f.mu held; every serve wakes all
+// waiters.
+func (f *Fleet) dispatchLinear() {
+	for {
+		var best *FleetClient
+		for _, c := range f.clients {
+			if c.done {
+				continue
+			}
+			if c.pend == nil || c.pend.served {
+				return // an episode has not revealed its next request yet
+			}
+			if best == nil || lessThan(c, best) {
+				best = c
+			}
+		}
+		if best == nil {
+			return // every episode finished
+		}
+		p := best.pend
+		if p.batch != nil {
+			p.resB = f.ep.ServeBatch(p.batch)
+		} else {
+			p.res = f.ep.Serve(p.call)
+		}
+		p.served = true
+		f.cond.Broadcast()
+	}
+}
+
+// submitLinear is the seed park-and-wait: wait on the shared cond, waking
+// (spuriously, N-1 times out of N) at every admission anywhere in the
+// fleet.
+func (c *FleetClient) submitLinear(p *fleetPending) {
+	f := c.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c.done {
+		panic("serve: FleetClient used after Finish")
+	}
+	c.pend = p
+	f.dispatchLinear()
+	for !p.served {
+		f.cond.Wait()
+	}
+	c.pend = nil
 }

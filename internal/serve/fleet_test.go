@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"embench/internal/llm"
+	"embench/internal/rng"
 )
 
 // fleetScript drives a fleet of scripted episode goroutines: episode e
@@ -192,6 +193,171 @@ func TestFleetServeBatchMergesAsUnit(t *testing.T) {
 	}
 }
 
+// fleetScriptOn is fleetScript against a caller-built fleet (heap, linear
+// or sharded via the client accessor), mixing explicit phase batches in:
+// an episode whose step index hits batchEvery submits that call and the
+// next as one ServeBatch unit. Returns per-episode served slices flattened
+// in submission order.
+func fleetScriptOn(client func(int) *FleetClient, calls [][]llm.Call, batchEvery int) [][]llm.Served {
+	out := make([][]llm.Served, len(calls))
+	var wg sync.WaitGroup
+	for e := range calls {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			c := client(e)
+			defer c.Finish()
+			for s := 0; s < len(calls[e]); {
+				if batchEvery > 0 && s%batchEvery == batchEvery-1 && s+1 < len(calls[e]) {
+					out[e] = append(out[e], c.ServeBatch(calls[e][s:s+2])...)
+					s += 2
+					continue
+				}
+				out[e] = append(out[e], c.Serve(calls[e][s]))
+				s++
+			}
+		}(e)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestFleetDifferentialHeapVsLinear is the determinism contract of the
+// heap-merge rewrite: on randomized workloads — random fleet sizes,
+// arrival ties, explicit batches, every routing policy — the O(log N)
+// heap merge with targeted wakeups must admit byte-for-byte the same
+// order, results and endpoint totals as the seed linear-scan/broadcast
+// reference it replaced.
+func TestFleetDifferentialHeapVsLinear(t *testing.T) {
+	routings := []RoutingPolicy{RouteLeastLoaded, RouteCacheAffinity, RouteShortestCompletion}
+	for trial := 0; trial < 12; trial++ {
+		r := rng.New(uint64(trial + 1)).NewStream("fleet/differential")
+		eps := 2 + r.Intn(7)
+		steps := 2 + r.Intn(6)
+		cfg := Config{
+			Profile:  noJitter,
+			Replicas: 1 + r.Intn(3),
+			Routing:  routings[r.Intn(len(routings))],
+			MaxBatch: 1 + r.Intn(4),
+			MaxWait:  time.Duration(r.Intn(3)) * time.Second,
+		}
+		if r.Intn(2) == 0 {
+			cfg.CacheEntries = 64
+		}
+		calls := make([][]llm.Call, eps)
+		for e := 0; e < eps; e++ {
+			for s := 0; s < steps; s++ {
+				// Coarse arrival grid so cross-episode ties actually occur
+				// and the (arrival, client id) tie-break is exercised.
+				arrive := time.Duration(r.Intn(4*steps)) * time.Second
+				calls[e] = append(calls[e], llm.Call{
+					Agent:     fmt.Sprintf("e%d", e),
+					Arrival:   arrive,
+					Prompt:    sharedPrompt(fmt.Sprintf("e%d", e), 20+10*r.Intn(5)),
+					OutTokens: 30 + 10*r.Intn(4),
+				})
+			}
+		}
+		batchEvery := r.Intn(4) // 0 = no explicit batches this trial
+		heapF := NewFleet(cfg, eps)
+		linF := NewLinearFleet(cfg, eps)
+		got := fleetScriptOn(heapF.Client, calls, batchEvery)
+		want := fleetScriptOn(linF.Client, calls, batchEvery)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (eps=%d steps=%d cfg=%+v batchEvery=%d): heap merge diverged from linear reference\nheap   %+v\nlinear %+v",
+				trial, eps, steps, cfg, batchEvery, got, want)
+		}
+		if hs, ls := heapF.Stats(), linF.Stats(); hs != ls {
+			t.Fatalf("trial %d: endpoint totals diverged: heap %+v linear %+v", trial, hs, ls)
+		}
+	}
+}
+
+// countingGate is a test Gate that tracks the peak number of concurrently
+// held slots.
+type countingGate struct {
+	sem  chan struct{}
+	mu   sync.Mutex
+	held int
+	peak int
+}
+
+func newCountingGate(slots int) *countingGate {
+	return &countingGate{sem: make(chan struct{}, slots)}
+}
+
+func (g *countingGate) Acquire() {
+	g.sem <- struct{}{}
+	g.mu.Lock()
+	g.held++
+	if g.held > g.peak {
+		g.peak = g.held
+	}
+	g.mu.Unlock()
+}
+
+func (g *countingGate) Release() {
+	g.mu.Lock()
+	g.held--
+	g.mu.Unlock()
+	<-g.sem
+}
+
+func (g *countingGate) Peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// TestFleetGateBoundsActiveEpisodes runs a fleet far larger than its gate
+// under the runner's activation protocol (slot held while executing,
+// released while parked in the merge) and checks three things: no
+// deadlock, results identical to the ungated run, and the active-episode
+// bound actually held.
+func TestFleetGateBoundsActiveEpisodes(t *testing.T) {
+	const eps, slots = 48, 3
+	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 128}
+	calls := scriptCalls(eps, 5, 8*time.Second, 100*time.Millisecond)
+
+	want := fleetScript(cfg, calls)
+
+	f := NewFleet(cfg, eps)
+	gate := newCountingGate(slots)
+	f.SetGate(gate)
+	got := make([][]llm.Served, eps)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for e := 0; e < eps; e++ {
+			wg.Add(1)
+			go func(e int) {
+				defer wg.Done()
+				gate.Acquire()
+				defer gate.Release()
+				c := f.Client(e)
+				defer c.Finish()
+				for _, call := range calls[e] {
+					got[e] = append(got[e], c.Serve(call))
+				}
+			}(e)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("gated fleet deadlocked")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("activation gating changed fleet results")
+	}
+	if p := gate.Peak(); p > slots {
+		t.Fatalf("gate admitted %d concurrent episodes, cap %d", p, slots)
+	}
+}
+
 // BenchmarkFleet is the cross-episode merge perf smoke: 4 scripted
 // episodes × 16 calls through a shared two-replica endpoint.
 func BenchmarkFleet(b *testing.B) {
@@ -201,5 +367,39 @@ func BenchmarkFleet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fleetScript(cfg, calls)
+	}
+}
+
+// BenchmarkFleetAdmission measures the merge hot path across fleet sizes:
+// N scripted episodes, a bounded total call budget so the per-admission
+// cost — heap pop + targeted wakeup vs linear scan + broadcast — is what
+// scales, not the workload. The heap/linear pair at each N is the
+// admission-complexity comparison fig10 reports at full scale.
+func BenchmarkFleetAdmission(b *testing.B) {
+	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 128}
+	for _, n := range []int{8, 256, 2048} {
+		steps := 8192 / n
+		if steps < 2 {
+			steps = 2
+		}
+		calls := scriptCalls(n, steps, 8*time.Second, 50*time.Millisecond)
+		b.Run(fmt.Sprintf("heap/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := NewFleet(cfg, n)
+				fleetScriptOn(f.Client, calls, 0)
+			}
+		})
+		if n <= 256 {
+			// The linear reference at 2048 episodes costs minutes per op
+			// (the broadcast storm is the point); bench it only where it
+			// terminates promptly.
+			b.Run(fmt.Sprintf("linear/N=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					f := NewLinearFleet(cfg, n)
+					fleetScriptOn(f.Client, calls, 0)
+				}
+			})
+		}
 	}
 }

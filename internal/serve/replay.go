@@ -63,6 +63,13 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 		return res
 	}
 
+	// Hash every request's prefix chain once; routing probes and batch
+	// admissions below reuse the memoized keys.
+	keys := make([]promptKey, len(reqs))
+	for i := range reqs {
+		keys[i] = chainKeys(reqs[i].Prompt)
+	}
+
 	// Arrival order, stable on submission index.
 	order := make([]int, len(reqs))
 	for i := range order {
@@ -125,7 +132,7 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 		// Launch batches while an idle replica and the policy allow; the
 		// routing policy picks which idle replica hosts each batch.
 		for len(queue) > 0 && shouldLaunch() {
-			r := e.routeIdle(now, reqs[queue[0]].Prompt)
+			r := e.routeIdle(now, keys[queue[0]])
 			if r == nil {
 				break
 			}
@@ -136,12 +143,12 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 			batch := queue[:n]
 			queue = append([]int(nil), queue[n:]...)
 
-			prompts := make([]prompt.Prompt, n)
+			bkeys := make([]promptKey, n)
 			outs := make([]int, n)
 			for bi, qi := range batch {
-				prompts[bi], outs[bi] = reqs[qi].Prompt, reqs[qi].OutTokens
+				bkeys[bi], outs[bi] = keys[qi], reqs[qi].OutTokens
 			}
-			service, members, totalEff, maxOut := e.admitBatch(r, prompts, outs)
+			service, members, totalEff, maxOut := e.admitBatch(r, bkeys, outs)
 			end := now + service
 			r.startBatch(now, end, n, totalEff, maxOut, service)
 			res.Batches++

@@ -3,8 +3,6 @@ package serve
 import (
 	"fmt"
 	"time"
-
-	"embench/internal/prompt"
 )
 
 // RoutingPolicy selects which replica an admitted request (or launching
@@ -46,14 +44,15 @@ func ParseRouting(s string) (RoutingPolicy, error) {
 }
 
 // route picks the replica for a request under the endpoint's routing
-// policy. The prompt drives cache-aware policies; arrival anchors
-// completion estimates.
-func (e *Endpoint) route(arrival time.Duration, p prompt.Prompt, outTokens int) *replica {
+// policy. The memoized prompt key drives cache-aware policies (hashed once
+// per request, probed against every replica); arrival anchors completion
+// estimates.
+func (e *Endpoint) route(arrival time.Duration, k promptKey, outTokens int) *replica {
 	switch e.cfg.Routing {
 	case RouteCacheAffinity:
-		return e.routeCacheAffinity(p)
+		return e.routeCacheAffinity(k)
 	case RouteShortestCompletion:
-		return e.routeShortestCompletion(arrival, p, outTokens)
+		return e.routeShortestCompletion(arrival, k, outTokens)
 	default:
 		return e.routeLeastLoaded()
 	}
@@ -72,13 +71,14 @@ func (e *Endpoint) routeLeastLoaded() *replica {
 }
 
 // routeCacheAffinity returns the replica whose cache covers the most
-// leading tokens of p; ties fall back to least-loaded, then lowest index.
-func (e *Endpoint) routeCacheAffinity(p prompt.Prompt) *replica {
+// leading tokens of the keyed prompt; ties fall back to least-loaded, then
+// lowest index.
+func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
 	best := &e.replicas[0]
-	bestHit := best.cache.match(p)
+	bestHit := best.cache.matchKey(k)
 	for i := 1; i < len(e.replicas); i++ {
 		r := &e.replicas[i]
-		hit := r.cache.match(p)
+		hit := r.cache.matchKey(k)
 		if hit > bestHit || (hit == bestHit && r.freeAt < best.freeAt) {
 			best, bestHit = r, hit
 		}
@@ -91,12 +91,12 @@ func (e *Endpoint) routeCacheAffinity(p prompt.Prompt) *replica {
 // whichever is later) plus single-sequence service under that replica's
 // cache discount. The estimate ignores join-window coalescing — like real
 // routers, it prices the request as if it ran alone.
-func (e *Endpoint) routeShortestCompletion(arrival time.Duration, p prompt.Prompt, outTokens int) *replica {
+func (e *Endpoint) routeShortestCompletion(arrival time.Duration, k promptKey, outTokens int) *replica {
 	best := &e.replicas[0]
-	bestDone := e.estimateCompletion(best, arrival, p, outTokens)
+	bestDone := e.estimateCompletion(best, arrival, k, outTokens)
 	for i := 1; i < len(e.replicas); i++ {
 		r := &e.replicas[i]
-		if done := e.estimateCompletion(r, arrival, p, outTokens); done < bestDone {
+		if done := e.estimateCompletion(r, arrival, k, outTokens); done < bestDone {
 			best, bestDone = r, done
 		}
 	}
@@ -105,20 +105,20 @@ func (e *Endpoint) routeShortestCompletion(arrival time.Duration, p prompt.Promp
 
 // estimateCompletion prices one request on one replica without mutating
 // cache or timeline state.
-func (e *Endpoint) estimateCompletion(r *replica, arrival time.Duration, p prompt.Prompt, outTokens int) time.Duration {
+func (e *Endpoint) estimateCompletion(r *replica, arrival time.Duration, k promptKey, outTokens int) time.Duration {
 	start := arrival
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	eff := e.discountedEff(r.cache.match(p), p.Tokens())
+	eff := e.discountedEff(r.cache.matchKey(k), k.total)
 	return start + e.cfg.Profile.BatchServiceTime(1, eff, outTokens)
 }
 
 // routeIdle picks, among replicas idle at virtual time now, the launch
-// target for a batch whose head request carries prompt p — the open-loop
-// (Replay) flavor of routing, where launches only ever happen on idle
-// replicas. Returns nil when no replica is idle.
-func (e *Endpoint) routeIdle(now time.Duration, p prompt.Prompt) *replica {
+// target for a batch whose head request carries the keyed prompt — the
+// open-loop (Replay) flavor of routing, where launches only ever happen on
+// idle replicas. Returns nil when no replica is idle.
+func (e *Endpoint) routeIdle(now time.Duration, k promptKey) *replica {
 	var best *replica
 	bestHit := -1
 	for i := range e.replicas {
@@ -133,7 +133,7 @@ func (e *Endpoint) routeIdle(now time.Duration, p prompt.Prompt) *replica {
 			// best-prefix-match — with the same earliest-freeAt tie-break
 			// as closed-loop routeCacheAffinity, so open and closed loop
 			// route identically on identical state.
-			hit := r.cache.match(p)
+			hit := r.cache.matchKey(k)
 			if best == nil || hit > bestHit ||
 				(hit == bestHit && r.freeAt < best.freeAt) {
 				best, bestHit = r, hit

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"embench/internal/metrics"
+)
+
+// ShardedFleet splits a fleet across K independent shards, each a full
+// Fleet with its own Endpoint (replicas, queues, caches) and its own
+// conservative merge. Sharding is the horizontal-scale move every serving
+// stack makes once one deployment saturates: episodes on different shards
+// never contend — or share cache — with each other, and each shard's merge
+// only synchronizes its own episodes, so a shard of N/K episodes admits
+// with an N/K-sized barrier instead of an N-sized one.
+//
+// Placement is deterministic round-robin: episode i lives on shard
+// i % K (client index i / K within the shard). It is a pure function of
+// (episode index, shard count), so a sharded fleet's results are
+// byte-identical across reruns, and the K = 1 degenerate case is exactly
+// a plain Fleet.
+type ShardedFleet struct {
+	shards []*Fleet
+}
+
+// NewShardedFleet builds `episodes` clients spread round-robin over
+// `shards` independent endpoints, each built from cfg. shards < 1 is
+// treated as 1; shards above the episode count are clamped so no empty
+// endpoint is constructed.
+func NewShardedFleet(cfg Config, episodes, shards int) *ShardedFleet {
+	if shards < 1 {
+		shards = 1
+	}
+	if episodes > 0 && shards > episodes {
+		shards = episodes
+	}
+	sf := &ShardedFleet{shards: make([]*Fleet, shards)}
+	for k := range sf.shards {
+		// Round-robin placement gives shard k every episode i with
+		// i % shards == k: that is ceil((episodes-k)/shards) clients.
+		n := (episodes - k + shards - 1) / shards
+		sf.shards[k] = NewFleet(cfg, n)
+	}
+	return sf
+}
+
+// Client returns episode i's backend handle on its shard.
+func (sf *ShardedFleet) Client(i int) *FleetClient {
+	k := i % len(sf.shards)
+	return sf.shards[k].Client(i / len(sf.shards))
+}
+
+// Shards reports the shard count.
+func (sf *ShardedFleet) Shards() int { return len(sf.shards) }
+
+// Shard returns shard k's fleet (per-shard stats, tests).
+func (sf *ShardedFleet) Shard(k int) *Fleet { return sf.shards[k] }
+
+// Size reports the total number of attached episodes across shards.
+func (sf *ShardedFleet) Size() int {
+	n := 0
+	for _, f := range sf.shards {
+		n += f.Size()
+	}
+	return n
+}
+
+// Config reports the effective endpoint configuration (identical on every
+// shard).
+func (sf *ShardedFleet) Config() Config { return sf.shards[0].Config() }
+
+// SetGate installs one shared activation gate on every shard: the bound is
+// fleet-wide, because the point is to cap live episode stacks on the
+// machine, not per shard.
+func (sf *ShardedFleet) SetGate(g Gate) {
+	for _, f := range sf.shards {
+		f.SetGate(g)
+	}
+}
+
+// Stats reports the serving totals merged across all shards.
+func (sf *ShardedFleet) Stats() metrics.Serving {
+	var out metrics.Serving
+	for _, f := range sf.shards {
+		out = out.Merge(f.Stats())
+	}
+	return out
+}
+
+// ShardStats reports each shard's own endpoint totals, in shard order.
+func (sf *ShardedFleet) ShardStats() []metrics.Serving {
+	out := make([]metrics.Serving, len(sf.shards))
+	for k, f := range sf.shards {
+		out[k] = f.Stats()
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"embench/internal/llm"
+)
+
+func shardTestConfig() Config {
+	return Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
+		MaxWait: time.Second, CacheEntries: 128}
+}
+
+// TestShardedFleetPlacementDeterministic: episode i lives on shard i % K,
+// and a rerun of the same scripts is byte-identical.
+func TestShardedFleetPlacementDeterministic(t *testing.T) {
+	cfg := shardTestConfig()
+	calls := scriptCalls(10, 4, 8*time.Second, 300*time.Millisecond)
+	run := func() ([][]llm.Served, []int) {
+		sf := NewShardedFleet(cfg, len(calls), 3)
+		out := fleetScriptOn(sf.Client, calls, 2)
+		sizes := make([]int, sf.Shards())
+		for k := range sizes {
+			sizes[k] = sf.Shard(k).Size()
+		}
+		return out, sizes
+	}
+	a, sizesA := run()
+	if !reflect.DeepEqual(sizesA, []int{4, 3, 3}) {
+		t.Fatalf("round-robin placement sizes = %v, want [4 3 3]", sizesA)
+	}
+	for i := 0; i < 5; i++ {
+		b, _ := run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("sharded fleet rerun %d diverged", i)
+		}
+	}
+}
+
+// TestShardedFleetOneShardEqualsFleet: K = 1 must be exactly a plain
+// fleet — same merge, same results, same totals.
+func TestShardedFleetOneShardEqualsFleet(t *testing.T) {
+	cfg := shardTestConfig()
+	calls := scriptCalls(5, 4, 8*time.Second, 300*time.Millisecond)
+	plain := NewFleet(cfg, len(calls))
+	sharded := NewShardedFleet(cfg, len(calls), 1)
+	a := fleetScriptOn(plain.Client, calls, 0)
+	b := fleetScriptOn(sharded.Client, calls, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("1-shard ShardedFleet diverged from plain Fleet")
+	}
+	if plain.Stats() != sharded.Stats() {
+		t.Fatalf("1-shard totals diverged: %+v vs %+v", plain.Stats(), sharded.Stats())
+	}
+}
+
+// TestShardedFleetStatsRollup: the merged totals must equal the sum of the
+// per-shard stats, and shards must be genuinely independent (each shard
+// serves exactly its own episodes' requests).
+func TestShardedFleetStatsRollup(t *testing.T) {
+	cfg := shardTestConfig()
+	const eps, shards = 9, 3
+	calls := scriptCalls(eps, 4, 8*time.Second, 300*time.Millisecond)
+	sf := NewShardedFleet(cfg, eps, shards)
+	fleetScriptOn(sf.Client, calls, 0)
+
+	per := sf.ShardStats()
+	if len(per) != shards {
+		t.Fatalf("ShardStats returned %d shards, want %d", len(per), shards)
+	}
+	var reqs int
+	for k, s := range per {
+		if want := 3 * 4; s.Requests != want {
+			t.Fatalf("shard %d served %d requests, want %d", k, s.Requests, want)
+		}
+		reqs += s.Requests
+	}
+	total := sf.Stats()
+	if reqs != total.Requests {
+		t.Fatalf("per-shard requests sum %d != rollup %d", reqs, total.Requests)
+	}
+	if total.Requests != eps*4 {
+		t.Fatalf("rollup served %d requests, want %d", total.Requests, eps*4)
+	}
+}
+
+// TestShardedFleetClampsShards: more shards than episodes must clamp (no
+// empty endpoints), and zero/negative shard counts mean one shard.
+func TestShardedFleetClampsShards(t *testing.T) {
+	if got := NewShardedFleet(shardTestConfig(), 3, 8).Shards(); got != 3 {
+		t.Fatalf("8 shards over 3 episodes = %d shards, want 3", got)
+	}
+	if got := NewShardedFleet(shardTestConfig(), 3, 0).Shards(); got != 1 {
+		t.Fatalf("0 shards = %d, want 1", got)
+	}
+	if got := NewShardedFleet(shardTestConfig(), 4, 2).Size(); got != 4 {
+		t.Fatalf("sharded size = %d, want 4", got)
+	}
+}
