@@ -20,12 +20,14 @@
 // The -serve-* flags route every LLM call of a -run episode through one
 // shared serving endpoint (internal/serve): -serve-replicas model
 // instances placed by -serve-routing, continuous batches of up to
-// -serve-batch sequences forming over a -serve-window, and a
-// -serve-cache-entries-sized per-replica prefix cache. -serve-fleet N
-// attaches N concurrently running episodes to ONE endpoint (cross-episode
-// contention), and -serve-aggregate batches each step's plan calls
-// explicitly (Rec. 1 step-phase aggregation). Flag-by-flag semantics live
-// in docs/EXPERIMENTS.md.
+// -serve-batch sequences forming over a -serve-window, and a per-replica
+// prefix cache sized in entries (-serve-cache-entries, deprecated) and/or
+// tokens (-serve-cache-tokens — the KV-memory budget that also makes
+// cache-aware routing capacity-aware), keyed by -serve-cache-identity
+// (shape|content). -serve-fleet N attaches N concurrently running episodes
+// to ONE endpoint (cross-episode contention), and -serve-aggregate batches
+// each step's plan calls explicitly (Rec. 1 step-phase aggregation).
+// Flag-by-flag semantics live in docs/EXPERIMENTS.md.
 package main
 
 import (
@@ -49,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig9, table1, table2, opts, calibrate)")
+		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig11, table1, table2, opts, calibrate)")
 		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
 		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
@@ -66,7 +68,11 @@ func main() {
 		srvBatch = flag.Int("serve-batch", 1, "shared endpoint: max sequences per continuous batch")
 		srvWait  = flag.Duration("serve-window", 1500*time.Millisecond,
 			"shared endpoint: batching window (how long a batch waits/accepts joiners)")
-		srvCache = flag.Int("serve-cache-entries", 512, "shared endpoint: per-replica prefix-cache capacity (0 disables)")
+		srvCache    = flag.Int("serve-cache-entries", 512, "shared endpoint: per-replica prefix-cache capacity in entries (0 disables; deprecated sizing — prefer -serve-cache-tokens)")
+		srvCacheTok = flag.Int("serve-cache-tokens", 0,
+			"shared endpoint: per-replica prefix-cache budget in TOKENS (live cached tokens; 0 = no token budget). Also makes cache-aware routing capacity-aware")
+		srvIdentity = flag.String("serve-cache-identity", "",
+			"shared endpoint: prefix-cache identity model (shape|content; default shape)")
 		srvRoute = flag.String("serve-routing", "",
 			"shared endpoint: replica routing policy (least-loaded|cache-affinity|shortest-completion)")
 		srvFleet = flag.Int("serve-fleet", 0,
@@ -149,10 +155,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		identity, err := embench.ParseIdentity(*srvIdentity)
+		if err != nil {
+			fatal(err)
+		}
+		// Negative serving sizes are configuration mistakes: fail with a
+		// clear message instead of silently clamping to a default.
+		for _, v := range []struct {
+			name  string
+			value int
+		}{
+			{"serve-replicas", *srvReplicas},
+			{"serve-cache-entries", *srvCache},
+			{"serve-cache-tokens", *srvCacheTok},
+			{"serve-batch", *srvBatch},
+			{"serve-fleet", *srvFleet},
+		} {
+			if v.value < 0 {
+				fatal(fmt.Errorf("-%s must be >= 0, got %d", v.name, v.value))
+			}
+		}
 		opt := embench.Options{Seed: *seed, Parallel: *parallel, Aggregate: *srvAgg}
 		sc := embench.ServeConfig{
 			Replicas: *srvReplicas, Routing: routing, MaxBatch: *srvBatch,
-			MaxWait: *srvWait, CacheEntries: *srvCache,
+			MaxWait: *srvWait, CacheEntries: *srvCache, CacheTokens: *srvCacheTok,
+			Identity: identity,
 		}
 		if *srvFleet > 0 {
 			// Fleet mode: the episodes (one is allowed — the degenerate
@@ -181,6 +208,8 @@ func main() {
 			fmt.Printf("endpoint    %d requests on %d replica(s) [%s]: %.1fs mean queue wait, %.2f batch occupancy, %.0f%% cache hits\n",
 				s.Requests, s.Replicas, sc.Routing, s.MeanQueueWait().Seconds(),
 				s.BatchOccupancy(), 100*s.CacheHitRate())
+			fmt.Printf("kv cache    %.2f max replica share, %d peak cached tokens, %d evicted tokens\n",
+				s.MaxReplicaShare(), s.CacheTokensPeak, s.EvictedTokens)
 			return
 		}
 		if *srvReplicas > 0 {

@@ -62,8 +62,18 @@ type ServeConfig = serve.Config
 // cache-affinity or shortest-completion. See serve.RoutingPolicy.
 type RoutingPolicy = serve.RoutingPolicy
 
-// ParseRouting converts a routing-policy name ("" = least-loaded).
+// ParseRouting converts a routing-policy name ("" = least-loaded). On error
+// the returned policy is "", not a usable fallback.
 func ParseRouting(s string) (RoutingPolicy, error) { return serve.ParseRouting(s) }
+
+// CacheIdentity selects how cached prompt prefixes are keyed: by shape
+// ((section name, token count) chains, the default) or by content (chained
+// section digests). See serve.CacheIdentity.
+type CacheIdentity = serve.CacheIdentity
+
+// ParseIdentity converts a cache-identity name ("" = shape). On error the
+// returned identity is "", not a usable fallback.
+func ParseIdentity(s string) (CacheIdentity, error) { return serve.ParseIdentity(s) }
 
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
@@ -173,6 +183,10 @@ var experiments = map[string]func(cfg bench.Config) experimentOut{
 	"fig10": func(cfg bench.Config) experimentOut {
 		rep := bench.Fig10(cfg)
 		return experimentOut{report: bench.RenderFig10(rep), metrics: bench.Fig10Metrics(rep)}
+	},
+	"fig11": func(cfg bench.Config) experimentOut {
+		rep := bench.Fig11(cfg)
+		return experimentOut{report: bench.RenderFig11(rep), metrics: bench.Fig11Metrics(rep)}
 	},
 	"opts": plain(func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"embench/internal/llm"
+	"embench/internal/metrics"
+	"embench/internal/multiagent"
+	"embench/internal/runner"
+	"embench/internal/serve"
+	"embench/internal/world"
+)
+
+// Fig11 is the cache-pressure experiment: what happens to routing once KV
+// memory — not entry counts — is the binding constraint of a deployment
+// (paper Fig. 6/7 framing, Recs. 1–3). The seed model sized each replica's
+// prefix cache in entries, so cache-affinity routing paid no capacity cost
+// and fig9a showed it collapsing every prompt sharing the global preamble
+// onto one replica. With serve.Config.CacheTokens, placement charges the
+// warm tokens an insertion would evict, and the collapse resolves into the
+// real trade-off: tight budgets spread load hard but churn the cache,
+// generous budgets keep hits but re-concentrate.
+//
+// Two panels:
+//
+//   - open loop: a shared-preamble replay (every stream leads with one
+//     fleet-wide preamble — the affinity magnet — then a per-stream persona
+//     and growing history) swept cache-tokens × routing. Max per-replica
+//     request share is the collapse signal; hit rate and evicted tokens
+//     price what the spreading costs.
+//   - closed loop: real CoELA episodes on a shared fleet endpoint
+//     (runner.RunFleet), swept cache-tokens × routing, showing the same
+//     capacity pressure end to end where queueing feeds back into episode
+//     timelines.
+
+// Fig11ReplayRow is one open-loop (routing, cache-tokens) sample.
+type Fig11ReplayRow struct {
+	Routing       serve.RoutingPolicy
+	CacheTokens   int // 0 = no token budget (the seed's entry-count model)
+	Replicas      int
+	MaxShare      float64 // max per-replica request share (1.0 = collapse)
+	CacheHitRate  float64
+	EvictedTokens int
+	MeanQueueWait time.Duration
+	Throughput    float64
+}
+
+// Fig11FleetRow is one closed-loop (routing, cache-tokens) fleet sample.
+type Fig11FleetRow struct {
+	Routing       serve.RoutingPolicy
+	CacheTokens   int
+	Replicas      int
+	SuccessRate   float64
+	TaskLatency   time.Duration
+	MaxShare      float64
+	CacheHitRate  float64
+	EvictedTokens int
+	MeanQueueWait time.Duration
+}
+
+// Fig11Report bundles both panels.
+type Fig11Report struct {
+	Replay []Fig11ReplayRow
+	Fleet  []Fig11FleetRow
+}
+
+// Fig11CacheTokens is the replay panel's per-replica token-budget axis;
+// 0 is the budget-blind baseline (entry-count capacity only).
+var Fig11CacheTokens = []int{0, 3072, 8192}
+
+// Fig11FleetCacheTokens is the closed-loop budget axis: CoELA prompts are
+// smaller than the synthetic persona streams, so the budgets are too.
+var Fig11FleetCacheTokens = []int{0, 2048, 8192}
+
+// fig11Routings: the collapse-prone policy, its latency-aware blend, and
+// the cache-blind floor.
+var fig11Routings = []serve.RoutingPolicy{
+	serve.RouteLeastLoaded, serve.RouteCacheAffinity, serve.RouteShortestCompletion,
+}
+
+const (
+	fig11Streams  = 16
+	fig11Steps    = 16
+	fig11Replicas = 4
+)
+
+// fig11ReplayConfig is the open-loop endpoint shape: unbatched so the
+// comparison isolates placement, entry capacity generous so the token
+// budget is the only constraint that varies.
+func fig11ReplayConfig(routing serve.RoutingPolicy, cacheTokens int) serve.Config {
+	return serve.Config{
+		Profile: llm.GPT4, Replicas: fig11Replicas, Routing: routing,
+		MaxBatch: 1, CacheEntries: 512, CacheTokens: cacheTokens,
+	}
+}
+
+// Fig11 sweeps both panels.
+func Fig11(cfg Config) Fig11Report {
+	var rep Fig11Report
+
+	// Open loop: one replay per (routing, budget) cell over one trace —
+	// serve.SharedPreambleTrace, the same generator the serve-level
+	// capacity-pressure regression test pins, so test and figure cannot
+	// drift onto different workloads.
+	reqs := serve.SharedPreambleTrace(fig11Streams, fig11Steps, cfg.Seed)
+	for _, routing := range fig11Routings {
+		for _, tokens := range Fig11CacheTokens {
+			res := serve.Replay(fig11ReplayConfig(routing, tokens), reqs)
+			rep.Replay = append(rep.Replay, Fig11ReplayRow{
+				Routing: routing, CacheTokens: tokens, Replicas: fig11Replicas,
+				MaxShare:      res.Stats.MaxReplicaShare(),
+				CacheHitRate:  res.Stats.CacheHitRate(),
+				EvictedTokens: res.Stats.EvictedTokens,
+				MeanQueueWait: res.Stats.MeanQueueWait(),
+				Throughput:    res.Throughput(),
+			})
+		}
+	}
+
+	// Closed loop: fleets of CoELA episodes on one shared endpoint per
+	// (routing, budget) cell, fanned out over the worker pool.
+	w := mustGet(fig9System)
+	var groups []runner.FleetGroup
+	for _, routing := range fig11Routings {
+		for _, tokens := range Fig11FleetCacheTokens {
+			groups = append(groups, runner.FleetGroup{
+				Specs: runner.Specs(w, world.Medium, fig9TeamSize, nil,
+					multiagent.Options{Parallel: true}, 4, cfg.Seed),
+				Serve: serve.Config{
+					Replicas: fig11Replicas, Routing: routing,
+					MaxBatch: 4, MaxWait: 1500 * time.Millisecond,
+					CacheEntries: 512, CacheTokens: tokens,
+				},
+			})
+			rep.Fleet = append(rep.Fleet, Fig11FleetRow{
+				Routing: routing, CacheTokens: tokens, Replicas: fig11Replicas,
+			})
+		}
+	}
+	results, err := runner.RunFleets(context.Background(), groups, cfg.Parallelism)
+	if err != nil {
+		panic("bench: fig11 fleet: " + err.Error())
+	}
+	for i, r := range results {
+		s := metrics.Summarize(r.Episodes)
+		rep.Fleet[i].SuccessRate = s.SuccessRate
+		rep.Fleet[i].TaskLatency = s.MeanDuration
+		rep.Fleet[i].MaxShare = r.Serving.MaxReplicaShare()
+		rep.Fleet[i].CacheHitRate = r.Serving.CacheHitRate()
+		rep.Fleet[i].EvictedTokens = r.Serving.EvictedTokens
+		rep.Fleet[i].MeanQueueWait = r.Serving.MeanQueueWait()
+	}
+	return rep
+}
+
+// Fig11Metrics flattens the acceptance evidence for the perf trajectory:
+// per-cell max share and hit rate of the affinity column (the collapse
+// before/after), keyed by budget.
+func Fig11Metrics(rep Fig11Report) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rep.Replay {
+		if r.Routing != serve.RouteCacheAffinity {
+			continue
+		}
+		m[fmt.Sprintf("replay_affinity_budget%d_max_share", r.CacheTokens)] = r.MaxShare
+		m[fmt.Sprintf("replay_affinity_budget%d_hit_rate", r.CacheTokens)] = r.CacheHitRate
+		m[fmt.Sprintf("replay_affinity_budget%d_evicted_tokens", r.CacheTokens)] = float64(r.EvictedTokens)
+	}
+	return m
+}
+
+// fig11Budget renders a token budget, spelling out the blind baseline.
+func fig11Budget(tokens int) string {
+	if tokens == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d", tokens)
+}
+
+// RenderFig11 formats both panels.
+func RenderFig11(rep Fig11Report) string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — KV memory pressure: token-budget caches make routing capacity-aware\n")
+	fmt.Fprintf(&b, "Fig. 11a — open-loop shared-preamble replay (%d streams, %d replicas; max-share 1.00 = collapse)\n",
+		fig11Streams, fig11Replicas)
+	fmt.Fprintf(&b, "%-20s %10s %9s %6s %10s %8s %8s\n",
+		"routing", "kv-budget", "max-share", "cache", "evicted", "q-wait", "req/s")
+	for _, r := range rep.Replay {
+		fmt.Fprintf(&b, "%-20s %10s %9.2f %5.0f%% %10d %7.1fs %8.3f\n",
+			r.Routing, fig11Budget(r.CacheTokens), r.MaxShare,
+			100*r.CacheHitRate, r.EvictedTokens, r.MeanQueueWait.Seconds(),
+			r.Throughput)
+	}
+	fmt.Fprintf(&b, "\nFig. 11b — closed loop: 4 CoELA episodes sharing one %d-replica endpoint\n",
+		fig11Replicas)
+	fmt.Fprintf(&b, "%-20s %10s %9s %10s %9s %6s %10s %8s\n",
+		"routing", "kv-budget", "success", "latency", "max-share", "cache", "evicted", "q-wait")
+	for _, r := range rep.Fleet {
+		fmt.Fprintf(&b, "%-20s %10s %8.0f%% %9.1fm %9.2f %5.0f%% %10d %7.1fs\n",
+			r.Routing, fig11Budget(r.CacheTokens), 100*r.SuccessRate,
+			r.TaskLatency.Minutes(), r.MaxShare, 100*r.CacheHitRate,
+			r.EvictedTokens, r.MeanQueueWait.Seconds())
+	}
+	return b.String()
+}

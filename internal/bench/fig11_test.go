@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"embench/internal/serve"
+)
+
+func fig11TestConfig() Config {
+	return Config{Episodes: 2, Seed: 11, Parallelism: 1}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rep := Fig11(fig11TestConfig())
+	if want := len(fig11Routings) * len(Fig11CacheTokens); len(rep.Replay) != want {
+		t.Fatalf("replay rows = %d, want %d", len(rep.Replay), want)
+	}
+	if want := len(fig11Routings) * len(Fig11FleetCacheTokens); len(rep.Fleet) != want {
+		t.Fatalf("fleet rows = %d, want %d", len(rep.Fleet), want)
+	}
+	for i, r := range rep.Replay {
+		if r.MaxShare <= 0 || r.MaxShare > 1 || r.CacheHitRate < 0 || r.CacheHitRate >= 1 {
+			t.Fatalf("replay row %d implausible: %+v", i, r)
+		}
+	}
+	for i, r := range rep.Fleet {
+		if r.TaskLatency <= 0 || r.MaxShare <= 0 || r.MaxShare > 1 {
+			t.Fatalf("fleet row %d implausible: %+v", i, r)
+		}
+	}
+}
+
+// TestFig11CapacityAwareAffinitySpreads is the PR's acceptance criterion:
+// under a token budget, cache-affinity must place the shared-preamble
+// replay across replicas — max per-replica request share strictly below
+// the budget-blind collapse — while keeping the cache hit rate within 10%
+// of pure affinity's.
+func TestFig11CapacityAwareAffinitySpreads(t *testing.T) {
+	rep := Fig11(fig11TestConfig())
+	pick := func(routing serve.RoutingPolicy, tokens int) Fig11ReplayRow {
+		for _, r := range rep.Replay {
+			if r.Routing == routing && r.CacheTokens == tokens {
+				return r
+			}
+		}
+		t.Fatalf("missing replay row %s/%d", routing, tokens)
+		return Fig11ReplayRow{}
+	}
+	pure := pick(serve.RouteCacheAffinity, 0)
+	if pure.MaxShare < 0.9 {
+		t.Fatalf("budget-blind affinity no longer collapses (max share %.2f); the fixture lost its pathology", pure.MaxShare)
+	}
+	if pure.EvictedTokens != 0 {
+		t.Fatalf("budget-blind baseline evicted %d tokens; entry capacity too tight", pure.EvictedTokens)
+	}
+	aware := pick(serve.RouteCacheAffinity, 8192)
+	if aware.MaxShare >= pure.MaxShare {
+		t.Fatalf("capacity-aware affinity should spread: max share %.2f vs %.2f collapse",
+			aware.MaxShare, pure.MaxShare)
+	}
+	if aware.CacheHitRate < 0.9*pure.CacheHitRate {
+		t.Fatalf("spreading cost too many hits: %.3f vs %.3f pure (want within 10%%)",
+			aware.CacheHitRate, pure.CacheHitRate)
+	}
+	if aware.EvictedTokens == 0 {
+		t.Fatal("token budget never evicted; the pressure axis is not binding")
+	}
+	// Tighter budgets spread harder (monotone non-increasing share along
+	// the affinity column).
+	tight := pick(serve.RouteCacheAffinity, 3072)
+	if tight.MaxShare > aware.MaxShare {
+		t.Fatalf("tighter budget should not concentrate more: %.2f @3072 vs %.2f @8192",
+			tight.MaxShare, aware.MaxShare)
+	}
+}
+
+// TestFig11ClosedLoopBudgetBites: in the closed-loop fleet panel the tight
+// budget must actually evict (the capacity axis is real end to end) while
+// success stays intact — KV pressure costs latency, never decisions.
+func TestFig11ClosedLoopBudgetBites(t *testing.T) {
+	rep := Fig11(fig11TestConfig())
+	for _, routing := range fig11Routings {
+		var tight, blind *Fig11FleetRow
+		for i := range rep.Fleet {
+			r := &rep.Fleet[i]
+			if r.Routing != routing {
+				continue
+			}
+			switch r.CacheTokens {
+			case 2048:
+				tight = r
+			case 0:
+				blind = r
+			}
+		}
+		if tight == nil || blind == nil {
+			t.Fatalf("missing fleet rows for %s", routing)
+		}
+		if tight.EvictedTokens == 0 {
+			t.Fatalf("%s: 2048-token budget never evicted in the closed loop", routing)
+		}
+		if tight.SuccessRate != blind.SuccessRate {
+			t.Fatalf("%s: cache budget changed decisions: success %.2f vs %.2f",
+				routing, tight.SuccessRate, blind.SuccessRate)
+		}
+	}
+}
+
+func TestFig11RerunAndParallelismByteIdentical(t *testing.T) {
+	cfg := fig11TestConfig()
+	a, b := Fig11(cfg), Fig11(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig11 reruns diverged")
+	}
+	par := cfg
+	par.Parallelism = 4
+	if !reflect.DeepEqual(a, Fig11(par)) {
+		t.Fatal("Fig11 results changed with worker-pool parallelism")
+	}
+	if RenderFig11(a) != RenderFig11(b) {
+		t.Fatal("Fig11 reports diverged across reruns")
+	}
+}

@@ -35,6 +35,20 @@ type Serving struct {
 	BatchedSeqs   int           // sum over requests of the batch size they rode in
 	PrefillTokens int           // prompt tokens submitted (pre-discount)
 	CachedTokens  int           // prompt tokens served from the prefix cache
+	// Cache-memory statistics (endpoint-level only; per-episode shares do
+	// not carry them). EvictedTokens sums like the fields above;
+	// CacheTokensPeak is the high-water mark of live cached tokens on any
+	// single replica cache, so it merges by max — a capacity fact, not a
+	// flow, and the one deliberate exception to the all-sums rule.
+	CacheTokensPeak int // peak live cached tokens on one replica
+	EvictedTokens   int // cached tokens removed by capacity eviction
+	// ReplicaRequests is the per-replica request spread (index = replica),
+	// merged element-wise; MaxReplicaShare derives the placement-collapse
+	// signal capacity-aware routing exists to fix. Shard rollups merge
+	// replica i of every shard into slot i: the spread then reads "i-th
+	// replica of each shard", which keeps shares comparable because
+	// round-robin placement makes shards statistically alike.
+	ReplicaRequests []int
 }
 
 // Merge combines two serving aggregates (e.g. across episodes).
@@ -48,7 +62,41 @@ func (s Serving) Merge(o Serving) Serving {
 	s.BatchedSeqs += o.BatchedSeqs
 	s.PrefillTokens += o.PrefillTokens
 	s.CachedTokens += o.CachedTokens
+	if o.CacheTokensPeak > s.CacheTokensPeak {
+		s.CacheTokensPeak = o.CacheTokensPeak
+	}
+	s.EvictedTokens += o.EvictedTokens
+	if len(o.ReplicaRequests) > 0 {
+		if len(o.ReplicaRequests) > len(s.ReplicaRequests) {
+			grown := make([]int, len(o.ReplicaRequests))
+			copy(grown, s.ReplicaRequests)
+			s.ReplicaRequests = grown
+		} else {
+			// Copy-on-write: never mutate the receiver's backing array.
+			s.ReplicaRequests = append([]int(nil), s.ReplicaRequests...)
+		}
+		for i, n := range o.ReplicaRequests {
+			s.ReplicaRequests[i] += n
+		}
+	}
 	return s
+}
+
+// MaxReplicaShare reports the largest fraction of requests any one replica
+// served — 1/Replicas for a perfectly even spread, 1.0 for a total
+// collapse onto one replica. Zero when the spread was not recorded.
+func (s Serving) MaxReplicaShare() float64 {
+	total, max := 0, 0
+	for _, n := range s.ReplicaRequests {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
 }
 
 // MeanQueueWait reports the average admission-queue delay per request.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -102,5 +103,41 @@ func TestRatio(t *testing.T) {
 func TestPts(t *testing.T) {
 	if got := Pts(0.8, 0.5); math.Abs(got-30) > 1e-9 {
 		t.Fatalf("Pts = %v, want 30", got)
+	}
+}
+
+func TestServingMergeCacheMemoryStats(t *testing.T) {
+	a := Serving{Requests: 4, CacheTokensPeak: 900, EvictedTokens: 50,
+		ReplicaRequests: []int{3, 1}}
+	b := Serving{Requests: 6, CacheTokensPeak: 700, EvictedTokens: 25,
+		ReplicaRequests: []int{1, 2, 3}}
+	m := a.Merge(b)
+	if m.CacheTokensPeak != 900 {
+		t.Fatalf("peak should merge by max: %d", m.CacheTokensPeak)
+	}
+	if m.EvictedTokens != 75 {
+		t.Fatalf("evicted should sum: %d", m.EvictedTokens)
+	}
+	if want := []int{4, 3, 3}; !reflect.DeepEqual(m.ReplicaRequests, want) {
+		t.Fatalf("replica spread = %v, want %v", m.ReplicaRequests, want)
+	}
+	// Merge must not alias either operand's backing array.
+	m.ReplicaRequests[0] = 99
+	if a.ReplicaRequests[0] != 3 || b.ReplicaRequests[0] != 1 {
+		t.Fatal("Merge aliased an operand's ReplicaRequests")
+	}
+}
+
+func TestServingMaxReplicaShare(t *testing.T) {
+	if got := (Serving{}).MaxReplicaShare(); got != 0 {
+		t.Fatalf("empty spread share = %v, want 0", got)
+	}
+	s := Serving{ReplicaRequests: []int{6, 2, 0, 0}}
+	if got := s.MaxReplicaShare(); got != 0.75 {
+		t.Fatalf("share = %v, want 0.75", got)
+	}
+	even := Serving{ReplicaRequests: []int{2, 2, 2, 2}}
+	if got := even.MaxReplicaShare(); got != 0.25 {
+		t.Fatalf("even share = %v, want 0.25", got)
 	}
 }

@@ -30,6 +30,40 @@ func (s Section) Size() int {
 	return tokenizer.Count(s.Text)
 }
 
+// Digest returns a 64-bit content digest of the section: the identity seam
+// KV/prefix caches key on when they identify prefixes by what a section
+// SAYS rather than by its shape. The digest always folds the name and the
+// effective token size (Size(), so an explicit Tokens override is part of
+// the identity and cache token accounting can trust a digest match), plus
+// the text when present — equal-size-different-content sections get
+// distinct digests, and histories that reconverge to identical text digest
+// equal again. Token-count-only sections (the suite's synthetic prompts
+// have no text) thus digest exactly their shape, so both identity models
+// agree wherever there is no content to tell apart.
+func (s Section) Digest() uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	for i := 0; i < len(s.Name); i++ {
+		h ^= uint64(s.Name[i])
+		h *= prime
+	}
+	h ^= 0xFF // separator: ("ab", "c") must not collide with ("a", "bc")
+	h *= prime
+	sz := s.Size()
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(sz >> (8 * i)))
+		h *= prime
+	}
+	for i := 0; i < len(s.Text); i++ {
+		h ^= uint64(s.Text[i])
+		h *= prime
+	}
+	return h
+}
+
 // Prompt is an ordered list of sections.
 type Prompt struct {
 	Sections []Section

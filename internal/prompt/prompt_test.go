@@ -173,3 +173,44 @@ func TestMultipleChoiceSmallOutput(t *testing.T) {
 		t.Fatalf("output budget should not grow: %d", out)
 	}
 }
+
+func TestSectionDigest(t *testing.T) {
+	// Token-count-only sections: digest is a pure function of (name, size),
+	// matching the shape identity's equivalence classes.
+	a := Section{Name: "hist", Tokens: 120}
+	if a.Digest() != (Section{Name: "hist", Tokens: 120}).Digest() {
+		t.Fatal("equal token-only sections must digest equal")
+	}
+	if a.Digest() == (Section{Name: "hist", Tokens: 121}).Digest() {
+		t.Fatal("different sizes must digest differently")
+	}
+	if a.Digest() == (Section{Name: "memo", Tokens: 120}).Digest() {
+		t.Fatal("different names must digest differently")
+	}
+	// Name/content boundary: ("ab","c...") must not collide with ("a","bc...").
+	if (Section{Name: "ab", Text: "cd"}).Digest() == (Section{Name: "a", Text: "bcd"}).Digest() {
+		t.Fatal("name/text boundary collision")
+	}
+	// Text sections: content decides, not size.
+	x := Section{Name: "hist", Text: "pick up the red block"}
+	y := Section{Name: "hist", Text: "pick up the big block"}
+	if x.Size() != y.Size() {
+		t.Fatalf("fixture should be same-size: %d vs %d", x.Size(), y.Size())
+	}
+	if x.Digest() == y.Digest() {
+		t.Fatal("same-size different-text sections must digest differently")
+	}
+	if x.Digest() != (Section{Name: "hist", Text: "pick up the red block"}).Digest() {
+		t.Fatal("identical text must digest equal (reconvergence)")
+	}
+	// Tokens wins over Text for Size, and the digest folds that effective
+	// size: same text claimed at different token counts must not share
+	// identity (a match would credit more cached tokens than are resident).
+	both := Section{Name: "hist", Text: "pick up the red block", Tokens: 100}
+	if both.Digest() == (Section{Name: "hist", Text: "pick up the red block", Tokens: 500}).Digest() {
+		t.Fatal("same text with different explicit Tokens must digest differently")
+	}
+	if both.Digest() == x.Digest() {
+		t.Fatal("explicit Tokens override must change the digest when it changes Size")
+	}
+}

@@ -43,7 +43,7 @@ func TestFleetRunByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(a.Episodes, b.Episodes) || a.Serving != b.Serving {
+		if !reflect.DeepEqual(a.Episodes, b.Episodes) || !reflect.DeepEqual(a.Serving, b.Serving) {
 			t.Fatalf("fleet rerun %d diverged", i)
 		}
 	}

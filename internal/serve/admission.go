@@ -48,6 +48,7 @@ func (e *Endpoint) admitBatch(r *replica, keys []promptKey, outs []int) (service
 		e.mbuf = make([]admitted, len(keys))
 	}
 	members = e.mbuf[:len(keys)]
+	r.requests += len(keys)
 	for i, k := range keys {
 		eff, cached, total := e.promptCostOn(r, k)
 		totalEff += eff

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -54,7 +55,7 @@ func TestServeAndReplayPriceIdentically(t *testing.T) {
 			for _, c := range toCalls(tc.reqs) {
 				e.Serve(c)
 			}
-			if e.Stats() != open.Stats {
+			if !reflect.DeepEqual(e.Stats(), open.Stats) {
 				t.Fatalf("closed-loop and open-loop pricing diverged:\nclosed %+v\nopen   %+v",
 					e.Stats(), open.Stats)
 			}
@@ -72,7 +73,7 @@ func TestServeBatchPricesLikeReplayBatch(t *testing.T) {
 	open := Replay(cfg, reqs)
 	e := New(cfg)
 	served := e.ServeBatch(toCalls(reqs))
-	if e.Stats() != open.Stats {
+	if !reflect.DeepEqual(e.Stats(), open.Stats) {
 		t.Fatalf("explicit batch and replay batch pricing diverged:\nbatch %+v\nopen  %+v",
 			e.Stats(), open.Stats)
 	}

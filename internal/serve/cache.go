@@ -4,27 +4,70 @@ import (
 	"embench/internal/prompt"
 )
 
+// CacheIdentity selects how two prompt prefixes are decided to be "the
+// same" for KV reuse.
+type CacheIdentity string
+
+const (
+	// IdentityShape keys prefixes by (section name, token count) chains —
+	// the suite's original model: fixed sections with equal names and sizes
+	// hold the same content (the shared system/task preamble every agent of
+	// a workload sends), while histories that have diverged change size and
+	// break the chain. It falsely hits prompts that merely have the same
+	// shape, and cannot re-share diverged-then-reconverged histories whose
+	// sizes drifted.
+	IdentityShape CacheIdentity = "shape"
+	// IdentityContent keys prefixes by chained content digests
+	// (prompt.Section.Digest): sections with text are identified by what
+	// they actually say, so same-shape-different-content prompts no longer
+	// falsely hit and histories that reconverge to identical content
+	// re-share their prefix. Token-count-only sections digest to their
+	// (name, size), making the two identities agree exactly on synthetic
+	// workloads.
+	IdentityContent CacheIdentity = "content"
+)
+
 // prefixCache models KV-cache reuse across requests that share a prompt
 // prefix. Prompts are section sequences (system preamble, task description,
 // memory, dialogue, observation — see internal/prompt); two prompts share a
-// cache entry exactly when their leading sections match by (name, size)
-// chain. That is the suite's identity model: fixed sections with equal
-// names and token counts hold the same content (the shared system/task
-// preamble every agent of a workload sends), while histories that have
-// diverged change size and break the chain.
+// cache entry exactly when their leading sections match under the cache's
+// identity model (see CacheIdentity).
+//
+// Entries form a tree: each resident prefix entry owns its last section's
+// tokens and points back to its parent prefix, so the live token footprint
+// of the cache is the sum of entry sizes — the KV memory a real serving
+// stack would pin. Capacity is enforced on that footprint (capTokens) and,
+// for the deprecated entry-count model, on the entry count (capEntries).
 //
 // The cache is a deterministic LRU over chained-FNV prefix keys: every
 // lookup touches all prefixes of the prompt, and eviction removes the
-// least-recently-touched entry (ties impossible — touch ticks are unique).
-// Recency order lives in a lazy-deletion queue: touches append, eviction
-// pops from the front skipping entries whose tick is stale, and the queue
-// compacts once garbage dominates — amortized O(1) per touch regardless of
-// capacity.
+// least-recently-touched CHAIN — evicting a prefix cascades to its resident
+// extensions, so no suffix entry ever outlives (or hides capacity behind)
+// an evicted parent. Recency order lives in a lazy-deletion queue: touches
+// append, eviction pops from the front skipping entries whose tick is
+// stale, and the queue compacts once garbage dominates — amortized O(1) per
+// touch regardless of capacity.
 type prefixCache struct {
-	cap   int
-	last  map[uint64]int // prefix key -> last-touch tick
-	order []lruEvent     // touch events, oldest first; stale ones skipped
-	tick  int
+	capEntries int // entry-count budget (deprecated model); 0 = unbounded
+	capTokens  int // live-token budget; 0 = unbounded
+	entries    map[uint64]*cacheEntry
+	order      []lruEvent // touch events, oldest first; stale ones skipped
+	tick       int
+	liveTokens int // sum of resident entries' sizes
+	// Cumulative memory-pressure statistics (metrics.Serving rollup).
+	peakTokens    int // high-water mark of liveTokens
+	evictedTokens int // tokens removed by capacity eviction
+}
+
+// cacheEntry is one resident prefix: the token size of its last section,
+// its parent prefix key, and its resident extensions. The kids list is
+// exact — a child can only be evicted together with its parent chain, so a
+// resident entry's kids are always resident (no stale keys, no duplicates).
+type cacheEntry struct {
+	parent uint64
+	size   int
+	tick   int
+	kids   []uint64
 }
 
 // lruEvent is one touch of a prefix key; it is stale when the key has been
@@ -34,11 +77,27 @@ type lruEvent struct {
 	tick int
 }
 
-func newPrefixCache(capacity int) *prefixCache {
-	if capacity <= 0 {
+// newPrefixCache builds a cache bounded by entry count and/or live tokens;
+// both zero (or negative) disables caching entirely.
+func newPrefixCache(capEntries, capTokens int) *prefixCache {
+	if capEntries <= 0 && capTokens <= 0 {
 		return nil
 	}
-	return &prefixCache{cap: capacity, last: make(map[uint64]int, capacity)}
+	if capEntries < 0 {
+		capEntries = 0
+	}
+	if capTokens < 0 {
+		capTokens = 0
+	}
+	hint := capEntries
+	if hint == 0 {
+		hint = 64
+	}
+	return &prefixCache{
+		capEntries: capEntries,
+		capTokens:  capTokens,
+		entries:    make(map[uint64]*cacheEntry, hint),
+	}
 }
 
 // FNV-1a constants, chained manually so a prefix key extends its parent's.
@@ -47,8 +106,8 @@ const (
 	fnvPrime  uint64 = 1099511628211
 )
 
-// chainSection folds one section's identity (name and token count) into a
-// running prefix key.
+// chainSection folds one section's shape identity (name and token count)
+// into a running prefix key.
 func chainSection(h uint64, s prompt.Section) uint64 {
 	for i := 0; i < len(s.Name); i++ {
 		h ^= uint64(s.Name[i])
@@ -57,6 +116,17 @@ func chainSection(h uint64, s prompt.Section) uint64 {
 	sz := s.Size()
 	for i := 0; i < 8; i++ {
 		h ^= uint64(byte(sz >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+// chainSectionContent folds one section's content identity (its
+// prompt.Section.Digest) into a running prefix key.
+func chainSectionContent(h uint64, s prompt.Section) uint64 {
+	d := s.Digest()
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(d >> (8 * i)))
 		h *= fnvPrime
 	}
 	return h
@@ -78,19 +148,28 @@ type promptKey struct {
 	total int // total prompt tokens (the sum of section sizes)
 }
 
-// chainKeysInto computes p's prefix chain, reusing buf's backing array.
-// The caller owns the lifetime: a scratch buffer may be reused once the
-// returned key is no longer referenced.
-func chainKeysInto(buf []sectionKey, p prompt.Prompt) promptKey {
+// chainKeysIdent computes p's prefix chain under the given identity model,
+// reusing buf's backing array. The caller owns the lifetime: a scratch
+// buffer may be reused once the returned key is no longer referenced.
+func chainKeysIdent(buf []sectionKey, p prompt.Prompt, ident CacheIdentity) promptKey {
 	k := promptKey{secs: buf[:0]}
 	h := fnvOffset
 	for _, s := range p.Sections {
-		h = chainSection(h, s)
+		if ident == IdentityContent {
+			h = chainSectionContent(h, s)
+		} else {
+			h = chainSection(h, s)
+		}
 		sz := s.Size()
 		k.secs = append(k.secs, sectionKey{key: h, size: sz})
 		k.total += sz
 	}
 	return k
+}
+
+// chainKeysInto is chainKeysIdent under the default shape identity.
+func chainKeysInto(buf []sectionKey, p prompt.Prompt) promptKey {
+	return chainKeysIdent(buf, p, IdentityShape)
 }
 
 // chainKeys is chainKeysInto with a fresh backing array.
@@ -105,7 +184,7 @@ func (c *prefixCache) matchKey(k promptKey) int {
 	}
 	cached := 0
 	for _, s := range k.secs {
-		if _, ok := c.last[s.key]; !ok {
+		if _, ok := c.entries[s.key]; !ok {
 			break
 		}
 		cached += s.size
@@ -121,36 +200,145 @@ func (c *prefixCache) match(p prompt.Prompt) int {
 	return c.matchKey(chainKeys(p))
 }
 
+// pressure estimates how many warm tokens inserting the keyed prompt would
+// evict: the uncached suffix grows the footprint by (total - cached)
+// tokens, and whatever lands beyond the token budget must push out resident
+// entries. Zero without a token budget, so entry-count deployments price
+// exactly as before. Capacity-aware routing charges this as the placement
+// penalty that keeps cache-affinity from piling every shared-preamble
+// prompt onto one replica.
+func (c *prefixCache) pressure(k promptKey, cached int) int {
+	if c == nil {
+		return 0
+	}
+	return c.pressureGrowth(k.total - cached)
+}
+
+// batchGrowth reports how many tokens inserting ALL the keyed prompts
+// would add to the live footprint: the sizes of section prefixes that are
+// neither resident nor shared with an earlier member (the inserted chains
+// form a tree, so shared uncached prefixes — the batch's common preamble —
+// count once). seen is caller-owned scratch, cleared here before use.
+func (c *prefixCache) batchGrowth(keys []promptKey, seen map[uint64]bool) int {
+	if c == nil {
+		return 0
+	}
+	clear(seen)
+	growth := 0
+	for _, k := range keys {
+		for _, s := range k.secs {
+			if seen[s.key] {
+				continue
+			}
+			seen[s.key] = true
+			if _, ok := c.entries[s.key]; !ok {
+				growth += s.size
+			}
+		}
+	}
+	return growth
+}
+
+// pressureGrowth converts an insertion's token growth into the warm-token
+// displacement the token budget forces (the shared clamp behind pressure
+// and batchGrowth-based batch pressure).
+func (c *prefixCache) pressureGrowth(growth int) int {
+	if c == nil || c.capTokens <= 0 {
+		return 0
+	}
+	over := c.liveTokens + growth - c.capTokens
+	if over <= 0 {
+		return 0
+	}
+	if over > c.liveTokens {
+		over = c.liveTokens
+	}
+	return over
+}
+
 // insertKey touches every prefix of the keyed prompt (so the whole prompt
-// becomes reusable by followers) and evicts least-recently-touched entries
+// becomes reusable by followers) and evicts least-recently-touched chains
 // beyond capacity.
 func (c *prefixCache) insertKey(k promptKey) {
 	if c == nil {
 		return
 	}
+	parent := fnvOffset
 	for _, s := range k.secs {
 		c.tick++
-		c.last[s.key] = c.tick
-		c.order = append(c.order, lruEvent{key: s.key, tick: c.tick})
-	}
-	for len(c.last) > c.cap {
-		ev := c.order[0]
-		c.order = c.order[1:]
-		if c.last[ev.key] == ev.tick {
-			delete(c.last, ev.key)
+		e, ok := c.entries[s.key]
+		if !ok {
+			e = &cacheEntry{parent: parent, size: s.size}
+			c.entries[s.key] = e
+			c.liveTokens += s.size
+			// The parent is always resident here: the chain is inserted
+			// front-to-back, so it was created or touched one iteration ago.
+			if pe, pok := c.entries[parent]; pok {
+				pe.kids = append(pe.kids, s.key)
+			}
 		}
+		e.tick = c.tick
+		c.order = append(c.order, lruEvent{key: s.key, tick: c.tick})
+		parent = s.key
 	}
+	c.evictOver()
 	// Compact once stale events dominate, keeping memory proportional to
 	// the live entry count. Live events already sit in touch order, so
 	// filtering preserves LRU order deterministically.
-	if len(c.order) > 2*len(c.last)+64 {
+	if len(c.order) > 2*len(c.entries)+64 {
 		live := c.order[:0]
 		for _, ev := range c.order {
-			if c.last[ev.key] == ev.tick {
+			if e, ok := c.entries[ev.key]; ok && e.tick == ev.tick {
 				live = append(live, ev)
 			}
 		}
 		c.order = live
+	}
+	if c.liveTokens > c.peakTokens {
+		c.peakTokens = c.liveTokens
+	}
+}
+
+// evictOver removes least-recently-touched chains until both budgets hold.
+// Each pop evicts the stale-skipped front entry TOGETHER with its resident
+// extensions: a suffix is unreachable (matchKey stops at its missing
+// parent) yet still holds KV memory, so leaving it behind — the seed's
+// orphaned-suffix bug — both leaked capacity and corrupted later matches
+// when the parent was re-inserted around a stale suffix.
+func (c *prefixCache) evictOver() {
+	for (c.capEntries > 0 && len(c.entries) > c.capEntries) ||
+		(c.capTokens > 0 && c.liveTokens > c.capTokens) {
+		ev := c.order[0]
+		c.order = c.order[1:]
+		e, ok := c.entries[ev.key]
+		if !ok || e.tick != ev.tick {
+			continue // stale event: key evicted or touched since
+		}
+		// Unlink from the surviving parent so a later re-insert of this
+		// chain cannot leave a duplicate kid reference behind.
+		if pe, pok := c.entries[e.parent]; pok {
+			for i, kid := range pe.kids {
+				if kid == ev.key {
+					pe.kids[i] = pe.kids[len(pe.kids)-1]
+					pe.kids = pe.kids[:len(pe.kids)-1]
+					break
+				}
+			}
+		}
+		c.evictChain(ev.key, e)
+	}
+}
+
+// evictChain removes an entry and, recursively, its resident extensions —
+// the cascade that keeps every resident key's parent chain resident.
+func (c *prefixCache) evictChain(key uint64, e *cacheEntry) {
+	delete(c.entries, key)
+	c.liveTokens -= e.size
+	c.evictedTokens += e.size
+	for _, kid := range e.kids {
+		if ke, ok := c.entries[kid]; ok {
+			c.evictChain(kid, ke)
+		}
 	}
 }
 
@@ -160,4 +348,13 @@ func (c *prefixCache) insert(p prompt.Prompt) {
 		return
 	}
 	c.insertKey(chainKeys(p))
+}
+
+// Live/peak/evicted token accounting, rolled up into metrics.Serving by
+// Endpoint.Stats.
+func (c *prefixCache) stats() (live, peak, evicted int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.liveTokens, c.peakTokens, c.evictedTokens
 }

@@ -27,7 +27,7 @@ func BenchmarkPrefixChain(b *testing.B) {
 	const replicas = 4
 	caches := make([]*prefixCache, replicas)
 	for i := range caches {
-		caches[i] = newPrefixCache(256)
+		caches[i] = newPrefixCache(256, 0)
 	}
 	prompts := make([]prompt.Prompt, 16)
 	for i := range prompts {

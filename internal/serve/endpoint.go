@@ -5,6 +5,7 @@ import (
 
 	"embench/internal/llm"
 	"embench/internal/metrics"
+	"embench/internal/prompt"
 )
 
 // replica is one model instance's timeline position: when it frees, the
@@ -13,6 +14,7 @@ import (
 // makes cache-affinity routing meaningful.
 type replica struct {
 	cache      *prefixCache
+	requests   int // requests this replica has served (placement spread)
 	freeAt     time.Duration
 	batchStart time.Duration
 	batchEnd   time.Duration
@@ -28,11 +30,11 @@ type replica struct {
 }
 
 // startBatch rewrites the replica's frontier for a freshly launched batch,
-// preserving the replica's cache across the rewrite.
+// preserving the replica's cache and request count across the rewrite.
 func (r *replica) startBatch(start, end time.Duration, n int, tok float64, out int, service time.Duration) {
-	cache := r.cache
+	cache, requests := r.cache, r.requests
 	*r = replica{
-		cache:  cache,
+		cache: cache, requests: requests,
 		freeAt: end, batchStart: start, batchEnd: end,
 		batchN: n, batchTok: tok, batchOut: out,
 		recSeqs: n * n, recService: time.Duration(n) * service,
@@ -55,6 +57,14 @@ type Endpoint struct {
 	oneKey [1]promptKey
 	oneOut [1]int
 	mbuf   []admitted
+	// Batch-call scratch for ServeBatch (same contract): the per-member key
+	// and out-token slices, plus one shared section-key arena the members'
+	// chains are sliced out of — sized up front so appending never
+	// reallocates under an already-handed-out promptKey.
+	bkeys  []promptKey
+	bouts  []int
+	barena []sectionKey
+	seen   map[uint64]bool // batchPressure's dedup scratch
 }
 
 // Compile-time checks: an endpoint is a drop-in serving backend for llm
@@ -72,26 +82,46 @@ func New(cfg Config) *Endpoint {
 		replicas: make([]replica, cfg.Replicas),
 	}
 	for i := range e.replicas {
-		e.replicas[i].cache = newPrefixCache(cfg.CacheEntries)
+		e.replicas[i].cache = newPrefixCache(cfg.CacheEntries, cfg.CacheTokens)
 	}
 	e.stats.Replicas = cfg.Replicas
 	return e
 }
 
+// chainInto hashes a prompt's prefix chain under the endpoint's configured
+// cache identity, reusing buf's backing array.
+func (e *Endpoint) chainInto(buf []sectionKey, p prompt.Prompt) promptKey {
+	return chainKeysIdent(buf, p, e.cfg.Identity)
+}
+
 // Config reports the endpoint's effective (defaulted) configuration.
 func (e *Endpoint) Config() Config { return e.cfg }
 
-// Stats reports accumulated serving statistics.
-func (e *Endpoint) Stats() metrics.Serving { return e.stats }
+// Stats reports accumulated serving statistics, including the per-replica
+// request spread and the cache-memory rollup (peak live tokens across
+// replicas, total capacity-evicted tokens).
+func (e *Endpoint) Stats() metrics.Serving {
+	s := e.stats
+	s.ReplicaRequests = make([]int, len(e.replicas))
+	for i := range e.replicas {
+		s.ReplicaRequests[i] = e.replicas[i].requests
+		_, peak, evicted := e.replicas[i].cache.stats()
+		s.EvictedTokens += evicted
+		if peak > s.CacheTokensPeak {
+			s.CacheTokensPeak = peak
+		}
+	}
+	return s
+}
 
 // ServingStats implements the serving-statistics seam the episode runners
 // read at episode end; for a dedicated endpoint it is simply Stats.
-func (e *Endpoint) ServingStats() metrics.Serving { return e.stats }
+func (e *Endpoint) ServingStats() metrics.Serving { return e.Stats() }
 
 // Reset clears timeline, caches and statistics for reuse.
 func (e *Endpoint) Reset() {
 	for i := range e.replicas {
-		e.replicas[i] = replica{cache: newPrefixCache(e.cfg.CacheEntries)}
+		e.replicas[i] = replica{cache: newPrefixCache(e.cfg.CacheEntries, e.cfg.CacheTokens)}
 	}
 	e.stats = metrics.Serving{Replicas: e.cfg.Replicas}
 }
@@ -112,7 +142,7 @@ func (e *Endpoint) Reset() {
 func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	// Hash the prompt's prefix chain exactly once; routing probes and
 	// admission pricing below all share this key.
-	k := chainKeysInto(e.kbuf, c.Prompt)
+	k := e.chainInto(e.kbuf, c.Prompt)
 	e.kbuf = k.secs
 	r := e.route(c.Arrival, k, c.OutTokens)
 
@@ -120,6 +150,7 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
 		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
 		eff, cached, total := e.promptCostOn(r, k)
+		r.requests++
 		r.batchN++
 		r.batchTok += eff
 		if c.OutTokens > r.batchOut {
@@ -188,12 +219,30 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 			arrival = c.Arrival
 		}
 	}
-	keys := make([]promptKey, len(calls))
-	outs := make([]int, len(calls))
-	for i, c := range calls {
-		keys[i], outs[i] = chainKeys(c.Prompt), c.OutTokens
+	// Hash the members' prefix chains into endpoint-owned scratch, exactly
+	// as Serve does for a single call: the key/out slices are reused across
+	// ServeBatch calls, and the chains share one section-key arena that is
+	// sized up front (growing it mid-loop would reallocate the backing
+	// array out from under the keys already built).
+	if cap(e.bkeys) < len(calls) {
+		e.bkeys = make([]promptKey, len(calls))
+		e.bouts = make([]int, len(calls))
 	}
-	r := e.route(arrival, keys[0], calls[0].OutTokens)
+	keys, outs := e.bkeys[:len(calls)], e.bouts[:len(calls)]
+	secs := 0
+	for _, c := range calls {
+		secs += len(c.Prompt.Sections)
+	}
+	if cap(e.barena) < secs {
+		e.barena = make([]sectionKey, 0, secs)
+	}
+	arena := e.barena[:0]
+	for i, c := range calls {
+		keys[i] = e.chainInto(arena[len(arena):len(arena):cap(arena)], c.Prompt)
+		arena = arena[:len(arena)+len(keys[i].secs)]
+		outs[i] = c.OutTokens
+	}
+	r := e.routeBatch(arrival, keys, calls[0].OutTokens)
 	start := arrival
 	if r.freeAt > start {
 		start = r.freeAt

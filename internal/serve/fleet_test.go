@@ -40,9 +40,9 @@ func scriptCalls(eps, steps int, period, stagger time.Duration) [][]llm.Call {
 	for e := 0; e < eps; e++ {
 		for s := 0; s < steps; s++ {
 			calls[e] = append(calls[e], llm.Call{
-				Agent:   fmt.Sprintf("e%d", e),
-				Arrival: time.Duration(s)*period + time.Duration(e)*stagger,
-				Prompt:  sharedPrompt(fmt.Sprintf("e%d", e), 40+10*s),
+				Agent:     fmt.Sprintf("e%d", e),
+				Arrival:   time.Duration(s)*period + time.Duration(e)*stagger,
+				Prompt:    sharedPrompt(fmt.Sprintf("e%d", e), 40+10*s),
 				OutTokens: 50,
 			})
 		}
@@ -267,7 +267,7 @@ func TestFleetDifferentialHeapVsLinear(t *testing.T) {
 			t.Fatalf("trial %d (eps=%d steps=%d cfg=%+v batchEvery=%d): heap merge diverged from linear reference\nheap   %+v\nlinear %+v",
 				trial, eps, steps, cfg, batchEvery, got, want)
 		}
-		if hs, ls := heapF.Stats(), linF.Stats(); hs != ls {
+		if hs, ls := heapF.Stats(), linF.Stats(); !reflect.DeepEqual(hs, ls) {
 			t.Fatalf("trial %d: endpoint totals diverged: heap %+v linear %+v", trial, hs, ls)
 		}
 	}

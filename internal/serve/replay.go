@@ -63,11 +63,12 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 		return res
 	}
 
-	// Hash every request's prefix chain once; routing probes and batch
-	// admissions below reuse the memoized keys.
+	// Hash every request's prefix chain once, under the endpoint's cache
+	// identity; routing probes and batch admissions below reuse the
+	// memoized keys.
 	keys := make([]promptKey, len(reqs))
 	for i := range reqs {
-		keys[i] = chainKeys(reqs[i].Prompt)
+		keys[i] = chainKeysIdent(nil, reqs[i].Prompt, e.cfg.Identity)
 	}
 
 	// Arrival order, stable on submission index.

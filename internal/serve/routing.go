@@ -29,7 +29,9 @@ const (
 )
 
 // ParseRouting converts a CLI/config string into a RoutingPolicy. The empty
-// string selects the default (least-loaded).
+// string selects the default (least-loaded). On error the returned policy
+// is "" — NOT a usable fallback — so a caller that drops the error cannot
+// silently run least-loaded where the user asked for something else.
 func ParseRouting(s string) (RoutingPolicy, error) {
 	switch RoutingPolicy(s) {
 	case "", RouteLeastLoaded:
@@ -39,8 +41,22 @@ func ParseRouting(s string) (RoutingPolicy, error) {
 	case RouteShortestCompletion:
 		return RouteShortestCompletion, nil
 	}
-	return RouteLeastLoaded, fmt.Errorf("serve: unknown routing policy %q (%s|%s|%s)",
+	return "", fmt.Errorf("serve: unknown routing policy %q (%s|%s|%s)",
 		s, RouteLeastLoaded, RouteCacheAffinity, RouteShortestCompletion)
+}
+
+// ParseIdentity converts a CLI/config string into a CacheIdentity. The
+// empty string selects the default (shape). Like ParseRouting, the returned
+// identity is "" on error.
+func ParseIdentity(s string) (CacheIdentity, error) {
+	switch CacheIdentity(s) {
+	case "", IdentityShape:
+		return IdentityShape, nil
+	case IdentityContent:
+		return IdentityContent, nil
+	}
+	return "", fmt.Errorf("serve: unknown cache identity %q (%s|%s)",
+		s, IdentityShape, IdentityContent)
 }
 
 // route picks the replica for a request under the endpoint's routing
@@ -70,17 +86,30 @@ func (e *Endpoint) routeLeastLoaded() *replica {
 	return best
 }
 
-// routeCacheAffinity returns the replica whose cache covers the most
-// leading tokens of the keyed prompt; ties fall back to least-loaded, then
+// affinityScore is the cache-aware placement score of one replica: warm
+// tokens gained minus warm tokens an over-budget insertion would evict
+// (prefixCache.pressure — zero without a token budget, so entry-count
+// deployments keep the seed's pure-affinity behaviour). Charging the
+// capacity side is what stops a shared global preamble from pulling every
+// prompt onto the one replica that served it first: once that replica's
+// cache is full of warm state, the eviction penalty makes a colder,
+// emptier replica score higher and the preamble spreads.
+func affinityScore(r *replica, k promptKey) (score, hit int) {
+	hit = r.cache.matchKey(k)
+	return hit - r.cache.pressure(k, hit), hit
+}
+
+// routeCacheAffinity returns the replica with the best capacity-adjusted
+// prefix coverage of the keyed prompt; ties fall back to least-loaded, then
 // lowest index.
 func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
 	best := &e.replicas[0]
-	bestHit := best.cache.matchKey(k)
+	bestScore, _ := affinityScore(best, k)
 	for i := 1; i < len(e.replicas); i++ {
 		r := &e.replicas[i]
-		hit := r.cache.matchKey(k)
-		if hit > bestHit || (hit == bestHit && r.freeAt < best.freeAt) {
-			best, bestHit = r, hit
+		score, _ := affinityScore(r, k)
+		if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
+			best, bestScore = r, score
 		}
 	}
 	return best
@@ -104,13 +133,82 @@ func (e *Endpoint) routeShortestCompletion(arrival time.Duration, k promptKey, o
 }
 
 // estimateCompletion prices one request on one replica without mutating
-// cache or timeline state.
+// cache or timeline state. Under a token budget it also charges the
+// capacity-pressure penalty: warm tokens the insertion would evict will
+// have to be re-prefilled by their owners later, so that deferred cost —
+// the cache discount those tokens lose — is added to the effective prefill
+// now. Without a budget the penalty is zero and the estimate is the seed's.
 func (e *Endpoint) estimateCompletion(r *replica, arrival time.Duration, k promptKey, outTokens int) time.Duration {
 	start := arrival
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	eff := e.discountedEff(r.cache.matchKey(k), k.total)
+	cached := r.cache.matchKey(k)
+	eff := e.discountedEff(cached, k.total)
+	eff += float64(r.cache.pressure(k, cached)) * (1 - e.cfg.CachedPrefillFrac)
+	return start + e.cfg.Profile.BatchServiceTime(1, eff, outTokens)
+}
+
+// batchPressure is the capacity-pressure penalty for placing a whole
+// explicit batch on one replica: the warm tokens displaced by inserting
+// every member's chain (shared uncached prefixes counted once — see
+// prefixCache.batchGrowth). Zero without a token budget.
+func (e *Endpoint) batchPressure(r *replica, keys []promptKey) int {
+	if r.cache == nil || r.cache.capTokens <= 0 {
+		return 0
+	}
+	if e.seen == nil {
+		e.seen = make(map[uint64]bool, 64)
+	}
+	return r.cache.pressureGrowth(r.cache.batchGrowth(keys, e.seen))
+}
+
+// routeBatch places an explicitly aggregated batch (ServeBatch). The base
+// score is the seed's — the head member's key stands in for the batch,
+// whose members share their leading prompt structure by construction —
+// but under a token budget the capacity penalty prices the WHOLE batch's
+// insertion footprint: a 16-member step-phase batch plants 16 persona
+// chains, and charging only one member's growth would let aggregated
+// traffic pile onto the warm replica that single-call routing has learned
+// to spread (without a budget both terms vanish and this is exactly
+// route(arrival, keys[0], outTokens)).
+func (e *Endpoint) routeBatch(arrival time.Duration, keys []promptKey, outTokens int) *replica {
+	switch e.cfg.Routing {
+	case RouteCacheAffinity:
+		best := &e.replicas[0]
+		bestScore := best.cache.matchKey(keys[0]) - e.batchPressure(best, keys)
+		for i := 1; i < len(e.replicas); i++ {
+			r := &e.replicas[i]
+			score := r.cache.matchKey(keys[0]) - e.batchPressure(r, keys)
+			if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
+				best, bestScore = r, score
+			}
+		}
+		return best
+	case RouteShortestCompletion:
+		best := &e.replicas[0]
+		bestDone := e.estimateBatchCompletion(best, arrival, keys, outTokens)
+		for i := 1; i < len(e.replicas); i++ {
+			r := &e.replicas[i]
+			if done := e.estimateBatchCompletion(r, arrival, keys, outTokens); done < bestDone {
+				best, bestDone = r, done
+			}
+		}
+		return best
+	default:
+		return e.routeLeastLoaded()
+	}
+}
+
+// estimateBatchCompletion is estimateCompletion with the batch-wide
+// capacity penalty in place of the single-prompt one.
+func (e *Endpoint) estimateBatchCompletion(r *replica, arrival time.Duration, keys []promptKey, outTokens int) time.Duration {
+	start := arrival
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	eff := e.discountedEff(r.cache.matchKey(keys[0]), keys[0].total)
+	eff += float64(e.batchPressure(r, keys)) * (1 - e.cfg.CachedPrefillFrac)
 	return start + e.cfg.Profile.BatchServiceTime(1, eff, outTokens)
 }
 
@@ -120,7 +218,7 @@ func (e *Endpoint) estimateCompletion(r *replica, arrival time.Duration, k promp
 // idle replicas. Returns nil when no replica is idle.
 func (e *Endpoint) routeIdle(now time.Duration, k promptKey) *replica {
 	var best *replica
-	bestHit := -1
+	bestScore := 0
 	for i := range e.replicas {
 		r := &e.replicas[i]
 		if r.freeAt > now {
@@ -129,14 +227,15 @@ func (e *Endpoint) routeIdle(now time.Duration, k promptKey) *replica {
 		switch e.cfg.Routing {
 		case RouteCacheAffinity, RouteShortestCompletion:
 			// Among idle replicas, completion differs only through the
-			// cache discount, so both cache-aware policies reduce to
-			// best-prefix-match — with the same earliest-freeAt tie-break
-			// as closed-loop routeCacheAffinity, so open and closed loop
-			// route identically on identical state.
-			hit := r.cache.matchKey(k)
-			if best == nil || hit > bestHit ||
-				(hit == bestHit && r.freeAt < best.freeAt) {
-				best, bestHit = r, hit
+			// cache discount and the capacity penalty, so both cache-aware
+			// policies reduce to the best capacity-adjusted prefix match —
+			// with the same earliest-freeAt tie-break as closed-loop
+			// routeCacheAffinity, so open and closed loop route identically
+			// on identical state.
+			score, _ := affinityScore(r, k)
+			if best == nil || score > bestScore ||
+				(score == bestScore && r.freeAt < best.freeAt) {
+				best, bestScore = r, score
 			}
 		default:
 			if best == nil || r.freeAt < best.freeAt {

@@ -116,7 +116,58 @@ func TestParseRouting(t *testing.T) {
 			t.Fatalf("ParseRouting(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := ParseRouting("round-robin"); err == nil {
-		t.Fatal("unknown policy should error")
+	// On error the returned policy must be "" — not a silently usable
+	// least-loaded fallback a caller could run after dropping the error.
+	if got, err := ParseRouting("round-robin"); err == nil || got != "" {
+		t.Fatalf("ParseRouting(round-robin) = %q, %v; want \"\" and an error", got, err)
+	}
+}
+
+func TestParseIdentity(t *testing.T) {
+	for in, want := range map[string]CacheIdentity{
+		"":        IdentityShape,
+		"shape":   IdentityShape,
+		"content": IdentityContent,
+	} {
+		got, err := ParseIdentity(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseIdentity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if got, err := ParseIdentity("sha256"); err == nil || got != "" {
+		t.Fatalf("ParseIdentity(sha256) = %q, %v; want \"\" and an error", got, err)
+	}
+}
+
+// TestCacheAffinityCapacityPressureSpreads is the unit-level statement of
+// the fig11 acceptance criterion, pinned on the SAME generator fig11
+// sweeps (SharedPreambleTrace — one workload, so the regression test and
+// the figure cannot drift apart): with a token budget, cache-affinity
+// must spread the shared-preamble workload across replicas (max
+// per-replica share strictly below the budget-blind collapse) while
+// keeping the hit rate within 10% of pure affinity.
+func TestCacheAffinityCapacityPressureSpreads(t *testing.T) {
+	reqs := SharedPreambleTrace(16, 16, 5)
+	run := func(cacheTokens int) ReplayResult {
+		return Replay(Config{
+			Profile: noJitter, Replicas: 4, Routing: RouteCacheAffinity,
+			MaxBatch: 1, CacheEntries: 512, CacheTokens: cacheTokens,
+		}, reqs)
+	}
+	pure := run(0)
+	aware := run(8192)
+	pureShare, awareShare := pure.Stats.MaxReplicaShare(), aware.Stats.MaxReplicaShare()
+	if pureShare < 0.5 {
+		t.Fatalf("workload no longer collapses under pure affinity (max share %.2f); the regression fixture is broken", pureShare)
+	}
+	if awareShare >= pureShare {
+		t.Fatalf("capacity pressure should spread the load: max share %.2f (budget) vs %.2f (pure)",
+			awareShare, pureShare)
+	}
+	if hr, pureHR := aware.Stats.CacheHitRate(), pure.Stats.CacheHitRate(); hr < 0.9*pureHR {
+		t.Fatalf("spreading gave up too many cache hits: %.3f vs %.3f pure", hr, pureHR)
+	}
+	if aware.Stats.CacheTokensPeak > 8192 {
+		t.Fatalf("per-replica peak %d exceeds the 8192-token budget", aware.Stats.CacheTokensPeak)
 	}
 }

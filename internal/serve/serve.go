@@ -84,9 +84,30 @@ type Config struct {
 	// arrival may still join it. Zero means "no waiting" — batches only
 	// coalesce requests that are already simultaneous.
 	MaxWait time.Duration
-	// CacheEntries sizes each replica's prefix cache (cached
-	// section-prefixes, LRU); 0 disables caching.
+	// CacheTokens sizes each replica's prefix cache in TOKENS: the live
+	// cached token footprint — the KV memory a real deployment pins — may
+	// not exceed this budget; least-recently-touched prefix chains are
+	// evicted (cascading to their extensions) to stay under it. 0 means no
+	// token budget. A token budget also makes cache-aware routing
+	// capacity-aware: placement charges the warm tokens an insertion would
+	// evict (see RoutingPolicy), which is what keeps cache-affinity from
+	// collapsing a shared-preamble workload onto one replica.
+	CacheTokens int
+	// CacheEntries sizes each replica's prefix cache in cached
+	// section-prefix ENTRIES (LRU).
+	//
+	// Deprecated: entry counts ignore how many tokens each entry pins,
+	// so capacity costs nothing and routing cannot see memory pressure;
+	// prefer CacheTokens. Kept as the default model for byte-compatible
+	// reproduction of the fig8–fig10 reports. Both budgets may be set;
+	// caching is disabled only when both are 0.
 	CacheEntries int
+	// Identity selects how cached prefixes are keyed: IdentityShape
+	// (default — (section name, token count) chains) or IdentityContent
+	// (chained prompt.Section.Digest content hashes, so same-shape
+	// different-content prompts no longer falsely share and reconverged
+	// histories re-share). See CacheIdentity.
+	Identity CacheIdentity
 	// CachedPrefillFrac is the fraction of prefill cost still paid for
 	// cache-hit tokens (default 0.1 — KV reuse is cheap but not free).
 	CachedPrefillFrac float64
@@ -105,6 +126,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait < 0 {
 		c.MaxWait = 0
+	}
+	if c.CacheTokens < 0 {
+		c.CacheTokens = 0
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.Identity == "" {
+		c.Identity = IdentityShape
 	}
 	if c.CachedPrefillFrac <= 0 {
 		c.CachedPrefillFrac = 0.1

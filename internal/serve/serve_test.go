@@ -266,7 +266,7 @@ func TestEndpointReset(t *testing.T) {
 }
 
 func TestPrefixCacheMatchStopsAtFirstMiss(t *testing.T) {
-	c := newPrefixCache(64)
+	c := newPrefixCache(64, 0)
 	shared := prompt.New(
 		prompt.Section{Name: "system", Tokens: 100},
 		prompt.Section{Name: "task", Tokens: 50},
@@ -297,7 +297,7 @@ func TestPrefixCacheMatchStopsAtFirstMiss(t *testing.T) {
 }
 
 func TestPrefixCacheLRUEviction(t *testing.T) {
-	c := newPrefixCache(2)
+	c := newPrefixCache(2, 0)
 	pA := prompt.New(prompt.Section{Name: "a", Tokens: 10})
 	pB := prompt.New(prompt.Section{Name: "b", Tokens: 10})
 	pC := prompt.New(prompt.Section{Name: "c", Tokens: 10})
@@ -311,8 +311,8 @@ func TestPrefixCacheLRUEviction(t *testing.T) {
 	if c.match(pA) == 0 || c.match(pC) == 0 {
 		t.Fatal("recently used entries should survive")
 	}
-	if len(c.last) > 2 {
-		t.Fatalf("cache over capacity: %d entries", len(c.last))
+	if len(c.entries) > 2 {
+		t.Fatalf("cache over capacity: %d entries", len(c.entries))
 	}
 }
 

@@ -51,7 +51,7 @@ func TestShardedFleetOneShardEqualsFleet(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("1-shard ShardedFleet diverged from plain Fleet")
 	}
-	if plain.Stats() != sharded.Stats() {
+	if !reflect.DeepEqual(plain.Stats(), sharded.Stats()) {
 		t.Fatalf("1-shard totals diverged: %+v vs %+v", plain.Stats(), sharded.Stats())
 	}
 }

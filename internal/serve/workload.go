@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"embench/internal/prompt"
+	"embench/internal/rng"
+)
+
+// SharedPreambleTrace is the canonical cache-pressure workload: `streams`
+// request streams of `steps` calls each, every prompt leading with one
+// fleet-wide 700-token system+task preamble (the prize a budget-blind
+// affinity router collapses on), then a 700-token per-stream persona (what
+// an assigned replica keeps warm) and a growing history tail. Arrivals are
+// light — a 6-minute step period with 20-second stagger and seeded jitter —
+// so requests usually find several idle replicas and placement policy, not
+// queueing, decides the spread. Pure function of its arguments.
+//
+// It is defined here, next to the cache it stresses, because it is shared:
+// the fig11 cache-pressure experiment sweeps it and the serve-level
+// routing tests pin the capacity-aware affinity behaviour on it — one
+// generator, so the regression test and the figure cannot drift apart.
+func SharedPreambleTrace(streams, steps int, seed uint64) []Request {
+	jit := rng.New(seed).NewStream("serve/shared-preamble")
+	var reqs []Request
+	for s := 0; s < steps; s++ {
+		for a := 0; a < streams; a++ {
+			reqs = append(reqs, Request{
+				Agent: fmt.Sprintf("a%d", a),
+				Arrival: time.Duration(s)*6*time.Minute +
+					time.Duration(a)*20*time.Second +
+					time.Duration(jit.Range(0, 4000))*time.Millisecond,
+				Prompt: prompt.New(
+					prompt.Section{Name: "system", Tokens: 500},
+					prompt.Section{Name: "task", Tokens: 200},
+					prompt.Section{Name: fmt.Sprintf("persona-a%d", a), Tokens: 700},
+					prompt.Section{Name: "hist", Tokens: 40 + 30*s, Droppable: true},
+				),
+				OutTokens: 60,
+			})
+		}
+	}
+	return reqs
+}
