@@ -43,6 +43,7 @@ import (
 	"embench/internal/bench"
 	"embench/internal/benchjson"
 	"embench/internal/runner"
+	"embench/internal/serve"
 	"embench/internal/trace"
 )
 
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig11, table1, table2, opts, calibrate)")
+		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig12, table1, table2, opts, calibrate)")
 		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
 		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
@@ -81,6 +82,14 @@ func main() {
 			"fleet shard count: with -run -serve-fleet, one integer (split the fleet across that many independent endpoints); with -exp fig10, a comma-separated shard axis (default 1,4)")
 		fleetSizes = flag.String("fleet-sizes", "",
 			"fig10 fleet-size axis, comma-separated (default 16,64,256,1024,2048; CI uses a reduced axis)")
+		srvArrivals = flag.String("serve-arrivals", "",
+			"fig12 arrival-process axis, comma-separated (poisson|bursty|diurnal; default all three)")
+		srvTenants = flag.String("serve-tenants", "",
+			"fig12 tenant-count axis, comma-separated positive integers (default 8,24)")
+		srvSLO = flag.Duration("serve-slo", 0,
+			"fig12 end-to-end latency SLO (0 = default 60s; must not be negative)")
+		srvAutoscale = flag.String("serve-autoscale", "",
+			"fig12 autoscaled-deployment policy: 'on', or 'interval=30s,cold=15s,up=0.7,down=0.25,min=2,max=8' ('' = fig12 default)")
 		srvAgg = flag.Bool("serve-aggregate", false,
 			"step-phase query aggregation for decentralized workloads: batch all agents' plan calls of a step explicitly (Rec. 1; no effect on single-agent/centralized systems)")
 		list = flag.Bool("list", false, "list workloads and experiments")
@@ -100,6 +109,27 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("-serve-shards: %w", err))
 		}
+		tenants, err := parseIntList(*srvTenants)
+		if err != nil {
+			fatal(fmt.Errorf("-serve-tenants: %w", err))
+		}
+		if *srvSLO < 0 {
+			fatal(fmt.Errorf("-serve-slo must not be negative, got %v", *srvSLO))
+		}
+		var arrivals []string
+		for _, part := range strings.Split(*srvArrivals, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				// Parsed here only to fail fast with the flag name attached;
+				// ExperimentFull re-validates for library callers.
+				if _, err := embench.ParseArrival(part); err != nil {
+					fatal(fmt.Errorf("-serve-arrivals: %w", err))
+				}
+				arrivals = append(arrivals, part)
+			}
+		}
+		if _, err := embench.ParseAutoscale(*srvAutoscale); err != nil {
+			fatal(fmt.Errorf("-serve-autoscale: %w", err))
+		}
 		out := benchjson.File{Suite: "embench", GeneratedBy: "embench -bench-json"}
 		for _, name := range strings.Split(*exp, ",") {
 			name = strings.TrimSpace(name)
@@ -110,6 +140,8 @@ func main() {
 			report, metrics, err := embench.ExperimentFull(name, embench.ExperimentConfig{
 				Episodes: *episodes, Seed: *seed, Parallelism: *procs,
 				FleetSizes: sizes, FleetShards: shardAxis,
+				Arrivals: arrivals, Tenants: tenants,
+				SLO: *srvSLO, Autoscale: *srvAutoscale,
 			})
 			if err != nil {
 				fatal(err)
@@ -132,6 +164,26 @@ func main() {
 				}
 				axis = fmt.Sprintf("sizes=%s;shards=%s",
 					joinInts(effSizes), joinInts(effShards))
+			}
+			if strings.EqualFold(name, "fig12") {
+				effArrivals, effTenants, effSLO := arrivals, tenants, *srvSLO
+				if len(effArrivals) == 0 {
+					for _, k := range serve.ArrivalKinds() {
+						effArrivals = append(effArrivals, string(k))
+					}
+				}
+				if len(effTenants) == 0 {
+					effTenants = bench.Fig12Tenants
+				}
+				if effSLO <= 0 {
+					effSLO = bench.Fig12SLO
+				}
+				autoscale := *srvAutoscale
+				if autoscale == "" {
+					autoscale = "default"
+				}
+				axis = fmt.Sprintf("arrivals=%s;tenants=%s;slo=%s;autoscale=%s",
+					strings.Join(effArrivals, ","), joinInts(effTenants), effSLO, autoscale)
 			}
 			out.Entries = append(out.Entries, benchjson.Entry{
 				Experiment: name, Episodes: *episodes, Seed: *seed, Procs: *procs,

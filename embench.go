@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"embench/internal/bench"
 	"embench/internal/multiagent"
@@ -74,6 +75,23 @@ type CacheIdentity = serve.CacheIdentity
 // ParseIdentity converts a cache-identity name ("" = shape). On error the
 // returned identity is "", not a usable fallback.
 func ParseIdentity(s string) (CacheIdentity, error) { return serve.ParseIdentity(s) }
+
+// ArrivalKind selects a traffic arrival process (poisson, bursty, diurnal);
+// the fig12 sweep axis. See serve.ArrivalKind.
+type ArrivalKind = serve.ArrivalKind
+
+// ParseArrival converts an arrival-process name ("" = poisson). On error
+// the returned kind is "", not a usable fallback.
+func ParseArrival(s string) (ArrivalKind, error) { return serve.ParseArrival(s) }
+
+// AutoscalePolicy sizes a replica autoscaler; the zero value disables it.
+// See serve.Autoscale.
+type AutoscalePolicy = serve.Autoscale
+
+// ParseAutoscale converts an autoscale spec (""/"off" = disabled, "on" =
+// defaults, or "interval=30s,cold=15s,up=0.7,down=0.25,min=1,max=8"). On
+// error the returned policy is the zero value, not a usable fallback.
+func ParseAutoscale(s string) (AutoscalePolicy, error) { return serve.ParseAutoscale(s) }
 
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
@@ -188,6 +206,10 @@ var experiments = map[string]func(cfg bench.Config) experimentOut{
 		rep := bench.Fig11(cfg)
 		return experimentOut{report: bench.RenderFig11(rep), metrics: bench.Fig11Metrics(rep)}
 	},
+	"fig12": func(cfg bench.Config) experimentOut {
+		rep := bench.Fig12(cfg)
+		return experimentOut{report: bench.RenderFig12(rep), metrics: bench.Fig12Metrics(rep)}
+	},
 	"opts": plain(func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())
 	}),
@@ -209,6 +231,20 @@ type ExperimentConfig struct {
 	// FleetShards overrides fig10's shard axis (nil = {1, 4}); the CLI's
 	// -serve-shards under -exp.
 	FleetShards []int
+	// Arrivals overrides fig12's arrival-process axis (nil = poisson,
+	// bursty, diurnal); the CLI's -serve-arrivals. Each name must parse
+	// via ParseArrival.
+	Arrivals []string
+	// Tenants overrides fig12's tenant-count axis (nil = {8, 24}); the
+	// CLI's -serve-tenants. Values must be positive.
+	Tenants []int
+	// SLO overrides fig12's end-to-end latency target (0 = 60s); the
+	// CLI's -serve-slo. Must not be negative.
+	SLO time.Duration
+	// Autoscale overrides fig12's autoscaled-deployment policy; parsed
+	// via ParseAutoscale ("" keeps the fig12 default). The CLI's
+	// -serve-autoscale.
+	Autoscale string
 }
 
 // Experiment regenerates one table/figure and returns the rendered report.
@@ -234,12 +270,36 @@ func ExperimentFull(name string, cfg ExperimentConfig) (string, map[string]float
 		return "", nil, fmt.Errorf("embench: unknown experiment %q (one of %s)",
 			name, strings.Join(Experiments(), ", "))
 	}
+	var arrivals []serve.ArrivalKind
+	for _, s := range cfg.Arrivals {
+		kind, err := serve.ParseArrival(s)
+		if err != nil {
+			return "", nil, err
+		}
+		arrivals = append(arrivals, kind)
+	}
+	for _, n := range cfg.Tenants {
+		if n < 1 {
+			return "", nil, fmt.Errorf("embench: tenant count %d must be positive", n)
+		}
+	}
+	if cfg.SLO < 0 {
+		return "", nil, fmt.Errorf("embench: negative SLO %v", cfg.SLO)
+	}
+	autoscale, err := serve.ParseAutoscale(cfg.Autoscale)
+	if err != nil {
+		return "", nil, err
+	}
 	out := fn(bench.Config{
 		Episodes:    cfg.Episodes,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
 		FleetSizes:  cfg.FleetSizes,
 		FleetShards: cfg.FleetShards,
+		Arrivals:    arrivals,
+		Tenants:     cfg.Tenants,
+		SLO:         cfg.SLO,
+		Autoscale:   autoscale,
 	})
 	return out.report, out.metrics, nil
 }

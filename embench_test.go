@@ -3,6 +3,7 @@ package embench
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWorkloadsList(t *testing.T) {
@@ -55,7 +56,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"calibrate", "fig10", "fig11", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
+	want := []string{"calibrate", "fig10", "fig11", "fig12", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
 	if len(exps) != len(want) {
 		t.Fatalf("experiments = %v", exps)
 	}
@@ -90,5 +91,36 @@ func TestExperimentFig6Small(t *testing.T) {
 func TestExperimentUnknown(t *testing.T) {
 	if _, err := Experiment("fig99", 1, 1); err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestExperimentFig12InvalidConfig pins the validation surface the CLI
+// leans on: bad fig12 axis values must error out of ExperimentFull with a
+// clear message, never fall back to a default silently.
+func TestExperimentFig12InvalidConfig(t *testing.T) {
+	base := ExperimentConfig{Episodes: 1, Seed: 1}
+	for name, cfg := range map[string]ExperimentConfig{
+		"bad arrival":    {Episodes: 1, Seed: 1, Arrivals: []string{"poisson", "lumpy"}},
+		"zero tenants":   {Episodes: 1, Seed: 1, Tenants: []int{8, 0}},
+		"neg tenants":    {Episodes: 1, Seed: 1, Tenants: []int{-3}},
+		"negative slo":   {Episodes: 1, Seed: 1, SLO: -time.Second},
+		"bad autoscale":  {Episodes: 1, Seed: 1, Autoscale: "up=2"},
+		"autoscale typo": {Episodes: 1, Seed: 1, Autoscale: "interval=abc"},
+	} {
+		if _, _, err := ExperimentFull("fig12", cfg); err == nil {
+			t.Errorf("%s: ExperimentFull accepted %+v", name, cfg)
+		}
+	}
+	// The valid spellings still run: restricted axes keep the test cheap.
+	base.Arrivals = []string{"bursty"}
+	base.Tenants = []int{4}
+	base.SLO = 45 * time.Second
+	base.Autoscale = "interval=20s,cold=5s,min=1"
+	out, _, err := ExperimentFull("fig12", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bursty") || !strings.Contains(out, "autoscaled") {
+		t.Fatalf("fig12 output unexpected:\n%s", out)
 	}
 }

@@ -15,10 +15,12 @@ package bench
 
 import (
 	"context"
+	"time"
 
 	"embench/internal/metrics"
 	"embench/internal/multiagent"
 	"embench/internal/runner"
+	"embench/internal/serve"
 	"embench/internal/systems"
 	"embench/internal/trace"
 	"embench/internal/world"
@@ -37,6 +39,16 @@ type Config struct {
 	FleetSizes []int
 	// FleetShards overrides fig10's shard axis (nil = Fig10Shards).
 	FleetShards []int
+	// Arrivals overrides fig12's arrival-process axis (nil = all three:
+	// poisson, bursty, diurnal).
+	Arrivals []serve.ArrivalKind
+	// Tenants overrides fig12's tenant-count axis (nil = Fig12Tenants).
+	Tenants []int
+	// SLO overrides fig12's end-to-end latency target (0 = Fig12SLO).
+	SLO time.Duration
+	// Autoscale overrides fig12's autoscaled-deployment policy (zero =
+	// fig12Autoscale defaults).
+	Autoscale serve.Autoscale
 }
 
 func (c Config) episodes() int {

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// HistBuckets is the number of fixed latency buckets. Bucket boundaries are
+// shared by every histogram in the suite, which is what makes two
+// histograms exactly mergeable: Merge is element-wise count addition, so
+// hist(A).Merge(hist(B)) == hist(A ∪ B) bit for bit, however the
+// observations were grouped across episodes, fleets, shards or worker
+// pools.
+const HistBuckets = 48
+
+// histEdges[i] is bucket i's exclusive upper bound. Bucket 0 covers
+// [0, 1ms); bucket i covers [histEdges[i-1], histEdges[i]); the last bucket
+// additionally absorbs everything at or above its lower bound (a clamp —
+// its edge is ~33 hours of simulated latency, far past anything the suite
+// produces). The edges grow by exactly ×1.5 in integer arithmetic, so they
+// are identical on every platform.
+var histEdges = func() [HistBuckets]time.Duration {
+	var e [HistBuckets]time.Duration
+	d := time.Millisecond
+	for i := range e {
+		e[i] = d
+		d += d / 2
+	}
+	return e
+}()
+
+// Hist is a fixed-bucket latency histogram. The zero value is an empty
+// histogram ready for use. It is a pure value type (a count array), so it
+// merges exactly and never aliases: the one distribution-shaped quantity
+// metrics.Serving can carry without breaking its all-sums merge rule.
+//
+// Quantiles are bucketed estimates: Quantile returns the upper edge of the
+// bucket holding the requested rank, so the estimate is exact to within one
+// bucket (a ×1.5 band) — tight enough to separate deployments whose tails
+// differ materially, which is what SLO comparisons need.
+type Hist struct {
+	Counts [HistBuckets]int64
+}
+
+// histBucket maps a duration to its bucket index (negative durations clamp
+// to bucket 0, and anything beyond the last edge clamps to the last
+// bucket).
+func histBucket(d time.Duration) int {
+	i := sort.Search(HistBuckets-1, func(i int) bool { return d < histEdges[i] })
+	return i
+}
+
+// Observe folds one duration into the histogram.
+func (h *Hist) Observe(d time.Duration) { h.Counts[histBucket(d)]++ }
+
+// Total reports the number of observations.
+func (h Hist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge combines two histograms element-wise. Because the buckets are
+// fixed and shared, the result is exactly the histogram of the union of
+// the two observation sets.
+func (h Hist) Merge(o Hist) Hist {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return h
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper edge of the
+// bucket containing the rank-⌈q·n⌉ observation. Returns 0 for an empty
+// histogram. The exact sort-based quantile always lies in the returned
+// bucket, so the estimate is within one bucket of exact.
+func (h Hist) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return histEdges[i]
+		}
+	}
+	return histEdges[HistBuckets-1]
+}
+
+// FracBelow reports the fraction of observations strictly below d,
+// resolved at bucket granularity: only buckets whose entire range lies
+// below d are counted, so the fraction is a lower bound in general and
+// exact when d is a bucket edge. SLO attainment uses it with the SLO
+// target effectively rounded down to a bucket edge — the same rounding for
+// every deployment under comparison, so attainment ratios stay fair. An
+// empty histogram reports 1 (no request ever missed).
+func (h Hist) FracBelow(d time.Duration) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 1
+	}
+	var below int64
+	for i, c := range h.Counts {
+		if histEdges[i] > d {
+			break
+		}
+		below += c
+	}
+	return float64(below) / float64(total)
+}

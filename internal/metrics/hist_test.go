@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the sort-based reference: the rank-⌈q·n⌉ order
+// statistic of the raw observations.
+func exactQuantile(xs []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketOf mirrors the histogram's bucket mapping for test assertions.
+func bucketOf(d time.Duration) int {
+	for i := 0; i < HistBuckets-1; i++ {
+		if d < histEdges[i] {
+			return i
+		}
+	}
+	return HistBuckets - 1
+}
+
+// randomLatencies draws n latencies spanning the histogram's dynamic range
+// (sub-millisecond to hours) with a log-uniform-ish spread, so every
+// quantile lands in a different region across trials.
+func randomLatencies(r *rand.Rand, n int) []time.Duration {
+	xs := make([]time.Duration, n)
+	for i := range xs {
+		// Exponent in [0, 7.5): durations from 1µs up to ~8.8 hours.
+		exp := r.Float64() * 7.5
+		us := time.Microsecond
+		d := float64(us)
+		for e := 0.0; e+1 <= exp; e++ {
+			d *= 10
+		}
+		frac := exp - float64(int(exp))
+		d *= 1 + 9*frac // linear within the decade is fine for coverage
+		xs[i] = time.Duration(d)
+	}
+	return xs
+}
+
+// TestHistQuantileWithinOneBucket is the satellite property test: on
+// randomized latency sets, p50/p95/p99 estimates land in the same bucket
+// as (or the bucket above, for upper-edge reporting) the exact sort-based
+// quantile — i.e. within one bucket of exact.
+func TestHistQuantileWithinOneBucket(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(2000)
+		xs := randomLatencies(r, n)
+		var h Hist
+		for _, x := range xs {
+			h.Observe(x)
+		}
+		if h.Total() != int64(n) {
+			t.Fatalf("trial %d: Total = %d, want %d", trial, h.Total(), n)
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			got := h.Quantile(q)
+			exact := exactQuantile(xs, q)
+			gb, eb := bucketOf(got), bucketOf(exact)
+			// got is the upper edge of exact's bucket, which itself maps to
+			// the next bucket up — "within one bucket" is |gb - eb| <= 1,
+			// and got must never undershoot exact's bucket.
+			if gb < eb || gb > eb+1 {
+				t.Fatalf("trial %d n=%d q=%v: quantile %v (bucket %d) vs exact %v (bucket %d)",
+					trial, n, q, got, gb, exact, eb)
+			}
+			if got < exact {
+				t.Fatalf("trial %d q=%v: upper-edge estimate %v below exact %v", trial, q, got, exact)
+			}
+		}
+	}
+}
+
+// TestHistMergeExactness pins the merge-exactness invariant every
+// metrics.Serving field relies on: merge(hist(A), hist(B)) must equal
+// hist(A ∪ B) exactly, for randomized A and B.
+func TestHistMergeExactness(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomLatencies(r, r.Intn(1000))
+		b := randomLatencies(r, r.Intn(1000))
+		var ha, hb, hu Hist
+		for _, x := range a {
+			ha.Observe(x)
+			hu.Observe(x)
+		}
+		for _, x := range b {
+			hb.Observe(x)
+			hu.Observe(x)
+		}
+		if got := ha.Merge(hb); got != hu {
+			t.Fatalf("trial %d: merge(hist(A), hist(B)) != hist(A∪B)\nmerged %v\nunion  %v",
+				trial, got.Counts, hu.Counts)
+		}
+		// Merge must not mutate its receiver (Serving.Merge is value-based).
+		var ha2 Hist
+		for _, x := range a {
+			ha2.Observe(x)
+		}
+		if ha != ha2 {
+			t.Fatalf("trial %d: Merge mutated its receiver", trial)
+		}
+	}
+}
+
+// TestHistEdgeCases pins the boundary behaviour the serving layer depends
+// on: empty and degenerate histograms, negative clamps, and FracBelow's
+// bucket-edge exactness.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	if got := h.FracBelow(time.Second); got != 1 {
+		t.Fatalf("empty FracBelow = %v, want 1", got)
+	}
+
+	h.Observe(-time.Second) // clamps to bucket 0
+	h.Observe(0)
+	if h.Counts[0] != 2 {
+		t.Fatalf("negative/zero observations: bucket0 = %d, want 2", h.Counts[0])
+	}
+	h.Observe(1000 * time.Hour) // clamps to the last bucket
+	if h.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("overflow observation: last bucket = %d, want 1", h.Counts[HistBuckets-1])
+	}
+
+	// FracBelow is exact at bucket edges: 10 observations below 1ms, 10 at
+	// 1ms (bucket 1), split exactly by the 1ms edge.
+	var f Hist
+	for i := 0; i < 10; i++ {
+		f.Observe(time.Microsecond)
+		f.Observe(time.Millisecond)
+	}
+	if got := f.FracBelow(time.Millisecond); got != 0.5 {
+		t.Fatalf("FracBelow(edge) = %v, want 0.5", got)
+	}
+}
+
+// TestServingMergeCarriesHists checks the Serving-level wiring: histograms
+// and autoscaler counters ride Merge like every other field.
+func TestServingMergeCarriesHists(t *testing.T) {
+	var a, b Serving
+	a.QueueWaitHist.Observe(2 * time.Second)
+	a.LatencyHist.Observe(10 * time.Second)
+	a.ReplicaTime = time.Minute
+	a.ScaleUps = 2
+	b.QueueWaitHist.Observe(3 * time.Second)
+	b.LatencyHist.Observe(20 * time.Second)
+	b.ReplicaTime = 2 * time.Minute
+	b.ScaleDowns = 1
+	m := a.Merge(b)
+	if m.QueueWaitHist.Total() != 2 || m.LatencyHist.Total() != 2 {
+		t.Fatalf("merged hist totals = %d/%d, want 2/2",
+			m.QueueWaitHist.Total(), m.LatencyHist.Total())
+	}
+	if m.ReplicaTime != 3*time.Minute || m.ScaleUps != 2 || m.ScaleDowns != 1 {
+		t.Fatalf("merged autoscale fields = %v/%d/%d", m.ReplicaTime, m.ScaleUps, m.ScaleDowns)
+	}
+}

@@ -49,6 +49,22 @@ type Serving struct {
 	// replica of each shard", which keeps shares comparable because
 	// round-robin placement makes shards statistically alike.
 	ReplicaRequests []int
+	// Tail-latency distributions: fixed shared buckets, so merging is
+	// element-wise count addition and exactly equals the histogram of the
+	// combined observation set — the all-sums rule extended to
+	// distributions. QueueWaitHist holds per-request admission-queue
+	// delays, LatencyHist per-request end-to-end latencies (queueing plus
+	// batch service, restated to the batch's final completion when
+	// continuous-batching joins extend it).
+	QueueWaitHist Hist
+	LatencyHist   Hist
+	// Autoscaler accounting. ReplicaTime integrates active replicas over
+	// the run (replica-seconds — the cost axis autoscaling trades against
+	// the tail); it stays zero on fixed-replica endpoints, where cost is
+	// simply Replicas × makespan. ScaleUps/ScaleDowns count scaling events.
+	ReplicaTime time.Duration
+	ScaleUps    int
+	ScaleDowns  int
 }
 
 // Merge combines two serving aggregates (e.g. across episodes).
@@ -66,6 +82,11 @@ func (s Serving) Merge(o Serving) Serving {
 		s.CacheTokensPeak = o.CacheTokensPeak
 	}
 	s.EvictedTokens += o.EvictedTokens
+	s.QueueWaitHist = s.QueueWaitHist.Merge(o.QueueWaitHist)
+	s.LatencyHist = s.LatencyHist.Merge(o.LatencyHist)
+	s.ReplicaTime += o.ReplicaTime
+	s.ScaleUps += o.ScaleUps
+	s.ScaleDowns += o.ScaleDowns
 	if len(o.ReplicaRequests) > 0 {
 		if len(o.ReplicaRequests) > len(s.ReplicaRequests) {
 			grown := make([]int, len(o.ReplicaRequests))
@@ -131,6 +152,13 @@ func (s Serving) CacheHitRate() float64 {
 		return 0
 	}
 	return float64(s.CachedTokens) / float64(s.PrefillTokens)
+}
+
+// SLOAttainment reports the fraction of requests whose end-to-end latency
+// met the target (resolved at histogram-bucket granularity — see
+// Hist.FracBelow). 1.0 when no requests were recorded.
+func (s Serving) SLOAttainment(slo time.Duration) float64 {
+	return s.LatencyHist.FracBelow(slo)
 }
 
 // Episode is the outcome of one task attempt by one system configuration.

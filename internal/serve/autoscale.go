@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Autoscale is a clock-driven replica autoscaling policy for an Endpoint
+// (and, through it, Fleet/ShardedFleet). The zero value disables
+// autoscaling entirely: every replica stays active and the endpoint's
+// behaviour is byte-identical to the fixed-replica model — the policy is
+// strictly additive on the default path.
+//
+// When enabled, the endpoint evaluates utilization on a fixed virtual-time
+// clock (every Interval): the fraction of active-replica time spent inside
+// batches over the last window. Above UpUtil it activates parked replicas
+// proportionally (each paying a ColdStart warm-up before taking traffic,
+// with a cold prefix cache); below DownUtil it retires one idle replica,
+// flushing its prefix cache — the flushed warm tokens are priced as
+// capacity evictions (prefixCache.flush), so scale-down's KV-state loss
+// shows up in EvictedTokens exactly like LRU pressure does.
+//
+// Like everything else in the package the policy is driven by virtual
+// time: in open-loop replay the evaluation clock is part of the event
+// loop, in closed-loop serving it is advanced by the arrival watermark.
+// Decisions are pure functions of endpoint state, so autoscaled runs are
+// byte-identical across reruns and worker counts.
+type Autoscale struct {
+	// Interval is the evaluation clock period; <= 0 disables autoscaling.
+	Interval time.Duration
+	// ColdStart delays a newly activated replica before it may serve
+	// (model load / KV allocator warm-up). Its cache starts cold.
+	ColdStart time.Duration
+	// UpUtil / DownUtil are the window-utilization thresholds: scale up
+	// above UpUtil (default 0.7), retire one idle replica below DownUtil
+	// (default 0.25).
+	UpUtil   float64
+	DownUtil float64
+	// Min / Max bound the active-replica count. Min defaults to 1; Max
+	// defaults to (and is clamped by) Config.Replicas — the endpoint's
+	// replica slice is the pool scaling draws from.
+	Min, Max int
+}
+
+// enabled reports whether the policy does anything.
+func (a Autoscale) enabled() bool { return a.Interval > 0 }
+
+// withDefaults fills zero fields and clamps the bounds to the replica pool.
+func (a Autoscale) withDefaults(replicas int) Autoscale {
+	if !a.enabled() {
+		return Autoscale{}
+	}
+	if a.ColdStart < 0 {
+		a.ColdStart = 0
+	}
+	if a.UpUtil <= 0 {
+		a.UpUtil = 0.7
+	}
+	if a.DownUtil <= 0 {
+		a.DownUtil = 0.25
+	}
+	if a.Min < 1 {
+		a.Min = 1
+	}
+	if a.Max < 1 || a.Max > replicas {
+		a.Max = replicas
+	}
+	if a.Min > a.Max {
+		a.Min = a.Max
+	}
+	return a
+}
+
+// ParseAutoscale converts a CLI/config string into an Autoscale policy.
+// Accepted forms:
+//
+//	""            disabled (the zero policy)
+//	"off"         disabled
+//	"on"          the default policy (interval=30s,cold=15s,up=0.7,down=0.25)
+//	"k=v,..."     explicit fields: interval=DUR, cold=DUR, up=FLOAT,
+//	              down=FLOAT, min=INT, max=INT (unset fields default)
+//
+// Like ParseRouting, the returned policy is the zero value on error — not
+// a usable fallback — so a caller that drops the error cannot silently run
+// unscaled where the user asked for scaling.
+func ParseAutoscale(s string) (Autoscale, error) {
+	switch s {
+	case "", "off":
+		return Autoscale{}, nil
+	case "on":
+		return Autoscale{Interval: 30 * time.Second, ColdStart: 15 * time.Second}, nil
+	}
+	var a Autoscale
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Autoscale{}, fmt.Errorf("serve: bad autoscale field %q (want key=value; off|on|interval=DUR,cold=DUR,up=F,down=F,min=N,max=N)", part)
+		}
+		switch k {
+		case "interval", "cold":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return Autoscale{}, fmt.Errorf("serve: bad autoscale %s %q (want a non-negative duration like 30s)", k, v)
+			}
+			if k == "interval" {
+				a.Interval = d
+			} else {
+				a.ColdStart = d
+			}
+		case "up", "down":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return Autoscale{}, fmt.Errorf("serve: bad autoscale %s %q (want a utilization in (0,1])", k, v)
+			}
+			if k == "up" {
+				a.UpUtil = f
+			} else {
+				a.DownUtil = f
+			}
+		case "min", "max":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return Autoscale{}, fmt.Errorf("serve: bad autoscale %s %q (want a positive integer)", k, v)
+			}
+			if k == "min" {
+				a.Min = n
+			} else {
+				a.Max = n
+			}
+		default:
+			return Autoscale{}, fmt.Errorf("serve: unknown autoscale field %q (interval|cold|up|down|min|max)", k)
+		}
+	}
+	if a.Interval <= 0 {
+		return Autoscale{}, fmt.Errorf("serve: autoscale spec %q needs interval=DUR > 0 (or use \"on\" for defaults)", s)
+	}
+	return a, nil
+}
+
+// maybeAutoscale advances the evaluation clock through every tick at or
+// before virtual time t. In closed-loop serving t is the arrival
+// watermark (arrivals may regress between submissions; the clock only
+// moves forward), in open-loop replay it is the event loop's now. A long
+// quiet stretch replays every missed tick in order, so multi-step
+// scale-down across an idle gap happens at the exact times it would have
+// with finer-grained events.
+func (e *Endpoint) maybeAutoscale(t time.Duration) {
+	if !e.cfg.Autoscale.enabled() {
+		return
+	}
+	for e.asNext <= t {
+		e.evalAutoscale(e.asNext)
+		e.asNext += e.cfg.Autoscale.Interval
+	}
+}
+
+// evalAutoscale is one clock tick: close the replica-time integral over
+// the elapsed window, compute window utilization, and scale.
+func (e *Endpoint) evalAutoscale(now time.Duration) {
+	a := e.cfg.Autoscale
+	e.stats.ReplicaTime += time.Duration(e.active) * (now - e.asLast)
+	e.asLast = now
+	// Window utilization: busy replica-time accrued since the last tick
+	// over active capacity. Batches accrue their full span at launch, so a
+	// long batch can push a window past 1 — a deliberate bias toward
+	// scaling up early under load spikes.
+	util := float64(e.busyAcc-e.lastBusy) / float64(time.Duration(e.active)*a.Interval)
+	e.lastBusy = e.busyAcc
+
+	switch {
+	case util > a.UpUtil && e.active < a.Max:
+		// Proportional scale-up: enough replicas that the observed load
+		// would have run at UpUtil, at least one, at most the pool.
+		want := int(math.Ceil(float64(e.active) * util / a.UpUtil))
+		if want <= e.active {
+			want = e.active + 1
+		}
+		if want > a.Max {
+			want = a.Max
+		}
+		for i := e.active; i < want; i++ {
+			// A reactivated replica was retired idle (freeAt <= its
+			// retirement tick <= now), so the warm-up window starts now.
+			e.replicas[i].freeAt = now + a.ColdStart
+		}
+		e.active = want
+		e.stats.ScaleUps++
+	case util < a.DownUtil && e.active > a.Min:
+		// Retire one replica per tick, and only an idle one: in-flight
+		// batches always run to completion, which is what keeps scale-down
+		// deadlock-free — no request is ever stranded on a parked replica.
+		r := &e.replicas[e.active-1]
+		if r.freeAt <= now {
+			e.sealFrontier(r)
+			r.cache.flush()
+			e.active--
+			e.stats.ScaleDowns++
+		}
+	}
+}
+
+// finishAutoscale closes the replica-time integral at the end of an
+// open-loop run: evaluation ticks are replayed through the makespan and
+// the trailing partial window is added. No-op when disabled, so
+// fixed-replica replays report ReplicaTime == 0 (their cost is simply
+// Replicas × makespan).
+func (e *Endpoint) finishAutoscale(makespan time.Duration) {
+	if !e.cfg.Autoscale.enabled() {
+		return
+	}
+	e.maybeAutoscale(makespan)
+	if makespan > e.asLast {
+		e.stats.ReplicaTime += time.Duration(e.active) * (makespan - e.asLast)
+		e.asLast = makespan
+	}
+}

@@ -342,6 +342,21 @@ func (c *prefixCache) evictChain(key uint64, e *cacheEntry) {
 	}
 }
 
+// flush empties the cache, pricing every live token as a capacity
+// eviction: retiring a replica (autoscale scale-down) destroys its warm KV
+// state, and the memory-pressure accounting must see that loss exactly as
+// it sees LRU eviction. Peak and cumulative-eviction statistics survive
+// the flush; a reactivated replica starts cold but keeps its history.
+func (c *prefixCache) flush() {
+	if c == nil {
+		return
+	}
+	c.evictedTokens += c.liveTokens
+	c.liveTokens = 0
+	clear(c.entries)
+	c.order = c.order[:0]
+}
+
 // insert is insertKey over an unmemoized prompt (tests and one-shot use).
 func (c *prefixCache) insert(p prompt.Prompt) {
 	if c == nil {

@@ -27,14 +27,25 @@ type replica struct {
 	// reports the whole batch's size and service time).
 	recSeqs    int
 	recService time.Duration
+	// lats holds the frontier batch members' end-to-end latencies at the
+	// batch's CURRENT completion time. They cannot go into the latency
+	// histogram yet: a continuous-batching join extends the batch and
+	// restates every member's completion, and the histogram — unlike the
+	// Service sum — cannot subtract a bucketed value back out. So final
+	// latencies are buffered here, shifted on join, and folded into the
+	// histogram only once the frontier is sealed (replaced by the next
+	// batch, or snapshotted by Stats).
+	lats []time.Duration
 }
 
 // startBatch rewrites the replica's frontier for a freshly launched batch,
-// preserving the replica's cache and request count across the rewrite.
+// preserving the replica's cache, request count and (emptied) latency
+// buffer across the rewrite. Callers fold the old frontier's latencies
+// first — see Endpoint.sealFrontier.
 func (r *replica) startBatch(start, end time.Duration, n int, tok float64, out int, service time.Duration) {
-	cache, requests := r.cache, r.requests
+	cache, requests, lats := r.cache, r.requests, r.lats
 	*r = replica{
-		cache: cache, requests: requests,
+		cache: cache, requests: requests, lats: lats[:0],
 		freeAt: end, batchStart: start, batchEnd: end,
 		batchN: n, batchTok: tok, batchOut: out,
 		recSeqs: n * n, recService: time.Duration(n) * service,
@@ -49,6 +60,16 @@ type Endpoint struct {
 	cfg      Config
 	replicas []replica
 	stats    metrics.Serving
+	// Autoscaler state (see autoscale.go). active is the routable prefix
+	// of replicas — replicas[:active] take traffic, the rest are parked.
+	// With autoscaling disabled active == len(replicas) always, so every
+	// routing loop over the active slice is byte-identical to the
+	// fixed-replica behaviour.
+	active   int
+	asNext   time.Duration // next evaluation tick (enabled only)
+	asLast   time.Duration // previous tick (replica-time integral anchor)
+	busyAcc  time.Duration // cumulative in-batch replica time
+	lastBusy time.Duration // busyAcc at the previous evaluation
 	// Single-call scratch, reused across Serve calls (the endpoint is not
 	// concurrency-safe by contract): the prefix-chain buffer, plus
 	// one-element admission slices so the unbatched hot path allocates
@@ -85,6 +106,11 @@ func New(cfg Config) *Endpoint {
 		e.replicas[i].cache = newPrefixCache(cfg.CacheEntries, cfg.CacheTokens)
 	}
 	e.stats.Replicas = cfg.Replicas
+	e.active = cfg.Replicas
+	if cfg.Autoscale.enabled() {
+		e.active = cfg.Autoscale.Min
+		e.asNext = cfg.Autoscale.Interval
+	}
 	return e
 }
 
@@ -99,7 +125,10 @@ func (e *Endpoint) Config() Config { return e.cfg }
 
 // Stats reports accumulated serving statistics, including the per-replica
 // request spread and the cache-memory rollup (peak live tokens across
-// replicas, total capacity-evicted tokens).
+// replicas, total capacity-evicted tokens). In-flight frontier batches'
+// member latencies are folded into the returned snapshot's histogram (the
+// endpoint's own buffers are left alone, so a later join can still restate
+// them).
 func (e *Endpoint) Stats() metrics.Serving {
 	s := e.stats
 	s.ReplicaRequests = make([]int, len(e.replicas))
@@ -110,20 +139,40 @@ func (e *Endpoint) Stats() metrics.Serving {
 		if peak > s.CacheTokensPeak {
 			s.CacheTokensPeak = peak
 		}
+		for _, l := range e.replicas[i].lats {
+			s.LatencyHist.Observe(l)
+		}
 	}
 	return s
+}
+
+// sealFrontier folds a replica's frontier-batch member latencies into the
+// stats histogram and clears the buffer: the frontier is being replaced
+// (or the replica retired), so those completions can no longer be restated
+// by a join.
+func (e *Endpoint) sealFrontier(r *replica) {
+	for _, l := range r.lats {
+		e.stats.LatencyHist.Observe(l)
+	}
+	r.lats = r.lats[:0]
 }
 
 // ServingStats implements the serving-statistics seam the episode runners
 // read at episode end; for a dedicated endpoint it is simply Stats.
 func (e *Endpoint) ServingStats() metrics.Serving { return e.Stats() }
 
-// Reset clears timeline, caches and statistics for reuse.
+// Reset clears timeline, caches, statistics and autoscaler state for reuse.
 func (e *Endpoint) Reset() {
 	for i := range e.replicas {
 		e.replicas[i] = replica{cache: newPrefixCache(e.cfg.CacheEntries, e.cfg.CacheTokens)}
 	}
 	e.stats = metrics.Serving{Replicas: e.cfg.Replicas}
+	e.active = e.cfg.Replicas
+	e.asNext, e.asLast, e.busyAcc, e.lastBusy = 0, 0, 0, 0
+	if e.cfg.Autoscale.enabled() {
+		e.active = e.cfg.Autoscale.Min
+		e.asNext = e.cfg.Autoscale.Interval
+	}
 }
 
 // Serve is the closed-loop entry point: one live request, submitted at the
@@ -140,6 +189,7 @@ func (e *Endpoint) Reset() {
 // reported completions of earlier members. The routing policy picks the
 // replica (see RoutingPolicy).
 func (e *Endpoint) Serve(c llm.Call) llm.Served {
+	e.maybeAutoscale(c.Arrival)
 	// Hash the prompt's prefix chain exactly once; routing probes and
 	// admission pricing below all share this key.
 	k := e.chainInto(e.kbuf, c.Prompt)
@@ -160,6 +210,14 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		if end < r.batchEnd {
 			end = r.batchEnd
 		}
+		// The join restates every member's completion to the new end: shift
+		// the buffered final latencies by the extension before appending the
+		// joiner's own.
+		for i := range r.lats {
+			r.lats[i] += end - r.batchEnd
+		}
+		r.lats = append(r.lats, end-c.Arrival)
+		e.busyAcc += end - r.batchEnd
 		r.batchEnd, r.freeAt = end, end
 		wait := time.Duration(0)
 		if c.Arrival < r.batchStart {
@@ -170,6 +228,7 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		// taking (end - start) each.
 		e.stats.Requests++
 		e.stats.QueueWait += wait
+		e.stats.QueueWaitHist.Observe(wait)
 		perMember := end - r.batchStart
 		e.stats.Service += time.Duration(r.batchN)*perMember - r.recService
 		r.recService = time.Duration(r.batchN) * perMember
@@ -192,7 +251,10 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	e.oneKey[0], e.oneOut[0] = k, c.OutTokens
 	service, members, totalEff, maxOut := e.admitBatch(r, e.oneKey[:], e.oneOut[:])
 	end := start + service
+	e.sealFrontier(r)
 	r.startBatch(start, end, 1, totalEff, maxOut, service)
+	r.lats = append(r.lats, end-c.Arrival)
+	e.busyAcc += service
 	e.record(service, wait, 1, members[0].cached, members[0].total)
 	return llm.Served{
 		Latency: end - c.Arrival, QueueWait: wait,
@@ -219,6 +281,7 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 			arrival = c.Arrival
 		}
 	}
+	e.maybeAutoscale(arrival)
 	// Hash the members' prefix chains into endpoint-owned scratch, exactly
 	// as Serve does for a single call: the key/out slices are reused across
 	// ServeBatch calls, and the chains share one section-key arena that is
@@ -249,10 +312,13 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 	}
 	service, members, totalEff, maxOut := e.admitBatch(r, keys, outs)
 	end := start + service
+	e.sealFrontier(r)
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
+	e.busyAcc += service
 	out := make([]llm.Served, len(calls))
 	for i, c := range calls {
 		wait := start - c.Arrival
+		r.lats = append(r.lats, end-c.Arrival)
 		e.record(service, wait, len(calls), members[i].cached, members[i].total)
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
@@ -263,10 +329,14 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 	return out
 }
 
-// record folds one served request into the running statistics.
+// record folds one served request into the running statistics. Queue waits
+// go straight into the histogram — they are final at admission and never
+// restated; end-to-end latencies ride the replica's frontier buffer instead
+// (see replica.lats).
 func (e *Endpoint) record(service, wait time.Duration, batchN, cached, total int) {
 	e.stats.Requests++
 	e.stats.QueueWait += wait
+	e.stats.QueueWaitHist.Observe(wait)
 	e.stats.Service += service
 	e.stats.BatchedSeqs += batchN
 	e.stats.PrefillTokens += total

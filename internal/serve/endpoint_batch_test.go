@@ -40,10 +40,13 @@ func serveBatchFresh(e *Endpoint, calls []llm.Call) []llm.Served {
 	}
 	service, members, totalEff, maxOut := e.admitBatch(r, keys, outs)
 	end := start + service
+	e.sealFrontier(r)
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
+	e.busyAcc += service
 	out := make([]llm.Served, len(calls))
 	for i, c := range calls {
 		wait := start - c.Arrival
+		r.lats = append(r.lats, end-c.Arrival)
 		e.record(service, wait, len(calls), members[i].cached, members[i].total)
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,

@@ -332,6 +332,12 @@ func (c *FleetClient) fold(s llm.Served) {
 	c.stats.BatchedSeqs += s.BatchSize
 	c.stats.PrefillTokens += s.PromptTokens
 	c.stats.CachedTokens += s.CachedTokens
+	// Distribution shares use the as-served values: a later join may extend
+	// this batch, but the restatement is an endpoint-level fact — episode
+	// shares, like the sums above, reflect what this episode's own requests
+	// were told at serve time.
+	c.stats.QueueWaitHist.Observe(s.QueueWait)
+	c.stats.LatencyHist.Observe(s.Latency)
 }
 
 // ServingStats reports the episode's share of the fleet's serving traffic;

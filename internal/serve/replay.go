@@ -71,13 +71,25 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 		keys[i] = chainKeysIdent(nil, reqs[i].Prompt, e.cfg.Identity)
 	}
 
-	// Arrival order, stable on submission index.
+	// Arrival order with an explicit total tie-break: (arrival, priority,
+	// submission index). Hand-built schedules rarely collide, but generated
+	// traffic (internal/serve/traffic.go) interleaves many tenants' seeded
+	// arrival processes and equal arrivals DO occur — the order they enter
+	// the admission queue must be pinned by the trace itself, never by sort
+	// internals.
 	order := make([]int, len(reqs))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	sort.Slice(order, func(a, b int) bool {
+		qa, qb := reqs[order[a]], reqs[order[b]]
+		if qa.Arrival != qb.Arrival {
+			return qa.Arrival < qb.Arrival
+		}
+		if qa.Priority != qb.Priority {
+			return qa.Priority < qb.Priority
+		}
+		return order[a] < order[b]
 	})
 
 	var queue []int // request indices, kept sorted by (Priority, Arrival, index)
@@ -128,6 +140,11 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 	}
 
 	for done < len(reqs) {
+		// Replay every autoscale evaluation tick up to now before routing:
+		// ticks are pure virtual-time events, so a long arrival gap replays
+		// its missed ticks in order (scaling down step by step at the exact
+		// times a denser event stream would have).
+		e.maybeAutoscale(now)
 		admit()
 
 		// Launch batches while an idle replica and the policy allow; the
@@ -151,7 +168,9 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 			}
 			service, members, totalEff, maxOut := e.admitBatch(r, bkeys, outs)
 			end := now + service
+			e.sealFrontier(r)
 			r.startBatch(now, end, n, totalEff, maxOut, service)
+			e.busyAcc += service
 			res.Batches++
 			for bi, qi := range batch {
 				rq := reqs[qi]
@@ -161,6 +180,7 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 					QueueWait: wait, BatchSize: n,
 					PromptTokens: members[bi].total, CachedTokens: members[bi].cached,
 				}
+				r.lats = append(r.lats, end-rq.Arrival)
 				e.record(service, wait, n, members[bi].cached, members[bi].total)
 			}
 			if end > res.Makespan {
@@ -187,16 +207,24 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 				next = t
 			}
 		}
-		for ri := range e.replicas {
+		// Only active replicas are schedulable events: a warming replica's
+		// freeAt (its cold-start expiry) counts, a parked one's does not.
+		for ri := range e.replicas[:e.active] {
 			if t := e.replicas[ri].freeAt; t > now && t < next {
 				next = t
 			}
+		}
+		if e.cfg.Autoscale.enabled() && e.asNext > now && e.asNext < next {
+			// The next evaluation tick can change the active set (waking a
+			// queue that is waiting on capacity), so it is an event too.
+			next = e.asNext
 		}
 		if next <= now {
 			next = now + time.Nanosecond // safety: time must advance
 		}
 		now = next
 	}
+	e.finishAutoscale(res.Makespan)
 	res.Stats = e.Stats()
 	return res
 }

@@ -75,12 +75,15 @@ func (e *Endpoint) route(arrival time.Duration, k promptKey, outTokens int) *rep
 }
 
 // routeLeastLoaded returns the replica with the earliest freeAt, lowest
-// index on ties — the router every multi-replica deployment runs.
+// index on ties — the router every multi-replica deployment runs. Like
+// every routing loop, it scans only the active replicas (replicas[:active]
+// — the full set unless autoscaling has parked some).
 func (e *Endpoint) routeLeastLoaded() *replica {
-	best := &e.replicas[0]
-	for i := 1; i < len(e.replicas); i++ {
-		if e.replicas[i].freeAt < best.freeAt {
-			best = &e.replicas[i]
+	act := e.replicas[:e.active]
+	best := &act[0]
+	for i := 1; i < len(act); i++ {
+		if act[i].freeAt < best.freeAt {
+			best = &act[i]
 		}
 	}
 	return best
@@ -103,10 +106,11 @@ func affinityScore(r *replica, k promptKey) (score, hit int) {
 // prefix coverage of the keyed prompt; ties fall back to least-loaded, then
 // lowest index.
 func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
-	best := &e.replicas[0]
+	act := e.replicas[:e.active]
+	best := &act[0]
 	bestScore, _ := affinityScore(best, k)
-	for i := 1; i < len(e.replicas); i++ {
-		r := &e.replicas[i]
+	for i := 1; i < len(act); i++ {
+		r := &act[i]
 		score, _ := affinityScore(r, k)
 		if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
 			best, bestScore = r, score
@@ -121,10 +125,11 @@ func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
 // cache discount. The estimate ignores join-window coalescing — like real
 // routers, it prices the request as if it ran alone.
 func (e *Endpoint) routeShortestCompletion(arrival time.Duration, k promptKey, outTokens int) *replica {
-	best := &e.replicas[0]
+	act := e.replicas[:e.active]
+	best := &act[0]
 	bestDone := e.estimateCompletion(best, arrival, k, outTokens)
-	for i := 1; i < len(e.replicas); i++ {
-		r := &e.replicas[i]
+	for i := 1; i < len(act); i++ {
+		r := &act[i]
 		if done := e.estimateCompletion(r, arrival, k, outTokens); done < bestDone {
 			best, bestDone = r, done
 		}
@@ -173,12 +178,13 @@ func (e *Endpoint) batchPressure(r *replica, keys []promptKey) int {
 // to spread (without a budget both terms vanish and this is exactly
 // route(arrival, keys[0], outTokens)).
 func (e *Endpoint) routeBatch(arrival time.Duration, keys []promptKey, outTokens int) *replica {
+	act := e.replicas[:e.active]
 	switch e.cfg.Routing {
 	case RouteCacheAffinity:
-		best := &e.replicas[0]
+		best := &act[0]
 		bestScore := best.cache.matchKey(keys[0]) - e.batchPressure(best, keys)
-		for i := 1; i < len(e.replicas); i++ {
-			r := &e.replicas[i]
+		for i := 1; i < len(act); i++ {
+			r := &act[i]
 			score := r.cache.matchKey(keys[0]) - e.batchPressure(r, keys)
 			if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
 				best, bestScore = r, score
@@ -186,10 +192,10 @@ func (e *Endpoint) routeBatch(arrival time.Duration, keys []promptKey, outTokens
 		}
 		return best
 	case RouteShortestCompletion:
-		best := &e.replicas[0]
+		best := &act[0]
 		bestDone := e.estimateBatchCompletion(best, arrival, keys, outTokens)
-		for i := 1; i < len(e.replicas); i++ {
-			r := &e.replicas[i]
+		for i := 1; i < len(act); i++ {
+			r := &act[i]
 			if done := e.estimateBatchCompletion(r, arrival, keys, outTokens); done < bestDone {
 				best, bestDone = r, done
 			}
@@ -219,8 +225,9 @@ func (e *Endpoint) estimateBatchCompletion(r *replica, arrival time.Duration, ke
 func (e *Endpoint) routeIdle(now time.Duration, k promptKey) *replica {
 	var best *replica
 	bestScore := 0
-	for i := range e.replicas {
-		r := &e.replicas[i]
+	act := e.replicas[:e.active]
+	for i := range act {
+		r := &act[i]
 		if r.freeAt > now {
 			continue
 		}

@@ -111,6 +111,11 @@ type Config struct {
 	// CachedPrefillFrac is the fraction of prefill cost still paid for
 	// cache-hit tokens (default 0.1 — KV reuse is cheap but not free).
 	CachedPrefillFrac float64
+	// Autoscale, when enabled (Interval > 0), scales the active replica
+	// count within [Min, Max] on a virtual-time evaluation clock; Replicas
+	// is the pool ceiling. The zero value keeps every replica active —
+	// byte-identical to fixed-replica serving. See Autoscale.
+	Autoscale Autoscale
 }
 
 // withDefaults fills zero fields.
@@ -142,5 +147,6 @@ func (c Config) withDefaults() Config {
 	if c.CachedPrefillFrac > 1 {
 		c.CachedPrefillFrac = 1
 	}
+	c.Autoscale = c.Autoscale.withDefaults(c.Replicas)
 	return c
 }
