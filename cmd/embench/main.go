@@ -10,6 +10,8 @@
 //	embench -run CoELA -serve-replicas 1 -serve-batch 4   # ... against a shared endpoint
 //	embench -run CoELA -serve-fleet 4 -serve-routing cache-affinity  # fleet of episodes, one endpoint
 //	embench -run CoELA -serve-fleet 64 -serve-shards 4    # ... sharded across 4 endpoints
+//	embench -run CoELA -serve-fleet 4 -trace-jsonl t.jsonl -trace-out t.json  # flight-record the run
+//	embench -replay-trace t.jsonl -serve-replicas 2 -serve-batch 4  # re-run a recorded trace open-loop
 //	embench -list                                         # list workloads/experiments
 //
 // Experiments fan episodes out over -procs workers (default: all CPUs).
@@ -28,6 +30,12 @@
 // to ONE endpoint (cross-episode contention), and -serve-aggregate batches
 // each step's plan calls explicitly (Rec. 1 step-phase aggregation).
 // Flag-by-flag semantics live in docs/EXPERIMENTS.md.
+//
+// The flight recorder (internal/serve/obs) attaches to any served -run:
+// -trace-jsonl writes the event log (cmd/traceview summarizes it, and
+// -replay-trace feeds it back through the open-loop replayer), -trace-out
+// writes a Chrome trace_event file loadable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing.
 package main
 
 import (
@@ -42,8 +50,10 @@ import (
 	"embench"
 	"embench/internal/bench"
 	"embench/internal/benchjson"
+	"embench/internal/metrics"
 	"embench/internal/runner"
 	"embench/internal/serve"
+	"embench/internal/serve/obs"
 	"embench/internal/trace"
 )
 
@@ -90,6 +100,12 @@ func main() {
 			"fig12 end-to-end latency SLO (0 = default 60s; must not be negative)")
 		srvAutoscale = flag.String("serve-autoscale", "",
 			"fig12 autoscaled-deployment policy: 'on', or 'interval=30s,cold=15s,up=0.7,down=0.25,min=2,max=8' ('' = fig12 default)")
+		traceJSONL = flag.String("trace-jsonl", "",
+			"flight-record a served -run (or -replay-trace rerun) and write the event log as JSONL to this path")
+		traceOut = flag.String("trace-out", "",
+			"flight-record a served -run (or -replay-trace rerun) and write a Chrome trace_event file (Perfetto-loadable) to this path")
+		replayTrace = flag.String("replay-trace", "",
+			"re-run a recorded JSONL event log open-loop through the serve replayer (uses the -serve-* endpoint flags)")
 		srvAgg = flag.Bool("serve-aggregate", false,
 			"step-phase query aggregation for decentralized workloads: batch all agents' plan calls of a step explicitly (Rec. 1; no effect on single-agent/centralized systems)")
 		list = flag.Bool("list", false, "list workloads and experiments")
@@ -202,6 +218,60 @@ func main() {
 			fmt.Fprintf(os.Stderr, "embench: wrote %s (%d experiments, %.0f ms total)\n",
 				*benchJSON, len(out.Entries), out.TotalWallMS)
 		}
+	case *replayTrace != "":
+		routing, err := embench.ParseRouting(*srvRoute)
+		if err != nil {
+			fatal(err)
+		}
+		identity, err := embench.ParseIdentity(*srvIdentity)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(*replayTrace)
+		if err != nil {
+			fatal(err)
+		}
+		events, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.Validate(events); err != nil {
+			fatal(err)
+		}
+		reqs := serve.TraceRequests(events)
+		if len(reqs) == 0 {
+			fatal(fmt.Errorf("%s holds no submit events — nothing to replay", *replayTrace))
+		}
+		replicas := *srvReplicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		sc := serve.Config{
+			Replicas: replicas, Routing: routing, MaxBatch: *srvBatch,
+			MaxWait: *srvWait, CacheEntries: *srvCache, CacheTokens: *srvCacheTok,
+			Identity: identity,
+		}
+		var rec *obs.Recorder
+		var res serve.ReplayResult
+		if *traceJSONL != "" || *traceOut != "" {
+			rec = obs.NewRecorder()
+			res = serve.ReplayObserved(sc, reqs, rec)
+		} else {
+			res = serve.Replay(sc, reqs)
+		}
+		s := res.Stats
+		fmt.Printf("replayed    %d requests (%d batches) from %s in %.1f simulated min\n",
+			len(res.Completions), res.Batches, *replayTrace, res.Makespan.Minutes())
+		fmt.Printf("endpoint    %d replica(s) [%s]: %.1fs mean queue wait, %.2f batch occupancy, %.0f%% cache hits, %.1f req/s\n",
+			s.Replicas, sc.Routing, s.MeanQueueWait().Seconds(),
+			s.BatchOccupancy(), 100*s.CacheHitRate(), res.Throughput())
+		printPercentiles(s)
+		if rec != nil {
+			if err := writeTraces(rec, *traceJSONL, *traceOut); err != nil {
+				fatal(err)
+			}
+		}
 	case *run != "":
 		routing, err := embench.ParseRouting(*srvRoute)
 		if err != nil {
@@ -233,6 +303,16 @@ func main() {
 			MaxWait: *srvWait, CacheEntries: *srvCache, CacheTokens: *srvCacheTok,
 			Identity: identity,
 		}
+		// The flight recorder attaches to the shared endpoint, so tracing a
+		// run requires one (dedicated per-agent serving has no sink seam).
+		var rec *obs.Recorder
+		if *traceJSONL != "" || *traceOut != "" {
+			if *srvFleet <= 0 && *srvReplicas <= 0 {
+				fatal(fmt.Errorf("-trace-jsonl/-trace-out need a shared endpoint: set -serve-fleet or -serve-replicas"))
+			}
+			rec = obs.NewRecorder()
+			opt.Sink = rec
+		}
 		if *srvFleet > 0 {
 			// Fleet mode: the episodes (one is allowed — the degenerate
 			// fleet) run against a shared deployment of -serve-shards
@@ -262,6 +342,12 @@ func main() {
 				s.BatchOccupancy(), 100*s.CacheHitRate())
 			fmt.Printf("kv cache    %.2f max replica share, %d peak cached tokens, %d evicted tokens\n",
 				s.MaxReplicaShare(), s.CacheTokensPeak, s.EvictedTokens)
+			printPercentiles(s)
+			if rec != nil {
+				if err := writeTraces(rec, *traceJSONL, *traceOut); err != nil {
+					fatal(err)
+				}
+			}
 			return
 		}
 		if *srvReplicas > 0 {
@@ -304,10 +390,61 @@ func main() {
 			}
 		}
 		fmt.Println()
+		if rec != nil {
+			if err := writeTraces(rec, *traceJSONL, *traceOut); err != nil {
+				fatal(err)
+			}
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// printPercentiles renders the serving latency tails: end-to-end and
+// queue-wait p50/p95/p99 from the endpoint's exactly mergeable histograms.
+func printPercentiles(s metrics.Serving) {
+	q := func(h metrics.Hist, p float64) float64 { return h.Quantile(p).Seconds() }
+	fmt.Printf("latency     p50=%.1fs p95=%.1fs p99=%.1fs end-to-end; queue p50=%.1fs p95=%.1fs p99=%.1fs\n",
+		q(s.LatencyHist, 0.50), q(s.LatencyHist, 0.95), q(s.LatencyHist, 0.99),
+		q(s.QueueWaitHist, 0.50), q(s.QueueWaitHist, 0.95), q(s.QueueWaitHist, 0.99))
+}
+
+// writeTraces persists a recorded event stream in the requested formats:
+// JSONL (the interchange format traceview and -replay-trace consume) and/or
+// Chrome trace_event JSON (Perfetto / chrome://tracing).
+func writeTraces(rec *obs.Recorder, jsonlPath, chromePath string) error {
+	events := rec.Events()
+	write := func(path, what string, fn func(w *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "embench: wrote %s (%s, %d events)\n", path, what, len(events))
+		return nil
+	}
+	if jsonlPath != "" {
+		if err := write(jsonlPath, "event log", func(w *os.File) error {
+			return obs.WriteJSONL(w, events)
+		}); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := write(chromePath, "Chrome trace", func(w *os.File) error {
+			return obs.WriteChromeTrace(w, events)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeBenchJSON persists the perf record with a trailing newline so the

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"embench/internal/benchjson"
 )
@@ -83,7 +84,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	line, err := json.Marshal(benchjson.Record{Label: *label, Entries: bf.Entries})
+	line, err := json.Marshal(benchjson.Record{Label: *label, Env: hostEnv(), Entries: bf.Entries})
 	if err != nil {
 		fatal(err)
 	}
@@ -139,6 +140,18 @@ func baselineWallTimes(path string, window int) map[string]float64 {
 		out[k] = best
 	}
 	return out
+}
+
+// hostEnv stamps the record with the measuring machine's identity
+// (hostname, GOMAXPROCS, Go toolchain) so cross-machine trajectory lines
+// explain their own wall-time differences.
+func hostEnv() benchjson.Env {
+	host, _ := os.Hostname()
+	return benchjson.Env{
+		Host:       host,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,144 @@
+// Command traceview summarizes a flight-recorder event log (the JSONL
+// format embench -trace-jsonl writes; see internal/serve/obs).
+//
+// Usage:
+//
+//	traceview -in trace.jsonl                  # summary + top-10 slowest requests
+//	traceview -in trace.jsonl -top 25          # more of the latency tail
+//	traceview -in trace.jsonl -validate        # schema check only (CI gate; exit 1 on violation)
+//	traceview -in trace.jsonl -chrome t.json   # convert to a Perfetto-loadable Chrome trace
+//	traceview -in trace.jsonl -interval 30s    # virtual-time series (queue depth, active replicas, churn)
+//
+// The summary splits end-to-end latency into its queueing and in-batch
+// shares, reports cache economics (hit rate, capacity-eviction and
+// scale-down-flush churn) and autoscaler activity, and lists the slowest
+// requests with their placement — the questions the fig8–fig12 analyses
+// answer in aggregate, asked of one recorded run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"embench/internal/serve/obs"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "event log to read (JSONL, as written by embench -trace-jsonl; '-' for stdin)")
+		topK     = flag.Int("top", 10, "how many of the slowest requests to list")
+		validate = flag.Bool("validate", false, "schema-check the stream and exit (non-zero on violation)")
+		chrome   = flag.String("chrome", "", "also write a Chrome trace_event file (Perfetto-loadable) to this path")
+		interval = flag.Duration("interval", 0, "also print a virtual-time series sampled at this interval (0 = off)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.Validate(events); err != nil {
+		fatal(err)
+	}
+	if *validate {
+		fmt.Printf("ok: %d events, schema valid\n", len(events))
+		return
+	}
+
+	s := obs.Summarize(events, *topK)
+	fmt.Printf("events      %d over %.1f simulated min\n", s.Events, s.Horizon.Minutes())
+	fmt.Printf("requests    %d completed, %d batch launches, %d continuous-batching joins\n",
+		s.Requests, s.Batches, s.Joins)
+	service := s.TotalLatency - s.TotalWait
+	fmt.Printf("latency     %.1fs mean end-to-end = %.1fs queueing (%.0f%%) + %.1fs in batch\n",
+		s.MeanLatency().Seconds(),
+		mean(s.TotalWait, s.Requests).Seconds(), 100*s.QueueShare(),
+		mean(service, s.Requests).Seconds())
+	fmt.Printf("cache       %.0f%% of %d prompt tokens warm; churn: %d tokens capacity-evicted (%d events), %d flushed by scale-down (%d)\n",
+		100*s.CacheHitRate(), s.PromptTokens,
+		s.EvictedTokens, s.Evictions, s.FlushedTokens, s.Flushes)
+	if s.ScaleTicks > 0 {
+		fmt.Printf("autoscale   %d evaluation ticks: %d scale-ups, %d scale-downs\n",
+			s.ScaleTicks, s.ScaleUps, s.ScaleDowns)
+	}
+
+	if len(s.Slowest) > 0 {
+		fmt.Printf("\nslowest %d requests:\n", len(s.Slowest))
+		fmt.Printf("  %-6s %-10s %-5s %9s %9s %9s %6s %7s\n",
+			"req", "agent", "s/r", "latency", "queued", "served", "batch", "warm")
+		for _, r := range s.Slowest {
+			fmt.Printf("  %-6d %-10s %d/%-3d %8.1fs %8.1fs %8.1fs %6d %6.0f%%\n",
+				r.Req, clip(r.Agent, 10), r.Shard, r.Replica,
+				r.Latency.Seconds(), r.Wait.Seconds(), r.Service().Seconds(),
+				r.Batch, 100*frac(r.Cached, r.Tokens))
+		}
+	}
+
+	if *interval > 0 {
+		series := obs.Sample(events, *interval)
+		fmt.Printf("\nseries (interval %s):\n", *interval)
+		fmt.Printf("  %-8s %8s %8s %8s %10s\n", "t", "queue", "active", "done", "evicted")
+		for i := 0; i < series.Len(); i++ {
+			fmt.Printf("  %-8s %8.2f %8.2f %8d %10d\n",
+				time.Duration(i)**interval,
+				series.MeanQueueDepth(i), series.MeanActive(i),
+				series.Completions[i], series.EvictedTokens[i])
+		}
+	}
+
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(out, events); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "traceview: wrote %s (load in ui.perfetto.dev or chrome://tracing)\n", *chrome)
+	}
+}
+
+func mean(total time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}

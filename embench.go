@@ -147,6 +147,10 @@ func RunFleet(name, difficulty string, agents, episodes, shards int, opt Options
 		Specs:  runner.Specs(w, diff, agents, nil, opt, episodes, opt.Seed),
 		Serve:  sc,
 		Shards: shards,
+		// A flight-recorder sink on the options records the shared
+		// deployment itself (the episodes route through fleet clients, so
+		// per-episode endpoints never exist here).
+		Sink: opt.Sink,
 	})
 }
 

@@ -46,8 +46,20 @@ type File struct {
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
 
-// Record is one appended perf-trajectory line (JSONL).
+// Env identifies the machine a trajectory record was measured on. Wall
+// times are only comparable within similar environments, so perftrack
+// stamps every appended line with the host identity it measured under —
+// a cross-machine trajectory then explains its own outliers.
+type Env struct {
+	Host       string `json:"host,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+}
+
+// Record is one appended perf-trajectory line (JSONL). Env is absent on
+// lines written before environment stamping existed; those still parse.
 type Record struct {
 	Label   string  `json:"label"`
+	Env     Env     `json:"env"`
 	Entries []Entry `json:"entries"`
 }

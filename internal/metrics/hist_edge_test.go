@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistQuantileEmptyAllRanks pins the empty-histogram contract across
+// the whole quantile range, including the degenerate q values the
+// percentile printers can pass through: every rank reports 0, never an
+// edge of a bucket that holds nothing.
+func TestHistQuantileEmptyAllRanks(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestHistQuantileSingleSample: with one observation every quantile is
+// that observation's bucket upper edge — p50 and p99 must agree, and both
+// must bound the sample from above.
+func TestHistQuantileSingleSample(t *testing.T) {
+	const d = 700 * time.Millisecond
+	var h Hist
+	h.Observe(d)
+	edge := histEdges[histBucket(d)]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != edge {
+			t.Fatalf("single-sample Quantile(%v) = %v, want bucket edge %v", q, got, edge)
+		}
+		if got < d {
+			t.Fatalf("single-sample Quantile(%v) = %v undershoots the observation %v", q, got, d)
+		}
+	}
+}
+
+// TestHistOverflowBucket pins the clamp semantics of the last bucket:
+// anything at or beyond its ~35h lower bound — days, or the maximum
+// representable duration — lands there without wrapping, and
+// quantiles over such a histogram report the last edge rather than
+// overflowing.
+func TestHistOverflowBucket(t *testing.T) {
+	last := HistBuckets - 1
+	lastEdge := histEdges[last]
+	// The clamp engages past the second-to-last edge (~35h of simulated
+	// latency) — far beyond anything the suite produces, per the histEdges
+	// doc.
+	if lower := histEdges[last-1]; lower < 33*time.Hour || lower > 40*time.Hour {
+		t.Fatalf("overflow bucket lower bound = %v, expected the ~35h clamp", lower)
+	}
+	var h Hist
+	for _, d := range []time.Duration{
+		histEdges[last-1], // first duration at/past the second-to-last edge
+		lastEdge,          // at the clamp edge itself
+		240 * time.Hour,   // ten days
+		1<<63 - 1,         // max duration: must not wrap or panic
+	} {
+		h.Observe(d)
+	}
+	if h.Counts[last] != 4 {
+		t.Fatalf("overflow bucket count = %d, want 4 (counts %v)", h.Counts[last], h.Counts)
+	}
+	if got := h.Quantile(0.99); got != lastEdge {
+		t.Fatalf("overflow Quantile(0.99) = %v, want last edge %v", got, lastEdge)
+	}
+	// FracBelow at the last edge counts the clamped mass as "below" only
+	// when the threshold reaches the edge itself; just under it, nothing in
+	// the overflow bucket qualifies.
+	if got := h.FracBelow(lastEdge - 1); got != 0 {
+		t.Fatalf("FracBelow(just under last edge) = %v, want 0", got)
+	}
+	if got := h.FracBelow(lastEdge); got != 1 {
+		t.Fatalf("FracBelow(last edge) = %v, want 1", got)
+	}
+}
+
+// TestSLOAttainmentAtBucketEdges drives Serving.SLOAttainment with latency
+// mass on both sides of an SLO set exactly on a bucket edge: the split is
+// exact there, a lower bound just below, and unchanged until the next edge
+// — the same rounding for every deployment under comparison.
+func TestSLOAttainmentAtBucketEdges(t *testing.T) {
+	// Pick an interior edge and fill the two buckets it separates.
+	b := histBucket(5 * time.Second)
+	edge := histEdges[b] // upper edge of 5s's bucket = lower bound of bucket b+1
+	var s Serving
+	for i := 0; i < 3; i++ {
+		s.LatencyHist.Counts[b]++ // three requests inside the SLO's bucket
+	}
+	s.LatencyHist.Counts[b+1]++ // one request in the next bucket up
+	if got := s.SLOAttainment(edge); got != 0.75 {
+		t.Fatalf("SLOAttainment at exact edge %v = %v, want 0.75", edge, got)
+	}
+	// Just below the edge the SLO's own bucket no longer fully qualifies:
+	// attainment rounds down to the previous edge (0 here — all mass sits
+	// in buckets b and b+1).
+	if got := s.SLOAttainment(edge - time.Nanosecond); got != 0 {
+		t.Fatalf("SLOAttainment just under edge = %v, want 0 (rounded down a bucket)", got)
+	}
+	// Anywhere inside the next bucket's range, attainment equals the
+	// at-edge value — FracBelow only advances when a whole bucket clears.
+	if got := s.SLOAttainment(edge + (histEdges[b+1]-edge)/2); got != 0.75 {
+		t.Fatalf("SLOAttainment mid-bucket = %v, want 0.75 (unchanged until next edge)", got)
+	}
+	if got := s.SLOAttainment(histEdges[b+1]); got != 1 {
+		t.Fatalf("SLOAttainment at next edge = %v, want 1", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"embench/internal/modules/memory"
 	"embench/internal/rng"
 	"embench/internal/serve"
+	"embench/internal/serve/obs"
 	"embench/internal/simclock"
 	"embench/internal/trace"
 )
@@ -52,6 +53,13 @@ type Options struct {
 	// routes its LLM calls through it and reads its serving stats at
 	// finish.
 	Backend llm.Backend
+	// Sink attaches a flight-recorder sink (internal/serve/obs) to the
+	// per-episode endpoint built from Serve, recording the full request
+	// lifecycle — submit, route, batch, cache, complete. Ignored when
+	// Backend is set (attach the sink to the externally owned fleet
+	// instead) or when Serve is nil (direct serving has no endpoint).
+	// nil = off, the zero-cost default.
+	Sink obs.Sink
 	// Aggregate turns on step-phase query aggregation (Rec. 1 end to end)
 	// in decentralized runners: all agents' plan calls of a step — and
 	// their act-select follow-ups — are collected into one explicit
@@ -92,6 +100,9 @@ func (o Options) newEndpoint(cfg *core.AgentConfig) servingStats {
 		sc.Profile = cfg.Planner
 	}
 	ep := serve.New(sc)
+	if o.Sink != nil {
+		ep.SetSink(o.Sink)
+	}
 	cfg.Backend = ep
 	return ep
 }

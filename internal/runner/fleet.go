@@ -7,6 +7,7 @@ import (
 
 	"embench/internal/metrics"
 	"embench/internal/serve"
+	"embench/internal/serve/obs"
 	"embench/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type FleetGroup struct {
 	// changes results — only how many goroutines are simultaneously
 	// runnable.
 	Activation int
+	// Sink attaches a flight-recorder sink (internal/serve/obs) to every
+	// shard's endpoint before any episode runs. One fleet's event stream is
+	// emitted under the fleet mutex (deterministic order); with Shards > 1
+	// shards emit concurrently, so filter by the Shard tag — or sample per
+	// shard and merge — for reproducible views. nil = off.
+	Sink obs.Sink
 }
 
 // FleetResult is one group's outcome: per-episode metrics and traces in
@@ -135,6 +142,9 @@ func RunFleet(ctx context.Context, g FleetGroup) (FleetResult, error) {
 		return res, nil
 	}
 	fleet := serve.NewShardedFleet(g.fleetServe(), n, g.Shards)
+	if g.Sink != nil {
+		fleet.SetSink(g.Sink)
+	}
 	gate := g.gateFor(n)
 	if gate != nil {
 		fleet.SetGate(gate)

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"embench/internal/serve/obs"
 )
 
 // Autoscale is a clock-driven replica autoscaling policy for an Endpoint
@@ -173,6 +175,12 @@ func (e *Endpoint) evalAutoscale(now time.Duration) {
 	// scaling up early under load spikes.
 	util := float64(e.busyAcc-e.lastBusy) / float64(time.Duration(e.active)*a.Interval)
 	e.lastBusy = e.busyAcc
+	if e.sink != nil {
+		e.sink.Event(obs.Event{
+			Kind: obs.KindScaleTick, T: now, Shard: e.shard,
+			Active: e.active, Util: util,
+		})
+	}
 
 	switch {
 	case util > a.UpUtil && e.active < a.Max:
@@ -192,6 +200,11 @@ func (e *Endpoint) evalAutoscale(now time.Duration) {
 		}
 		e.active = want
 		e.stats.ScaleUps++
+		if e.sink != nil {
+			e.sink.Event(obs.Event{
+				Kind: obs.KindScaleUp, T: now, Shard: e.shard, Active: e.active,
+			})
+		}
 	case util < a.DownUtil && e.active > a.Min:
 		// Retire one replica per tick, and only an idle one: in-flight
 		// batches always run to completion, which is what keeps scale-down
@@ -199,9 +212,22 @@ func (e *Endpoint) evalAutoscale(now time.Duration) {
 		r := &e.replicas[e.active-1]
 		if r.freeAt <= now {
 			e.sealFrontier(r)
+			var live int
+			if e.sink != nil {
+				live, _, _ = r.cache.stats()
+			}
 			r.cache.flush()
 			e.active--
 			e.stats.ScaleDowns++
+			if e.sink != nil {
+				e.sink.Event(obs.Event{
+					Kind: obs.KindCacheFlush, T: now, Shard: e.shard,
+					Replica: e.active, Tokens: live,
+				})
+				e.sink.Event(obs.Event{
+					Kind: obs.KindScaleDown, T: now, Shard: e.shard, Active: e.active,
+				})
+			}
 		}
 	}
 }

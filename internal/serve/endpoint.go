@@ -6,6 +6,7 @@ import (
 	"embench/internal/llm"
 	"embench/internal/metrics"
 	"embench/internal/prompt"
+	"embench/internal/serve/obs"
 )
 
 // replica is one model instance's timeline position: when it frees, the
@@ -86,6 +87,14 @@ type Endpoint struct {
 	bouts  []int
 	barena []sectionKey
 	seen   map[uint64]bool // batchPressure's dedup scratch
+	// Flight-recorder seam (see obs.go / internal/serve/obs): nil sink is
+	// the zero-cost default — every emission below is guarded, so the
+	// un-instrumented path is byte-identical and allocation-free. shard
+	// tags events when a ShardedFleet shares one sink; reqID numbers
+	// requests within this source (sink-path only).
+	sink  obs.Sink
+	shard int
+	reqID int64
 }
 
 // Compile-time checks: an endpoint is a drop-in serving backend for llm
@@ -151,6 +160,12 @@ func (e *Endpoint) Stats() metrics.Serving {
 // (or the replica retired), so those completions can no longer be restated
 // by a join.
 func (e *Endpoint) sealFrontier(r *replica) {
+	if e.sink != nil && len(r.lats) > 0 {
+		e.sink.Event(obs.Event{
+			Kind: obs.KindBatchSeal, T: r.batchEnd, Shard: e.shard,
+			Replica: e.rindex(r), Batch: len(r.lats),
+		})
+	}
 	for _, l := range r.lats {
 		e.stats.LatencyHist.Observe(l)
 	}
@@ -169,6 +184,7 @@ func (e *Endpoint) Reset() {
 	e.stats = metrics.Serving{Replicas: e.cfg.Replicas}
 	e.active = e.cfg.Replicas
 	e.asNext, e.asLast, e.busyAcc, e.lastBusy = 0, 0, 0, 0
+	e.reqID = 0
 	if e.cfg.Autoscale.enabled() {
 		e.active = e.cfg.Autoscale.Min
 		e.asNext = e.cfg.Autoscale.Interval
@@ -194,11 +210,24 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	// admission pricing below all share this key.
 	k := e.chainInto(e.kbuf, c.Prompt)
 	e.kbuf = k.secs
+	var req int64
+	if e.sink != nil {
+		req = e.nextReq()
+		e.emitSubmit(req, c.Agent, c.Arrival, c.Prompt, c.OutTokens, 0)
+	}
 	r := e.route(c.Arrival, k, c.OutTokens)
+	if e.sink != nil {
+		e.emitRoute(req, c.Arrival, r, k)
+	}
 
 	// Join the in-flight frontier batch when the window allows.
 	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
 		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
+		var ri, evBefore int
+		if e.sink != nil {
+			ri = e.rindex(r)
+			_, _, evBefore = r.cache.stats()
+		}
 		eff, cached, total := e.promptCostOn(r, k)
 		r.requests++
 		r.batchN++
@@ -218,6 +247,16 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		}
 		r.lats = append(r.lats, end-c.Arrival)
 		e.busyAcc += end - r.batchEnd
+		if e.sink != nil {
+			e.emitCache(req, c.Arrival, ri, cached, total)
+			if _, _, evAfter := r.cache.stats(); evAfter > evBefore {
+				e.emitEvict(c.Arrival, ri, evAfter-evBefore)
+			}
+			e.sink.Event(obs.Event{
+				Kind: obs.KindBatchJoin, T: c.Arrival, Shard: e.shard,
+				Replica: ri, Req: req, Batch: r.batchN, Dur: end - r.batchEnd,
+			})
+		}
 		r.batchEnd, r.freeAt = end, end
 		wait := time.Duration(0)
 		if c.Arrival < r.batchStart {
@@ -236,6 +275,9 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		r.recSeqs = r.batchN * r.batchN
 		e.stats.PrefillTokens += total
 		e.stats.CachedTokens += cached
+		if e.sink != nil {
+			e.emitComplete(req, c.Agent, ri, end, end-c.Arrival, wait, r.batchN, cached, total)
+		}
 		return llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: r.batchN, CachedTokens: cached, PromptTokens: total,
@@ -249,6 +291,11 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	}
 	wait := start - c.Arrival
 	e.oneKey[0], e.oneOut[0] = k, c.OutTokens
+	var ri, evBefore int
+	if e.sink != nil {
+		ri = e.rindex(r)
+		_, _, evBefore = r.cache.stats()
+	}
 	service, members, totalEff, maxOut := e.admitBatch(r, e.oneKey[:], e.oneOut[:])
 	end := start + service
 	e.sealFrontier(r)
@@ -256,6 +303,14 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	r.lats = append(r.lats, end-c.Arrival)
 	e.busyAcc += service
 	e.record(service, wait, 1, members[0].cached, members[0].total)
+	if e.sink != nil {
+		e.emitCache(req, c.Arrival, ri, members[0].cached, members[0].total)
+		if _, _, evAfter := r.cache.stats(); evAfter > evBefore {
+			e.emitEvict(c.Arrival, ri, evAfter-evBefore)
+		}
+		e.emitBatchStart(start, ri, 1, totalEff, maxOut, service)
+		e.emitComplete(req, c.Agent, ri, end, end-c.Arrival, wait, 1, members[0].cached, members[0].total)
+	}
 	return llm.Served{
 		Latency: end - c.Arrival, QueueWait: wait,
 		BatchSize: 1, CachedTokens: members[0].cached, PromptTokens: members[0].total,
@@ -310,16 +365,40 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 	if r.freeAt > start {
 		start = r.freeAt
 	}
+	var ri, evBefore int
+	var reqIDs []int64
+	if e.sink != nil {
+		ri = e.rindex(r)
+		reqIDs = make([]int64, len(calls))
+		for i, c := range calls {
+			reqIDs[i] = e.nextReq()
+			e.emitSubmit(reqIDs[i], c.Agent, c.Arrival, c.Prompt, c.OutTokens, 0)
+		}
+		e.emitRoute(reqIDs[0], arrival, r, keys[0])
+		_, _, evBefore = r.cache.stats()
+	}
 	service, members, totalEff, maxOut := e.admitBatch(r, keys, outs)
 	end := start + service
 	e.sealFrontier(r)
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
 	e.busyAcc += service
+	if e.sink != nil {
+		for i := range calls {
+			e.emitCache(reqIDs[i], arrival, ri, members[i].cached, members[i].total)
+		}
+		if _, _, evAfter := r.cache.stats(); evAfter > evBefore {
+			e.emitEvict(arrival, ri, evAfter-evBefore)
+		}
+		e.emitBatchStart(start, ri, len(calls), totalEff, maxOut, service)
+	}
 	out := make([]llm.Served, len(calls))
 	for i, c := range calls {
 		wait := start - c.Arrival
 		r.lats = append(r.lats, end-c.Arrival)
 		e.record(service, wait, len(calls), members[i].cached, members[i].total)
+		if e.sink != nil {
+			e.emitComplete(reqIDs[i], c.Agent, ri, end, end-c.Arrival, wait, len(calls), members[i].cached, members[i].total)
+		}
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: len(calls), CachedTokens: members[i].cached,

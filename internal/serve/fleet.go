@@ -6,6 +6,7 @@ import (
 
 	"embench/internal/llm"
 	"embench/internal/metrics"
+	"embench/internal/serve/obs"
 )
 
 // Fleet promotes an Endpoint to a cross-episode shared deployment: one set
@@ -175,6 +176,20 @@ func (f *Fleet) Stats() metrics.Serving {
 	return f.ep.Stats()
 }
 
+// emitAdmit records a fleet-merge admission (see internal/serve/obs): the
+// winning client's pending request is about to be served, so the endpoint
+// events it triggers follow immediately in this goroutine, under f.mu —
+// one fleet's event stream is as deterministic as its admission order.
+func (f *Fleet) emitAdmit(c *FleetClient, p *fleetPending) {
+	if f.ep.sink == nil {
+		return
+	}
+	f.ep.sink.Event(obs.Event{
+		Kind: obs.KindAdmit, T: p.arrival, Shard: f.ep.shard,
+		Client: c.id, Batch: len(p.batch),
+	})
+}
+
 // --- heap of revealed pending requests, keyed by (arrival, client id) ---
 
 // lessThan orders revealed clients by their merge key.
@@ -237,6 +252,7 @@ func (f *Fleet) dispatch() {
 		// c is live again but its next request is not revealed yet.
 		f.unrevealed++
 		p := c.pend
+		f.emitAdmit(c, p)
 		if p.batch != nil {
 			p.resB = f.ep.ServeBatch(p.batch)
 		} else {
@@ -390,6 +406,7 @@ func (f *Fleet) dispatchLinear() {
 			return // every episode finished
 		}
 		p := best.pend
+		f.emitAdmit(best, p)
 		if p.batch != nil {
 			p.resB = f.ep.ServeBatch(p.batch)
 		} else {

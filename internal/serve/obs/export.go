@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSONL writes one event per line, in stream order. The format is the
+// flight recorder's interchange format: `embench -trace-jsonl` produces it,
+// `cmd/traceview` summarizes it, and serve.TraceRequests replays it.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an event-per-line stream written by WriteJSONL. Blank
+// lines are skipped; any other malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Validate checks an event stream against the schema: known kinds,
+// non-negative virtual times, strictly increasing Seq, and the per-kind
+// field invariants downstream consumers rely on (submit events carry a
+// prompt chain, completes carry Wait <= Dur, scale events carry Active).
+// It is the check CI runs over every exported trace.
+func Validate(events []Event) error {
+	lastSeq := int64(-1)
+	for i, ev := range events {
+		if !knownKinds[ev.Kind] {
+			return fmt.Errorf("obs: event %d: unknown kind %q", i, ev.Kind)
+		}
+		if ev.T < 0 {
+			return fmt.Errorf("obs: event %d (%s): negative virtual time %v", i, ev.Kind, ev.T)
+		}
+		if ev.Seq <= lastSeq {
+			return fmt.Errorf("obs: event %d (%s): seq %d not increasing (prev %d)", i, ev.Kind, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Shard < 0 || ev.Replica < 0 {
+			return fmt.Errorf("obs: event %d (%s): negative shard/replica", i, ev.Kind)
+		}
+		switch ev.Kind {
+		case KindSubmit:
+			if len(ev.Sections) == 0 {
+				return fmt.Errorf("obs: event %d: submit without prompt sections", i)
+			}
+			if ev.Out < 0 {
+				return fmt.Errorf("obs: event %d: submit with negative out tokens", i)
+			}
+		case KindComplete:
+			if ev.Dur < 0 || ev.Wait < 0 || ev.Wait > ev.Dur {
+				return fmt.Errorf("obs: event %d: complete with wait %v outside latency %v", i, ev.Wait, ev.Dur)
+			}
+			if ev.Batch < 1 {
+				return fmt.Errorf("obs: event %d: complete with batch %d < 1", i, ev.Batch)
+			}
+		case KindCacheHit, KindCacheMiss:
+			if ev.Cached < 0 || ev.Cached > ev.Tokens {
+				return fmt.Errorf("obs: event %d: %s with cached %d outside total %d", i, ev.Kind, ev.Cached, ev.Tokens)
+			}
+		case KindCacheEvict, KindCacheFlush:
+			if ev.Tokens < 0 {
+				return fmt.Errorf("obs: event %d: %s with negative tokens", i, ev.Kind)
+			}
+		case KindScaleUp, KindScaleDown, KindScaleTick, KindConfig:
+			if ev.Active < 0 {
+				return fmt.Errorf("obs: event %d: %s with negative active count", i, ev.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event record (the JSON format Perfetto
+// and chrome://tracing load). Timestamps are MICROseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event container.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace exports the stream in Chrome trace_event format: one
+// process per shard, one thread lane per replica (plus a lane 0 queue/
+// control lane), a queue span and a serve span per completed request, and
+// counter tracks for active replicas, live cache tokens and autoscaler
+// utilization. Load the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	ordered := append([]Event(nil), events...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].T != ordered[b].T {
+			return ordered[a].T < ordered[b].T
+		}
+		return ordered[a].Seq < ordered[b].Seq
+	})
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	shards := map[int]bool{}
+	replicas := map[[2]int]bool{}
+	cacheLive := map[[2]int]int{} // reconstructed live tokens per shard/replica
+
+	for _, ev := range ordered {
+		shards[ev.Shard] = true
+		switch ev.Kind {
+		case KindComplete:
+			replicas[[2]int{ev.Shard, ev.Replica}] = true
+			name := fmt.Sprintf("req %d", ev.Req)
+			if ev.Agent != "" {
+				name = fmt.Sprintf("req %d (%s)", ev.Req, ev.Agent)
+			}
+			if ev.Wait > 0 {
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: name, Ph: "X", Cat: "queue",
+					Ts: us(ev.Arrival()), Dur: us(ev.Wait),
+					Pid: ev.Shard, Tid: 0,
+				})
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: name, Ph: "X", Cat: "serve",
+				Ts: us(ev.Start()), Dur: us(ev.T - ev.Start()),
+				Pid: ev.Shard, Tid: ev.Replica + 1,
+				Args: map[string]any{
+					"batch": ev.Batch, "prompt_tokens": ev.Tokens,
+					"cached_tokens": ev.Cached, "latency_ms": float64(ev.Dur) / 1e6,
+				},
+			})
+		case KindScaleTick:
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "utilization", Ph: "C", Ts: us(ev.T), Pid: ev.Shard,
+				Args: map[string]any{"util": ev.Util},
+			})
+		case KindConfig, KindScaleUp, KindScaleDown:
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "active replicas", Ph: "C", Ts: us(ev.T), Pid: ev.Shard,
+				Args: map[string]any{"active": ev.Active},
+			})
+		case KindCacheHit, KindCacheMiss, KindCacheEvict, KindCacheFlush:
+			key := [2]int{ev.Shard, ev.Replica}
+			replicas[key] = true
+			if ev.Kind == KindCacheHit || ev.Kind == KindCacheMiss {
+				cacheLive[key] += ev.Tokens - ev.Cached
+			} else {
+				cacheLive[key] -= ev.Tokens
+				if cacheLive[key] < 0 {
+					cacheLive[key] = 0
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("cache tokens r%d", ev.Replica), Ph: "C",
+				Ts: us(ev.T), Pid: ev.Shard,
+				Args: map[string]any{"tokens": cacheLive[key]},
+			})
+		}
+	}
+
+	// Name the processes and lanes so Perfetto's track list reads like the
+	// deployment: shard processes, a queue lane, replica lanes.
+	for shard := range shards {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: shard,
+			Args: map[string]any{"name": fmt.Sprintf("shard %d", shard)},
+		}, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: shard, Tid: 0,
+			Args: map[string]any{"name": "queue"},
+		})
+	}
+	for key := range replicas {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: key[0], Tid: key[1] + 1,
+			Args: map[string]any{"name": fmt.Sprintf("replica %d", key[1])},
+		})
+	}
+	// Metadata order must be deterministic too (map iteration above isn't):
+	// sort the trailing metadata block by (pid, tid, name).
+	meta := tr.TraceEvents[len(tr.TraceEvents)-2*len(shards)-len(replicas):]
+	sort.SliceStable(meta, func(a, b int) bool {
+		if meta[a].Pid != meta[b].Pid {
+			return meta[a].Pid < meta[b].Pid
+		}
+		if meta[a].Tid != meta[b].Tid {
+			return meta[a].Tid < meta[b].Tid
+		}
+		return meta[a].Name < meta[b].Name
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

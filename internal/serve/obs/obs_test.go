@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sec builds a virtual-time duration from fractional seconds.
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestRecorderSeqAndReset(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{Kind: KindConfig, Active: 1})
+	r.Event(Event{Kind: KindSubmit, Req: 1, Sections: []Section{{Name: "sys", Tokens: 4}}})
+	r.Event(Event{Kind: KindComplete, Req: 1, Batch: 1})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != int64(i) {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, i)
+		}
+	}
+	// Events returns a copy: recording more must not grow the snapshot.
+	r.Event(Event{Kind: KindScaleTick})
+	if len(evs) != 3 {
+		t.Fatalf("snapshot grew to %d events", len(evs))
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	r.Event(Event{Kind: KindConfig})
+	if got := r.Events()[0].Seq; got != 0 {
+		t.Fatalf("Seq after Reset = %d, want 0", got)
+	}
+}
+
+// handStream is a small stream with every integral exercised: two active
+// replicas from t=0, one completed request, one admission and one eviction.
+func handStream() []Event {
+	return []Event{
+		{Seq: 0, Kind: KindConfig, T: 0, Active: 2, Replica: 2, Batch: 1},
+		{Seq: 1, Kind: KindCacheMiss, T: sec(1.5), Replica: 0, Tokens: 100, Cached: 0},
+		{Seq: 2, Kind: KindCacheEvict, T: sec(2.2), Replica: 0, Tokens: 40},
+		{Seq: 3, Kind: KindComplete, T: sec(2.5), Replica: 0, Req: 1, Dur: sec(1.5), Wait: sec(0.5), Batch: 1, Tokens: 100},
+	}
+}
+
+func TestSampleHandComputed(t *testing.T) {
+	s := Sample(handStream(), time.Second)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 intervals", s.Len())
+	}
+	ns := func(sc float64) int64 { return int64(sec(sc)) }
+	// Request arrives at 1s, starts at 1.5s, completes at 2.5s.
+	wantQueue := []int64{0, ns(0.5), 0}
+	if !reflect.DeepEqual(s.QueueNs, wantQueue) {
+		t.Errorf("QueueNs = %v, want %v", s.QueueNs, wantQueue)
+	}
+	// Two replicas active over [0, 2.5s).
+	wantActive := []int64{2 * ns(1), 2 * ns(1), 2 * ns(0.5)}
+	if !reflect.DeepEqual(s.ActiveNs, wantActive) {
+		t.Errorf("ActiveNs = %v, want %v", s.ActiveNs, wantActive)
+	}
+	if !reflect.DeepEqual(s.Completions, []int64{0, 0, 1}) {
+		t.Errorf("Completions = %v", s.Completions)
+	}
+	if !reflect.DeepEqual(s.EvictedTokens, []int64{0, 0, 40}) {
+		t.Errorf("EvictedTokens = %v", s.EvictedTokens)
+	}
+	r, ok := s.Replicas["0/0"]
+	if !ok {
+		t.Fatalf("missing replica row 0/0 (rows: %v)", s.Replicas)
+	}
+	// In-flight over [1.5s, 2.5s).
+	wantBusy := []int64{0, ns(0.5), ns(0.5)}
+	if !reflect.DeepEqual(r.BusyNs, wantBusy) {
+		t.Errorf("BusyNs = %v, want %v", r.BusyNs, wantBusy)
+	}
+	// 100 tokens resident over [1.5s, 2.2s), 60 over [2.2s, 2.5s).
+	wantCache := []int64{0, 100 * ns(0.5), 100*ns(0.2) + 60*ns(0.3)}
+	if !reflect.DeepEqual(r.CacheTokNs, wantCache) {
+		t.Errorf("CacheTokNs = %v, want %v", r.CacheTokNs, wantCache)
+	}
+	if got := s.MeanQueueDepth(1); got != 0.5 {
+		t.Errorf("MeanQueueDepth(1) = %v, want 0.5", got)
+	}
+	if got := s.MeanActive(0); got != 2 {
+		t.Errorf("MeanActive(0) = %v, want 2", got)
+	}
+}
+
+// randomStream generates a plausible per-shard event stream for the merge
+// exactness test: a config, then interleaved admissions, completions, and
+// scale/evict churn. Deterministic under the given rng.
+func randomStream(rng *rand.Rand, shard, n int) []Event {
+	evs := []Event{{Kind: KindConfig, Shard: shard, Active: 1 + rng.Intn(3)}}
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		now += time.Duration(rng.Intn(900)+100) * time.Millisecond
+		replica := rng.Intn(3)
+		switch rng.Intn(5) {
+		case 0:
+			tok := rng.Intn(400) + 50
+			evs = append(evs, Event{Kind: KindCacheMiss, T: now, Shard: shard, Replica: replica, Tokens: tok, Cached: rng.Intn(tok)})
+		case 1:
+			evs = append(evs, Event{Kind: KindCacheEvict, T: now, Shard: shard, Replica: replica, Tokens: rng.Intn(200)})
+		case 2:
+			evs = append(evs, Event{Kind: KindScaleUp, T: now, Shard: shard, Active: 1 + rng.Intn(4)})
+		case 3:
+			evs = append(evs, Event{Kind: KindCacheFlush, T: now, Shard: shard, Replica: replica, Tokens: rng.Intn(500)})
+		default:
+			dur := time.Duration(rng.Intn(3000)+100) * time.Millisecond
+			wait := time.Duration(rng.Int63n(int64(dur) + 1))
+			evs = append(evs, Event{
+				Kind: KindComplete, T: now + dur, Shard: shard, Replica: replica,
+				Req: int64(i + 1), Dur: dur, Wait: wait, Batch: 1 + rng.Intn(4), Tokens: 100,
+			})
+		}
+	}
+	for i := range evs {
+		evs[i].Seq = int64(i)
+	}
+	return evs
+}
+
+// TestSeriesMergeExact is the metrics.Hist-style exactness contract:
+// sampling the union of two sources equals merging their separate samples,
+// provided the sources carry distinct shard tags — including when their
+// horizons differ.
+func TestSeriesMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomStream(rng, 0, 60)
+	b := randomStream(rng, 1, 25) // shorter horizon on purpose
+	both := append(append([]Event(nil), a...), b...)
+	for i := range both {
+		both[i].Seq = int64(i) // re-sequence the union stream
+	}
+	got := Sample(both, time.Second)
+	want := Sample(a, time.Second).Merge(Sample(b, time.Second))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sample(A∪B) != Sample(A).Merge(Sample(B))\n got: %+v\nwant: %+v", got, want)
+	}
+	// Merge must be symmetric too.
+	if rev := Sample(b, time.Second).Merge(Sample(a, time.Second)); !reflect.DeepEqual(got, rev) {
+		t.Fatalf("merge is order-dependent")
+	}
+}
+
+func TestSeriesMergeIntervalMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("merging different intervals did not panic")
+		}
+	}()
+	Sample(handStream(), time.Second).Merge(Sample(handStream(), 2*time.Second))
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 0, Kind: KindConfig, Active: 2, Replica: 4, Batch: 8, Tokens: 4096, Policy: "cache-affinity"},
+		{Seq: 1, Kind: KindSubmit, T: sec(0.25), Req: 1, Agent: "planner", Out: 64,
+			Sections: []Section{{Name: "sys", Text: "be brief", Tokens: 12}, {Name: "obs", Tokens: 40, Droppable: true}}},
+		{Seq: 2, Kind: KindRoute, T: sec(0.25), Req: 1, Replica: 1, Policy: "cache-affinity", Scores: []int{0, 12, -3, 0}},
+		{Seq: 3, Kind: KindComplete, T: sec(1.5), Req: 1, Replica: 1, Dur: sec(1.25), Wait: sec(0.25), Batch: 2, Tokens: 52, Cached: 12},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("wrote %d lines, want %d", n, len(events))
+	}
+	// Blank lines are tolerated on the way back in.
+	got, err := ReadJSONL(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+	if err := Validate(got); err != nil {
+		t.Fatalf("round-tripped stream fails validation: %v", err)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader(`{"kind":"config"}` + "\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 parse error, got %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	ok := Event{Seq: 0, Kind: KindConfig}
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"unknown kind", []Event{{Kind: Kind("bogus")}}, "unknown kind"},
+		{"negative time", []Event{{Kind: KindConfig, T: -1}}, "negative virtual time"},
+		{"seq not increasing", []Event{ok, {Seq: 0, Kind: KindScaleTick}}, "not increasing"},
+		{"negative replica", []Event{{Kind: KindConfig, Replica: -1}}, "negative shard/replica"},
+		{"submit without sections", []Event{{Kind: KindSubmit, Req: 1}}, "without prompt sections"},
+		{"submit negative out", []Event{{Kind: KindSubmit, Out: -1, Sections: []Section{{Name: "s"}}}}, "negative out"},
+		{"wait exceeds latency", []Event{{Kind: KindComplete, Dur: 1, Wait: 2, Batch: 1}}, "outside latency"},
+		{"batchless complete", []Event{{Kind: KindComplete, Dur: 2, Wait: 1}}, "batch 0"},
+		{"cached exceeds total", []Event{{Kind: KindCacheHit, Cached: 10, Tokens: 5}}, "outside total"},
+		{"negative evict", []Event{{Kind: KindCacheEvict, Tokens: -1}}, "negative tokens"},
+		{"negative active", []Event{{Kind: KindScaleUp, Active: -2}}, "negative active"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.evs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Validate(handStream()); err != nil {
+		t.Errorf("hand stream should validate: %v", err)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	var queueSpans, serveSpans, counters, meta int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			switch ev.Cat {
+			case "queue":
+				queueSpans++
+				if ev.Tid != 0 {
+					t.Errorf("queue span on tid %d, want lane 0", ev.Tid)
+				}
+				// Arrival 1s, wait 0.5s → ts 1e6 µs, dur 5e5 µs.
+				if ev.Ts != 1e6 || ev.Dur != 5e5 {
+					t.Errorf("queue span ts/dur = %v/%v, want 1e6/5e5", ev.Ts, ev.Dur)
+				}
+			case "serve":
+				serveSpans++
+				if ev.Tid != 1 {
+					t.Errorf("serve span on tid %d, want replica lane 1", ev.Tid)
+				}
+				if ev.Ts != 1.5e6 || ev.Dur != 1e6 {
+					t.Errorf("serve span ts/dur = %v/%v, want 1.5e6/1e6", ev.Ts, ev.Dur)
+				}
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if queueSpans != 1 || serveSpans != 1 {
+		t.Errorf("spans = %d queue / %d serve, want 1/1", queueSpans, serveSpans)
+	}
+	if counters == 0 {
+		t.Errorf("no counter tracks emitted")
+	}
+	// process_name + queue lane + one replica lane.
+	if meta != 3 {
+		t.Errorf("metadata records = %d, want 3", meta)
+	}
+	// Export must be byte-deterministic (metadata ordering is sorted).
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("Chrome trace export is not deterministic")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	evs := []Event{
+		{Seq: 0, Kind: KindConfig, Active: 1},
+		{Seq: 1, Kind: KindBatchStart, T: sec(1), Batch: 2},
+		{Seq: 2, Kind: KindBatchJoin, T: sec(1.2), Req: 2},
+		{Seq: 3, Kind: KindComplete, T: sec(2), Req: 1, Dur: sec(1.5), Wait: sec(0.5), Batch: 2, Tokens: 100, Cached: 40},
+		{Seq: 4, Kind: KindComplete, T: sec(2), Req: 2, Dur: sec(0.8), Wait: sec(0.1), Batch: 2, Tokens: 60, Cached: 0},
+		{Seq: 5, Kind: KindCacheEvict, T: sec(2.5), Tokens: 30},
+		{Seq: 6, Kind: KindCacheFlush, T: sec(3), Tokens: 70},
+		{Seq: 7, Kind: KindScaleTick, T: sec(3), Util: 0.1},
+		{Seq: 8, Kind: KindScaleDown, T: sec(3), Active: 0},
+	}
+	s := Summarize(evs, 1)
+	if s.Requests != 2 || s.Joins != 1 || s.Batches != 1 {
+		t.Errorf("requests/joins/batches = %d/%d/%d", s.Requests, s.Joins, s.Batches)
+	}
+	if s.Horizon != sec(3) {
+		t.Errorf("Horizon = %v", s.Horizon)
+	}
+	if s.EvictedTokens != 30 || s.FlushedTokens != 70 || s.Evictions != 1 || s.Flushes != 1 {
+		t.Errorf("churn = %d/%d tokens, %d/%d events", s.EvictedTokens, s.FlushedTokens, s.Evictions, s.Flushes)
+	}
+	if s.ScaleTicks != 1 || s.ScaleDowns != 1 || s.ScaleUps != 0 {
+		t.Errorf("scale counts = %d/%d/%d", s.ScaleTicks, s.ScaleUps, s.ScaleDowns)
+	}
+	if len(s.Slowest) != 1 || s.Slowest[0].Req != 1 {
+		t.Fatalf("Slowest = %+v, want just req 1", s.Slowest)
+	}
+	if got := s.Slowest[0].Service(); got != sec(1) {
+		t.Errorf("Service = %v, want 1s", got)
+	}
+	if got := s.MeanLatency(); got != sec(1.15) {
+		t.Errorf("MeanLatency = %v, want 1.15s", got)
+	}
+	if got := s.CacheHitRate(); got != 0.25 {
+		t.Errorf("CacheHitRate = %v, want 0.25", got)
+	}
+	wantShare := float64(sec(0.6)) / float64(sec(2.3))
+	if got := s.QueueShare(); got != wantShare {
+		t.Errorf("QueueShare = %v, want %v", got, wantShare)
+	}
+}
+
+func TestAddSpanBoundaries(t *testing.T) {
+	// A span exactly on an interval edge contributes nothing to the next
+	// interval; a span crossing an edge splits exactly.
+	acc := addSpan(nil, time.Second, 0, sec(1), 1)
+	if !reflect.DeepEqual(acc, []int64{int64(sec(1))}) {
+		t.Errorf("edge-aligned span: %v", acc)
+	}
+	acc = addSpan(nil, time.Second, sec(0.75), sec(2.25), 3)
+	want := []int64{3 * int64(sec(0.25)), 3 * int64(sec(1)), 3 * int64(sec(0.25))}
+	if !reflect.DeepEqual(acc, want) {
+		t.Errorf("crossing span: %v, want %v", acc, want)
+	}
+	// Degenerate spans are dropped.
+	if got := addSpan(nil, time.Second, sec(2), sec(2), 1); len(got) != 0 {
+		t.Errorf("empty span allocated: %v", got)
+	}
+}

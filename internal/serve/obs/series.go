@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Series is a fixed-interval virtual-time sampling of one recorded event
+// stream: per-interval integrals and counts of the quantities the fig8–12
+// analyses kept re-deriving by hand — queue depth, active replicas,
+// cache-token occupancy and batch occupancy per replica.
+//
+// Like metrics.Hist, a Series merges EXACTLY: every field is either a
+// per-interval sum of per-request (or per-replica) contributions or a
+// per-interval count, so Merge(a, b) equals sampling the union of the two
+// underlying streams — provided the streams come from distinct sources
+// (different endpoints must carry distinct Shard tags, or be sampled
+// separately and merged, the intended cross-episode path).
+//
+// Integrals are stored as nanosecond·unit sums per interval: QueueNs[i] is
+// the integral of queue depth over interval i, so dividing by Interval
+// yields the mean depth. This is what makes merging exact — means don't
+// sum, integrals do.
+type Series struct {
+	Interval time.Duration `json:"interval"`
+	// Queue depth integral per interval: sum over requests of the overlap
+	// of their [arrival, service start) span with the interval.
+	QueueNs []int64 `json:"queue_ns"`
+	// Active-replica integral per interval (autoscaled step function; a
+	// fixed endpoint contributes a constant).
+	ActiveNs []int64 `json:"active_ns"`
+	// Completions per interval (by completion time).
+	Completions []int64 `json:"completions"`
+	// Tokens evicted (capacity + flush) per interval.
+	EvictedTokens []int64 `json:"evicted_tokens"`
+	// Per-replica rows, keyed "shard/replica".
+	Replicas map[string]*ReplicaSeries `json:"replicas,omitempty"`
+}
+
+// ReplicaSeries is one replica's per-interval occupancy rows.
+type ReplicaSeries struct {
+	// Batch-occupancy integral: sum over requests served on this replica of
+	// the overlap of their [service start, completion) span. Dividing by
+	// Interval gives mean in-flight sequences.
+	BusyNs []int64 `json:"busy_ns"`
+	// Live cache-token integral, reconstructed from the admission/evict/
+	// flush token deltas. Dividing by Interval gives mean resident tokens.
+	CacheTokNs []int64 `json:"cache_tok_ns"`
+}
+
+// Len reports the number of sampled intervals.
+func (s Series) Len() int { return len(s.Completions) }
+
+// replicaKey names a per-replica row.
+func replicaKey(shard, replica int) string { return fmt.Sprintf("%d/%d", shard, replica) }
+
+// grow extends a slice with zeros to at least n entries.
+func grow(s []int64, n int) []int64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// addSpan accumulates weight × overlap([from, to), interval_i) into acc,
+// growing it as needed, and returns it.
+func addSpan(acc []int64, interval time.Duration, from, to time.Duration, weight int64) []int64 {
+	if to <= from || interval <= 0 {
+		return acc
+	}
+	lo := int(from / interval)
+	hi := int((to - 1) / interval)
+	acc = grow(acc, hi+1)
+	for i := lo; i <= hi; i++ {
+		winLo := time.Duration(i) * interval
+		winHi := winLo + interval
+		a, b := from, to
+		if a < winLo {
+			a = winLo
+		}
+		if b > winHi {
+			b = winHi
+		}
+		acc[i] += weight * int64(b-a)
+	}
+	return acc
+}
+
+// Sample reduces a recorded event stream to a fixed-interval Series.
+// Events may arrive in any order; they are processed in (T, Seq) order.
+// interval <= 0 defaults to one second.
+func Sample(events []Event, interval time.Duration) Series {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := Series{Interval: interval, Replicas: map[string]*ReplicaSeries{}}
+
+	ordered := append([]Event(nil), events...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].T != ordered[b].T {
+			return ordered[a].T < ordered[b].T
+		}
+		return ordered[a].Seq < ordered[b].Seq
+	})
+
+	// Step-function trackers, keyed per source (shard) and per replica row:
+	// active-replica level since the last change, and live cache tokens.
+	type level struct {
+		since time.Duration
+		val   int64
+	}
+	active := map[int]*level{}      // per shard
+	cache := map[[2]int]*level{}    // per shard/replica
+	ends := map[int]time.Duration{} // per-shard horizon: max event time seen
+	// Step functions close at their own shard's horizon, not the global one:
+	// that is what keeps Merge exact when sources of different lengths are
+	// combined (a short source must not have its last level stretched to a
+	// longer source's horizon).
+	row := func(key string) *ReplicaSeries {
+		r, ok := s.Replicas[key]
+		if !ok {
+			r = &ReplicaSeries{}
+			s.Replicas[key] = r
+		}
+		return r
+	}
+	flushActive := func(l *level, to time.Duration) {
+		s.ActiveNs = addSpan(s.ActiveNs, interval, l.since, to, l.val)
+		l.since = to
+	}
+	flushCache := func(key [2]int, l *level, to time.Duration) {
+		r := row(replicaKey(key[0], key[1]))
+		r.CacheTokNs = addSpan(r.CacheTokNs, interval, l.since, to, l.val)
+		l.since = to
+	}
+
+	for _, ev := range ordered {
+		if ev.T > ends[ev.Shard] {
+			ends[ev.Shard] = ev.T
+		}
+		switch ev.Kind {
+		case KindConfig:
+			active[ev.Shard] = &level{since: ev.T, val: int64(ev.Active)}
+		case KindScaleUp, KindScaleDown:
+			l, ok := active[ev.Shard]
+			if !ok {
+				l = &level{since: ev.T}
+				active[ev.Shard] = l
+			}
+			flushActive(l, ev.T)
+			l.val = int64(ev.Active)
+		case KindComplete:
+			idx := int(ev.T / interval)
+			s.Completions = grow(s.Completions, idx+1)
+			s.Completions[idx]++
+			s.QueueNs = addSpan(s.QueueNs, interval, ev.Arrival(), ev.Start(), 1)
+			r := row(replicaKey(ev.Shard, ev.Replica))
+			r.BusyNs = addSpan(r.BusyNs, interval, ev.Start(), ev.T, 1)
+		case KindCacheHit, KindCacheMiss:
+			// Admission grows the replica's resident footprint by exactly the
+			// uncached suffix (prefix chains are prefix-closed).
+			key := [2]int{ev.Shard, ev.Replica}
+			l, ok := cache[key]
+			if !ok {
+				l = &level{since: ev.T}
+				cache[key] = l
+			}
+			flushCache(key, l, ev.T)
+			l.val += int64(ev.Tokens - ev.Cached)
+		case KindCacheEvict, KindCacheFlush:
+			idx := int(ev.T / interval)
+			s.EvictedTokens = grow(s.EvictedTokens, idx+1)
+			s.EvictedTokens[idx] += int64(ev.Tokens)
+			key := [2]int{ev.Shard, ev.Replica}
+			l, ok := cache[key]
+			if !ok {
+				l = &level{since: ev.T}
+				cache[key] = l
+			}
+			flushCache(key, l, ev.T)
+			l.val -= int64(ev.Tokens)
+			if l.val < 0 {
+				l.val = 0
+			}
+		}
+	}
+
+	// Close every step function at its shard's horizon.
+	for shard, l := range active {
+		flushActive(l, ends[shard])
+	}
+	for key, l := range cache {
+		flushCache(key, l, ends[key[0]])
+	}
+
+	// Pad every row to a common length so Merge is a clean zip.
+	n := s.Len()
+	for _, f := range []*[]int64{&s.QueueNs, &s.ActiveNs, &s.EvictedTokens} {
+		if len(*f) > n {
+			n = len(*f)
+		}
+	}
+	for _, r := range s.Replicas {
+		if len(r.BusyNs) > n {
+			n = len(r.BusyNs)
+		}
+		if len(r.CacheTokNs) > n {
+			n = len(r.CacheTokNs)
+		}
+	}
+	s.Completions = grow(s.Completions, n)
+	s.QueueNs = grow(s.QueueNs, n)
+	s.ActiveNs = grow(s.ActiveNs, n)
+	s.EvictedTokens = grow(s.EvictedTokens, n)
+	for _, r := range s.Replicas {
+		r.BusyNs = grow(r.BusyNs, n)
+		r.CacheTokNs = grow(r.CacheTokNs, n)
+	}
+	return s
+}
+
+// sumInto adds b into a elementwise, growing a as needed.
+func sumInto(a, b []int64) []int64 {
+	a = grow(a, len(b))
+	for i, v := range b {
+		a[i] += v
+	}
+	return a
+}
+
+// Merge combines two series sampled at the same interval: elementwise sums
+// everywhere, replica rows unioned by key. Panics on interval mismatch —
+// merging incomparable samplings is a caller bug, exactly like merging
+// histograms with different buckets would be.
+func (s Series) Merge(o Series) Series {
+	if s.Interval == 0 {
+		s.Interval = o.Interval
+	}
+	if o.Interval != 0 && o.Interval != s.Interval {
+		panic("obs: merging series with different sampling intervals")
+	}
+	out := Series{Interval: s.Interval, Replicas: map[string]*ReplicaSeries{}}
+	out.QueueNs = sumInto(sumInto(nil, s.QueueNs), o.QueueNs)
+	out.ActiveNs = sumInto(sumInto(nil, s.ActiveNs), o.ActiveNs)
+	out.Completions = sumInto(sumInto(nil, s.Completions), o.Completions)
+	out.EvictedTokens = sumInto(sumInto(nil, s.EvictedTokens), o.EvictedTokens)
+	for key, r := range s.Replicas {
+		out.Replicas[key] = &ReplicaSeries{
+			BusyNs:     sumInto(nil, r.BusyNs),
+			CacheTokNs: sumInto(nil, r.CacheTokNs),
+		}
+	}
+	for key, r := range o.Replicas {
+		dst, ok := out.Replicas[key]
+		if !ok {
+			dst = &ReplicaSeries{}
+			out.Replicas[key] = dst
+		}
+		dst.BusyNs = sumInto(dst.BusyNs, r.BusyNs)
+		dst.CacheTokNs = sumInto(dst.CacheTokNs, r.CacheTokNs)
+	}
+	// Normalize lengths across all rows (sources of different horizons).
+	n := 0
+	for _, f := range [][]int64{out.QueueNs, out.ActiveNs, out.Completions, out.EvictedTokens} {
+		if len(f) > n {
+			n = len(f)
+		}
+	}
+	for _, r := range out.Replicas {
+		if len(r.BusyNs) > n {
+			n = len(r.BusyNs)
+		}
+		if len(r.CacheTokNs) > n {
+			n = len(r.CacheTokNs)
+		}
+	}
+	out.QueueNs = grow(out.QueueNs, n)
+	out.ActiveNs = grow(out.ActiveNs, n)
+	out.Completions = grow(out.Completions, n)
+	out.EvictedTokens = grow(out.EvictedTokens, n)
+	for _, r := range out.Replicas {
+		r.BusyNs = grow(r.BusyNs, n)
+		r.CacheTokNs = grow(r.CacheTokNs, n)
+	}
+	return out
+}
+
+// MeanQueueDepth reports interval i's time-averaged queue depth.
+func (s Series) MeanQueueDepth(i int) float64 {
+	if i < 0 || i >= len(s.QueueNs) || s.Interval <= 0 {
+		return 0
+	}
+	return float64(s.QueueNs[i]) / float64(s.Interval)
+}
+
+// MeanActive reports interval i's time-averaged active replica count.
+func (s Series) MeanActive(i int) float64 {
+	if i < 0 || i >= len(s.ActiveNs) || s.Interval <= 0 {
+		return 0
+	}
+	return float64(s.ActiveNs[i]) / float64(s.Interval)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// ReqSummary is one completed request as traceview reports it.
+type ReqSummary struct {
+	Req     int64
+	Agent   string
+	Shard   int
+	Replica int
+	Done    time.Duration // completion time
+	Latency time.Duration // as-served end-to-end
+	Wait    time.Duration // queueing share
+	Batch   int
+	Tokens  int
+	Cached  int
+}
+
+// Service reports the in-batch share of the request's latency.
+func (r ReqSummary) Service() time.Duration { return r.Latency - r.Wait }
+
+// Summary is traceview's reduction of one event stream: volume, the
+// queue-vs-service latency split, the slowest requests, cache churn and
+// autoscaler activity.
+type Summary struct {
+	Events   int
+	Requests int // completed requests
+	Joins    int // continuous-batching joins
+	Batches  int // batch launches
+	Horizon  time.Duration
+
+	TotalLatency time.Duration
+	TotalWait    time.Duration
+
+	PromptTokens int
+	CachedTokens int
+
+	EvictedTokens int // capacity evictions
+	FlushedTokens int // scale-down flushes
+	Evictions     int
+	Flushes       int
+
+	ScaleTicks, ScaleUps, ScaleDowns int
+
+	Slowest []ReqSummary // top-K by latency, slowest first
+}
+
+// MeanLatency reports the average as-served end-to-end latency.
+func (s Summary) MeanLatency() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Requests)
+}
+
+// QueueShare reports the fraction of total latency spent queueing.
+func (s Summary) QueueShare() float64 {
+	if s.TotalLatency <= 0 {
+		return 0
+	}
+	return float64(s.TotalWait) / float64(s.TotalLatency)
+}
+
+// CacheHitRate reports the warm fraction of submitted prompt tokens.
+func (s Summary) CacheHitRate() float64 {
+	if s.PromptTokens == 0 {
+		return 0
+	}
+	return float64(s.CachedTokens) / float64(s.PromptTokens)
+}
+
+// Summarize reduces an event stream, keeping the topK slowest requests.
+func Summarize(events []Event, topK int) Summary {
+	s := Summary{Events: len(events)}
+	for _, ev := range events {
+		if ev.T > s.Horizon {
+			s.Horizon = ev.T
+		}
+		switch ev.Kind {
+		case KindComplete:
+			s.Requests++
+			s.TotalLatency += ev.Dur
+			s.TotalWait += ev.Wait
+			s.PromptTokens += ev.Tokens
+			s.CachedTokens += ev.Cached
+			s.Slowest = append(s.Slowest, ReqSummary{
+				Req: ev.Req, Agent: ev.Agent, Shard: ev.Shard, Replica: ev.Replica,
+				Done: ev.T, Latency: ev.Dur, Wait: ev.Wait,
+				Batch: ev.Batch, Tokens: ev.Tokens, Cached: ev.Cached,
+			})
+		case KindBatchJoin:
+			s.Joins++
+		case KindBatchStart:
+			s.Batches++
+		case KindCacheEvict:
+			s.Evictions++
+			s.EvictedTokens += ev.Tokens
+		case KindCacheFlush:
+			s.Flushes++
+			s.FlushedTokens += ev.Tokens
+		case KindScaleTick:
+			s.ScaleTicks++
+		case KindScaleUp:
+			s.ScaleUps++
+		case KindScaleDown:
+			s.ScaleDowns++
+		}
+	}
+	sort.SliceStable(s.Slowest, func(a, b int) bool {
+		if s.Slowest[a].Latency != s.Slowest[b].Latency {
+			return s.Slowest[a].Latency > s.Slowest[b].Latency
+		}
+		return s.Slowest[a].Req < s.Slowest[b].Req
+	})
+	if topK > 0 && len(s.Slowest) > topK {
+		s.Slowest = s.Slowest[:topK]
+	}
+	return s
+}

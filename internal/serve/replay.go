@@ -57,7 +57,15 @@ func (r ReplayResult) Throughput() float64 {
 // break on submission order, so the replay is a pure function of
 // (cfg, reqs).
 func Replay(cfg Config, reqs []Request) ReplayResult {
-	e := New(cfg)
+	return replayOn(New(cfg), reqs)
+}
+
+// replayOn is Replay's discrete-event loop over an already built endpoint
+// (Replay and ReplayObserved share it). When a flight-recorder sink is
+// attached, submit events for the whole trace are emitted up front in
+// arrival order — so an exported replay trace is itself replayable — and
+// every batch launch emits route/cache/batch_start/complete events.
+func replayOn(e *Endpoint, reqs []Request) ReplayResult {
 	res := ReplayResult{Completions: make([]Completion, len(reqs))}
 	if len(reqs) == 0 {
 		return res
@@ -91,6 +99,13 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 		}
 		return order[a] < order[b]
 	})
+
+	if e.sink != nil {
+		for _, qi := range order {
+			rq := reqs[qi]
+			e.emitSubmit(int64(qi)+1, rq.Agent, rq.Arrival, rq.Prompt, rq.OutTokens, rq.Priority)
+		}
+	}
 
 	var queue []int // request indices, kept sorted by (Priority, Arrival, index)
 	nextArr := 0
@@ -166,12 +181,27 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 			for bi, qi := range batch {
 				bkeys[bi], outs[bi] = keys[qi], reqs[qi].OutTokens
 			}
+			var ri, evBefore int
+			if e.sink != nil {
+				ri = e.rindex(r)
+				e.emitRoute(int64(batch[0])+1, now, r, bkeys[0])
+				_, _, evBefore = r.cache.stats()
+			}
 			service, members, totalEff, maxOut := e.admitBatch(r, bkeys, outs)
 			end := now + service
 			e.sealFrontier(r)
 			r.startBatch(now, end, n, totalEff, maxOut, service)
 			e.busyAcc += service
 			res.Batches++
+			if e.sink != nil {
+				for bi, qi := range batch {
+					e.emitCache(int64(qi)+1, now, ri, members[bi].cached, members[bi].total)
+				}
+				if _, _, evAfter := r.cache.stats(); evAfter > evBefore {
+					e.emitEvict(now, ri, evAfter-evBefore)
+				}
+				e.emitBatchStart(now, ri, n, totalEff, maxOut, service)
+			}
 			for bi, qi := range batch {
 				rq := reqs[qi]
 				wait := now - rq.Arrival
@@ -182,6 +212,9 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 				}
 				r.lats = append(r.lats, end-rq.Arrival)
 				e.record(service, wait, n, members[bi].cached, members[bi].total)
+				if e.sink != nil {
+					e.emitComplete(int64(qi)+1, rq.Agent, ri, end, end-rq.Arrival, wait, n, members[bi].cached, members[bi].total)
+				}
 			}
 			if end > res.Makespan {
 				res.Makespan = end

@@ -93,14 +93,16 @@ type Config struct {
 	// evict (see RoutingPolicy), which is what keeps cache-affinity from
 	// collapsing a shared-preamble workload onto one replica.
 	CacheTokens int
-	// CacheEntries sizes each replica's prefix cache in cached
-	// section-prefix ENTRIES (LRU).
+	// CacheEntries is the deprecated entry-count fallback to CacheTokens:
+	// it bounds each replica's prefix cache by the NUMBER of cached
+	// section-prefix entries (LRU), not by the tokens they pin.
 	//
-	// Deprecated: entry counts ignore how many tokens each entry pins,
-	// so capacity costs nothing and routing cannot see memory pressure;
-	// prefer CacheTokens. Kept as the default model for byte-compatible
-	// reproduction of the fig8–fig10 reports. Both budgets may be set;
-	// caching is disabled only when both are 0.
+	// Deprecated: prefer CacheTokens. An entry count ignores how many
+	// tokens each entry pins, so capacity costs nothing and routing cannot
+	// see memory pressure. The field is kept only for byte-compatible
+	// reproduction of the fig8–fig10 reports, which predate token budgets.
+	// Both budgets may be set (each is enforced independently); caching is
+	// disabled only when both are 0.
 	CacheEntries int
 	// Identity selects how cached prefixes are keyed: IdentityShape
 	// (default — (section name, token count) chains) or IdentityContent
