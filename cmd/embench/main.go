@@ -108,6 +108,22 @@ func main() {
 			"re-run a recorded JSONL event log open-loop through the serve replayer (uses the -serve-* endpoint flags)")
 		srvAgg = flag.Bool("serve-aggregate", false,
 			"step-phase query aggregation for decentralized workloads: batch all agents' plan calls of a step explicitly (Rec. 1; no effect on single-agent/centralized systems)")
+		srvPrefillReplicas = flag.Int("serve-prefill-replicas", 0,
+			"disaggregated serving: prefill-pool replica count (set together with -serve-decode-replicas; leaves -serve-replicas 0)")
+		srvPrefillBatch = flag.Int("serve-prefill-batch", 1,
+			"disaggregated serving: prefill pool's max sequences per continuous batch")
+		srvPrefillWindow = flag.Duration("serve-prefill-window", 0,
+			"disaggregated serving: prefill pool's batching window")
+		srvDecodeReplicas = flag.Int("serve-decode-replicas", 0,
+			"disaggregated serving: decode-pool replica count (set together with -serve-prefill-replicas)")
+		srvDecodeBatch = flag.Int("serve-decode-batch", 1,
+			"disaggregated serving: decode pool's max sequences per continuous batch")
+		srvDecodeWindow = flag.Duration("serve-decode-window", 0,
+			"disaggregated serving: decode pool's batching window")
+		srvHandoff = flag.String("serve-handoff", "",
+			"disaggregated serving: prefill→decode KV-transfer cost, 'lat=40ms,rate=200000' (''/'off' = free)")
+		srvPipeline = flag.Bool("serve-pipeline", false,
+			"async agent pipeline: overlap each step's sensing/retrieval with the previous plan call's decode window")
 		list = flag.Bool("list", false, "list workloads and experiments")
 	)
 	flag.Parse()
@@ -227,6 +243,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		handoff, err := embench.ParseHandoff(*srvHandoff)
+		if err != nil {
+			fatal(err)
+		}
 		f, err := os.Open(*replayTrace)
 		if err != nil {
 			fatal(err)
@@ -239,18 +259,32 @@ func main() {
 		if err := obs.Validate(events); err != nil {
 			fatal(err)
 		}
-		reqs := serve.TraceRequests(events)
+		reqs, err := serve.TraceRequests(events)
+		if err != nil {
+			fatal(err)
+		}
 		if len(reqs) == 0 {
 			fatal(fmt.Errorf("%s holds no submit events — nothing to replay", *replayTrace))
 		}
+		disagg := *srvPrefillReplicas > 0 || *srvDecodeReplicas > 0
 		replicas := *srvReplicas
-		if replicas <= 0 {
+		if replicas <= 0 && !disagg {
 			replicas = 1
 		}
 		sc := serve.Config{
 			Replicas: replicas, Routing: routing, MaxBatch: *srvBatch,
 			MaxWait: *srvWait, CacheEntries: *srvCache, CacheTokens: *srvCacheTok,
 			Identity: identity,
+			Prefill: serve.PoolConfig{
+				Replicas: *srvPrefillReplicas, MaxBatch: *srvPrefillBatch, MaxWait: *srvPrefillWindow,
+			},
+			Decode: serve.PoolConfig{
+				Replicas: *srvDecodeReplicas, MaxBatch: *srvDecodeBatch, MaxWait: *srvDecodeWindow,
+			},
+			Handoff: handoff,
+		}
+		if err := sc.Validate(); err != nil {
+			fatal(err)
 		}
 		var rec *obs.Recorder
 		var res serve.ReplayResult
@@ -281,6 +315,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		handoff, err := embench.ParseHandoff(*srvHandoff)
+		if err != nil {
+			fatal(err)
+		}
 		// Negative serving sizes are configuration mistakes: fail with a
 		// clear message instead of silently clamping to a default.
 		for _, v := range []struct {
@@ -292,23 +330,41 @@ func main() {
 			{"serve-cache-tokens", *srvCacheTok},
 			{"serve-batch", *srvBatch},
 			{"serve-fleet", *srvFleet},
+			{"serve-prefill-replicas", *srvPrefillReplicas},
+			{"serve-prefill-batch", *srvPrefillBatch},
+			{"serve-decode-replicas", *srvDecodeReplicas},
+			{"serve-decode-batch", *srvDecodeBatch},
 		} {
 			if v.value < 0 {
 				fatal(fmt.Errorf("-%s must be >= 0, got %d", v.name, v.value))
 			}
 		}
-		opt := embench.Options{Seed: *seed, Parallel: *parallel, Aggregate: *srvAgg}
+		disagg := *srvPrefillReplicas > 0 || *srvDecodeReplicas > 0
+		opt := embench.Options{
+			Seed: *seed, Parallel: *parallel, Aggregate: *srvAgg,
+			Pipeline: *srvPipeline,
+		}
 		sc := embench.ServeConfig{
 			Replicas: *srvReplicas, Routing: routing, MaxBatch: *srvBatch,
 			MaxWait: *srvWait, CacheEntries: *srvCache, CacheTokens: *srvCacheTok,
 			Identity: identity,
+			Prefill: serve.PoolConfig{
+				Replicas: *srvPrefillReplicas, MaxBatch: *srvPrefillBatch, MaxWait: *srvPrefillWindow,
+			},
+			Decode: serve.PoolConfig{
+				Replicas: *srvDecodeReplicas, MaxBatch: *srvDecodeBatch, MaxWait: *srvDecodeWindow,
+			},
+			Handoff: handoff,
+		}
+		if err := sc.Validate(); err != nil {
+			fatal(err)
 		}
 		// The flight recorder attaches to the shared endpoint, so tracing a
 		// run requires one (dedicated per-agent serving has no sink seam).
 		var rec *obs.Recorder
 		if *traceJSONL != "" || *traceOut != "" {
-			if *srvFleet <= 0 && *srvReplicas <= 0 {
-				fatal(fmt.Errorf("-trace-jsonl/-trace-out need a shared endpoint: set -serve-fleet or -serve-replicas"))
+			if *srvFleet <= 0 && *srvReplicas <= 0 && !disagg {
+				fatal(fmt.Errorf("-trace-jsonl/-trace-out need a shared endpoint: set -serve-fleet, -serve-replicas or the -serve-prefill-*/-serve-decode-* pools"))
 			}
 			rec = obs.NewRecorder()
 			opt.Sink = rec
@@ -350,13 +406,16 @@ func main() {
 			}
 			return
 		}
-		if *srvReplicas > 0 {
+		if *srvReplicas > 0 || disagg {
 			opt.Serve = &sc
 		} else {
 			// Serve tuning flags do nothing without an endpoint; say so
 			// instead of silently running with dedicated serving.
+			// -serve-aggregate and -serve-pipeline stay out of the warning:
+			// both also work against dedicated serving.
 			flag.Visit(func(f *flag.Flag) {
-				if strings.HasPrefix(f.Name, "serve-") && f.Name != "serve-replicas" && f.Name != "serve-aggregate" {
+				if strings.HasPrefix(f.Name, "serve-") && f.Name != "serve-replicas" &&
+					f.Name != "serve-aggregate" && f.Name != "serve-pipeline" {
 					fmt.Fprintf(os.Stderr,
 						"embench: -%s has no effect without -serve-replicas > 0 (running with dedicated serving)\n", f.Name)
 				}

@@ -93,6 +93,15 @@ type AutoscalePolicy = serve.Autoscale
 // error the returned policy is the zero value, not a usable fallback.
 func ParseAutoscale(s string) (AutoscalePolicy, error) { return serve.ParseAutoscale(s) }
 
+// HandoffCost prices the prefill→decode KV-cache transfer of a
+// disaggregated deployment; the zero value is free. See serve.Handoff.
+type HandoffCost = serve.Handoff
+
+// ParseHandoff converts a handoff spec (""/"off" = free, or
+// "lat=40ms,rate=200000"). On error the returned cost is the zero value,
+// not a usable fallback.
+func ParseHandoff(s string) (HandoffCost, error) { return serve.ParseHandoff(s) }
+
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
 func Workloads() []string {
@@ -213,6 +222,10 @@ var experiments = map[string]func(cfg bench.Config) experimentOut{
 	"fig12": func(cfg bench.Config) experimentOut {
 		rep := bench.Fig12(cfg)
 		return experimentOut{report: bench.RenderFig12(rep), metrics: bench.Fig12Metrics(rep)}
+	},
+	"fig13": func(cfg bench.Config) experimentOut {
+		rep := bench.Fig13(cfg)
+		return experimentOut{report: bench.RenderFig13(rep), metrics: bench.Fig13Metrics(rep)}
 	},
 	"opts": plain(func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"embench/internal/serve"
 )
 
 func TestWorkloadsList(t *testing.T) {
@@ -56,7 +58,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"calibrate", "fig10", "fig11", "fig12", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
+	want := []string{"calibrate", "fig10", "fig11", "fig12", "fig13", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
 	if len(exps) != len(want) {
 		t.Fatalf("experiments = %v", exps)
 	}
@@ -122,5 +124,53 @@ func TestExperimentFig12InvalidConfig(t *testing.T) {
 	}
 	if !strings.Contains(out, "bursty") || !strings.Contains(out, "autoscaled") {
 		t.Fatalf("fig12 output unexpected:\n%s", out)
+	}
+}
+
+// TestParseHandoffSurface pins the -serve-handoff parsing surface the CLI
+// leans on: empty/"off" mean a free handoff, valid specs round-trip, and
+// malformed specs error instead of silently pricing the transfer at zero.
+func TestParseHandoffSurface(t *testing.T) {
+	for _, s := range []string{"", "off", "  off  "} {
+		h, err := ParseHandoff(s)
+		if err != nil || h != (HandoffCost{}) {
+			t.Errorf("ParseHandoff(%q) = %+v, %v; want free handoff", s, h, err)
+		}
+	}
+	h, err := ParseHandoff("lat=40ms,rate=200000")
+	if err != nil || h.Latency != 40*time.Millisecond || h.TokensPerSec != 200000 {
+		t.Fatalf("ParseHandoff(valid) = %+v, %v", h, err)
+	}
+	for _, s := range []string{"lat=-1s", "rate=-5", "lat=abc", "bw=9", "lat"} {
+		if _, err := ParseHandoff(s); err == nil {
+			t.Errorf("ParseHandoff(%q) accepted a malformed spec", s)
+		}
+	}
+}
+
+// TestServeConfigDisaggValidation pins the validation the CLI's
+// -serve-prefill-*/-serve-decode-* flags run through (main.go calls
+// ServeConfig.Validate before building an endpoint): half-configured or
+// negative pool setups must be rejected with an error, never defaulted.
+func TestServeConfigDisaggValidation(t *testing.T) {
+	ok := ServeConfig{
+		Prefill: serve.PoolConfig{Replicas: 2, MaxBatch: 4},
+		Decode:  serve.PoolConfig{Replicas: 2, MaxBatch: 4},
+		Handoff: HandoffCost{Latency: 10 * time.Millisecond, TokensPerSec: 1e5},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid disaggregated config rejected: %v", err)
+	}
+	for name, sc := range map[string]ServeConfig{
+		"prefill only":         {Prefill: serve.PoolConfig{Replicas: 2}},
+		"decode only":          {Decode: serve.PoolConfig{Replicas: 2}},
+		"pools plus mono":      {Replicas: 2, Prefill: serve.PoolConfig{Replicas: 1}, Decode: serve.PoolConfig{Replicas: 1}},
+		"negative prefill":     {Prefill: serve.PoolConfig{Replicas: -1}, Decode: serve.PoolConfig{Replicas: 2}},
+		"negative decode wait": {Prefill: serve.PoolConfig{Replicas: 1}, Decode: serve.PoolConfig{Replicas: 1, MaxWait: -time.Second}},
+		"negative handoff":     {Prefill: serve.PoolConfig{Replicas: 1}, Decode: serve.PoolConfig{Replicas: 1}, Handoff: HandoffCost{Latency: -time.Millisecond}},
+	} {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, sc)
+		}
 	}
 }

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func fig13TestConfig() Config {
+	return Config{Episodes: 2, Seed: 11, Parallelism: 1}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rep := Fig13(fig13TestConfig())
+	want := len(Fig13Agents) * len(fig13Deployments) * 2
+	if len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+	for i, r := range rep.Rows {
+		if r.TaskLatency <= 0 || r.SuccessRate < 0 || r.SuccessRate > 1 {
+			t.Fatalf("row %d implausible: %+v", i, r)
+		}
+		if r.Replicas != fig13Replicas {
+			t.Fatalf("row %d spends %d replicas, want %d", i, r.Replicas, fig13Replicas)
+		}
+		if r.Deploy == "monolithic" {
+			if r.PrefillWait != 0 || r.DecodeWait != 0 || r.HandoffTime != 0 {
+				t.Fatalf("monolithic row %d has stage fields: %+v", i, r)
+			}
+		} else if r.HandoffTime <= 0 {
+			t.Fatalf("disaggregated row %d priced no handoff: %+v", i, r)
+		}
+	}
+	if RenderFig13(rep) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestFig13Regimes is the acceptance criterion, both halves:
+//
+//   - pipelining hides prefill-side preparation: on the balanced split,
+//     turning the async pipeline on lowers task latency (the decode stream
+//     of step t absorbs the sensing/retrieval of step t+1);
+//   - decode contention dominates: at the larger team, the decode-starved
+//     split queues predominantly on its single decode replica and ends up
+//     slower than the balanced split.
+func TestFig13Regimes(t *testing.T) {
+	m := Fig13Metrics(Fig13(fig13TestConfig()))
+	// Pipelining may legitimately lose a little at the contended team —
+	// earlier submissions reshape the shared join windows — so only the
+	// existence of a hiding regime is asserted, not "never slower".
+	hidden := false
+	for _, n := range Fig13Agents {
+		if m[keyT(n)+"_pipeline_speedup"] > 1.01 {
+			hidden = true
+		}
+	}
+	if !hidden {
+		t.Errorf("no team size shows the pipeline hiding latency: %v", m)
+	}
+	big := keyT(Fig13Agents[len(Fig13Agents)-1])
+	if share := m[big+"_starved_decode_wait_share"]; share < 0.5 {
+		t.Errorf("decode-starved split at the big team queues mostly on prefill (decode share %.3f)", share)
+	}
+	if ratio := m[big+"_starved_latency_ratio"]; ratio < 1.01 {
+		t.Errorf("decode-starved split should be slower than balanced at the big team (ratio %.4f)", ratio)
+	}
+}
+
+func keyT(n int) string {
+	return fmt.Sprintf("t%d", n)
+}
+
+// TestFig13RerunAndParallelismByteIdentical pins determinism: the whole
+// report reproduces bit for bit across reruns and across episode-runner
+// parallelism levels.
+func TestFig13RerunAndParallelismByteIdentical(t *testing.T) {
+	cfg := fig13TestConfig()
+	a := Fig13(cfg)
+	b := Fig13(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("rerun diverged")
+	}
+	cfg.Parallelism = 4
+	c := Fig13(cfg)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("parallel run diverged from sequential")
+	}
+	if ra, rc := RenderFig13(a), RenderFig13(c); ra != rc {
+		t.Fatalf("rendered reports differ:\n%s\n---\n%s", ra, rc)
+	}
+}

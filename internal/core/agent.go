@@ -63,6 +63,12 @@ type Agent struct {
 	planCooldown  int     // steps remaining under the current plan (Rec. 7)
 	lastShared    int     // last step whose records were messaged out
 	lastAnnounced string  // last commitment broadcast under Rec. 8 gating
+	// overlapCredit is the async pipeline's remaining decode window
+	// (Cfg.Pipeline): the last plan/act-select call's Response.Decode, not
+	// yet consumed by next-step sensing/retrieval charges. Always zero
+	// with the pipeline off, so chargeOverlapped degenerates to a plain
+	// clock advance.
+	overlapCredit time.Duration
 }
 
 // NewAgent builds an agent. The id is used both as the environment agent
@@ -122,8 +128,7 @@ func (a *Agent) Sense(d Domain, step int) Observation {
 		return obs
 	}
 	b := a.Cfg.Sensing
-	lat := b.Latency(obs.Entities)
-	a.clock.Advance(lat)
+	lat := a.chargeOverlapped(b.Latency(obs.Entities))
 	a.tracer.Record(trace.Event{
 		Step: step, Agent: a.name(), Module: trace.Sensing, Kind: b.Name, Latency: lat,
 	})
@@ -150,11 +155,32 @@ func (a *Agent) Retrieve(step int) memory.Retrieval {
 		return memory.Retrieval{}
 	}
 	ret := a.Store.Retrieve(step)
-	a.clock.Advance(ret.Latency)
+	lat := a.chargeOverlapped(ret.Latency)
 	a.tracer.Record(trace.Event{
-		Step: step, Agent: a.name(), Module: trace.Memory, Kind: "retrieve", Latency: ret.Latency,
+		Step: step, Agent: a.name(), Module: trace.Memory, Kind: "retrieve", Latency: lat,
 	})
 	return ret
+}
+
+// chargeOverlapped charges a sensing/retrieval latency to the agent's
+// clock, first consuming any decode-overlap credit (Cfg.Pipeline): the
+// overlapped portion costs no virtual time — it ran while the previous
+// plan call's response was still streaming. Returns the time actually
+// charged, which the trace records so module breakdowns stay consistent
+// with SimDuration. With the pipeline off the credit is always zero and
+// this is exactly clock.Advance(lat).
+func (a *Agent) chargeOverlapped(lat time.Duration) time.Duration {
+	if a.overlapCredit > 0 {
+		if a.overlapCredit >= lat {
+			a.overlapCredit -= lat
+			lat = 0
+		} else {
+			lat -= a.overlapCredit
+			a.overlapCredit = 0
+		}
+	}
+	a.clock.Advance(lat)
+	return lat
 }
 
 // beliefRecords merges retrieved memory with the live observation (and any
@@ -247,6 +273,10 @@ func (a *Agent) PreparePlan(d Domain, step int, ret memory.Retrieval, obs Observ
 }
 
 func (a *Agent) preparePlan(step int, belief Belief, proposal Proposal, ret memory.Retrieval, obs Observation) PlanPrep {
+	// Any unspent decode-overlap credit expires once the next plan is
+	// submitted (or skipped under cooldown): the pipeline only overlaps
+	// next-step preparation with the previous response's streaming tail.
+	a.overlapCredit = 0
 	// Multi-step execution (Rec. 7): while under a current plan, follow the
 	// oracle directly — the expensive LLM reasoning already happened.
 	if a.planCooldown > 0 {
@@ -311,6 +341,12 @@ func (a *Agent) FinishPlan(prep PlanPrep, resp llm.Response) (res PlanResult, se
 	if a.Cfg.PlanHorizon > 1 {
 		a.planCooldown = a.Cfg.PlanHorizon - 1
 	}
+	// Async pipeline: the plan response's decode window becomes overlap
+	// credit for the next step's sensing/retrieval. An act-select follow-up
+	// supersedes it (last call wins — its tail is the one that overlaps).
+	if a.Cfg.Pipeline {
+		a.overlapCredit = resp.Decode
+	}
 	// CoELA-style action selection: a further LLM call turns the plan into
 	// a concrete action and can itself pick wrong.
 	if a.Cfg.ActSelect && res.Subgoal != nil {
@@ -329,6 +365,9 @@ func (a *Agent) FinishPlan(prep PlanPrep, resp llm.Response) (res PlanResult, se
 // FinishActSelect folds the action-selection response into the plan
 // result.
 func (a *Agent) FinishActSelect(res PlanResult, sel llm.Response) PlanResult {
+	if a.Cfg.Pipeline {
+		a.overlapCredit = sel.Decode
+	}
 	if sg, ok := sel.Decision.(Subgoal); ok {
 		if sel.Corrupted {
 			res.Corrupted = true
@@ -520,6 +559,7 @@ func (a *Agent) Reset() {
 	a.planCooldown = 0
 	a.lastShared = -1
 	a.lastAnnounced = ""
+	a.overlapCredit = 0
 }
 
 // StepClock exposes the agent's clock (used by runners to overlap spans in

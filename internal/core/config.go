@@ -65,6 +65,16 @@ type AgentConfig struct {
 	// workload tables — an endpoint carries timeline state and must not be
 	// shared across episodes.
 	Backend llm.Backend
+	// Pipeline enables the async agent pipeline: each plan (or act-select)
+	// call's decode window — the trailing stretch of serving during which
+	// the response is still streaming out — is credited against the NEXT
+	// step's sensing and memory-retrieval charges, modelling an agent that
+	// prepares step t+1's prompt while step t's tokens are still being
+	// generated. Pure latency accounting: decisions, RNG streams and
+	// request submission order are identical with the pipeline on or off,
+	// and each agent's virtual clock stays monotone (charges are reduced,
+	// never rewound).
+	Pipeline bool
 }
 
 // withDefaults fills zero fields.

@@ -37,6 +37,13 @@ type Served struct {
 	// it at admission (zero for backends that do not report it). Carrying
 	// it back saves accounting layers a re-walk of the prompt sections.
 	PromptTokens int
+	// Decode is the decode-stage share of Latency: the trailing window
+	// during which the response was streaming out (on a disaggregated
+	// endpoint, the handoff plus the decode stage). An async agent
+	// pipeline may overlap its next step's prompt assembly with this
+	// window — it is the part of serving that no longer needs the prompt.
+	// Zero for backends that do not report it.
+	Decode time.Duration
 }
 
 // Backend abstracts where serving time comes from. The default (a nil
@@ -94,13 +101,15 @@ func (c *Client) SetBackend(b Backend) { c.backend = b }
 // Backend reports the client's serving backend (nil = direct).
 func (c *Client) Backend() Backend { return c.backend }
 
-// serve computes the serving latency for one fitted call: through the
+// serve computes the serving outcome for one fitted call: through the
 // backend when one is attached, otherwise from the client's own profile
 // with jitter. The backend path consumes (and discards) the same jitter
 // draw as the direct path, so a shared-endpoint run keeps every stream
 // aligned with its dedicated-serving twin: decisions and retries match
-// call for call, and latency differences isolate the serving policy.
-func (c *Client) serve(agent string, fitted prompt.Prompt, promptTok, outTok int) time.Duration {
+// call for call, and latency differences isolate the serving policy. The
+// direct path prices its own Decode share (the generation term, scaled by
+// the same jitter as the whole latency).
+func (c *Client) serve(agent string, fitted prompt.Prompt, promptTok, outTok int) Served {
 	if c.backend != nil {
 		if c.profile.JitterFrac > 0 {
 			c.stream.Float64()
@@ -111,13 +120,21 @@ func (c *Client) serve(agent string, fitted prompt.Prompt, promptTok, outTok int
 			Prompt:       fitted,
 			PromptTokens: promptTok,
 			OutTokens:    outTok,
-		}).Latency
+		})
 	}
-	lat := c.profile.Latency(promptTok, outTok)
+	lat0 := c.profile.Latency(promptTok, outTok)
+	dec := lat0 - c.profile.Latency(promptTok, 0)
+	if dec < 0 {
+		dec = 0
+	}
+	lat := lat0
 	if c.profile.JitterFrac > 0 {
-		lat = time.Duration(c.stream.Jitter(float64(lat), c.profile.JitterFrac))
+		lat = time.Duration(c.stream.Jitter(float64(lat0), c.profile.JitterFrac))
+		if lat0 > 0 {
+			dec = time.Duration(float64(dec) * float64(lat) / float64(lat0))
+		}
 	}
-	return lat
+	return Served{Latency: lat, BatchSize: 1, PromptTokens: promptTok, Decode: dec}
 }
 
 // now reports the owning agent's virtual time (zero without a clock).

@@ -163,8 +163,11 @@ func CompleteBatchMulti(clients []*Client, reqs []Request) []Response {
 		}
 	}
 
-	// Serving latency per member.
+	// Serving latency per member. decs carries each member's decode-stage
+	// share of its FINAL attempt (see Served.Decode) for the async
+	// pipeline's overlap credit.
 	lats := make([]time.Duration, n)
+	decs := make([]time.Duration, n)
 	backend := clients[0].backend
 	switch {
 	case backend != nil:
@@ -178,14 +181,16 @@ func CompleteBatchMulti(clients []*Client, reqs []Request) []Response {
 		}
 		if bb, ok := backend.(BatchBackend); ok {
 			for i, s := range bb.ServeBatch(calls) {
-				lats[i] = s.Latency
+				lats[i], decs[i] = s.Latency, s.Decode
 			}
 		} else {
 			for i := range calls {
-				lats[i] = backend.Serve(calls[i]).Latency
+				s := backend.Serve(calls[i])
+				lats[i], decs[i] = s.Latency, s.Decode
 			}
 		}
-		// Retries resubmit individually, after the failed batch attempt.
+		// Retries resubmit individually, after the failed batch attempt;
+		// the last retry's decode share wins.
 		for i := range reqs {
 			for a := 1; a < attempts[i]; a++ {
 				s := backend.Serve(Call{
@@ -194,17 +199,24 @@ func CompleteBatchMulti(clients []*Client, reqs []Request) []Response {
 					OutTokens: reqs[i].OutTokens,
 				})
 				lats[i] += s.Latency
+				decs[i] = s.Decode
 			}
 		}
 	default:
 		lat := clients[0].batchLatency(n, totalPrompt, maxOut)
+		dec0 := lat - clients[0].profile.BatchServiceTime(n, float64(totalPrompt), 0)
+		if dec0 < 0 {
+			dec0 = 0
+		}
 		for i := range lats {
 			lats[i] = time.Duration(attempts[i]) * time.Duration(float64(lat)*jitterFactor[i])
+			decs[i] = time.Duration(float64(dec0) * jitterFactor[i])
 		}
 	}
 
 	for i := range resps {
 		resps[i].Latency = lats[i]
+		resps[i].Decode = decs[i]
 		resps[i].OutputTokens = attempts[i] * reqs[i].OutTokens
 		clients[i].chargeAs(reqs[i], Response{
 			Latency:      lats[i],

@@ -38,6 +38,12 @@ type Response struct {
 	PromptTokens int
 	OutputTokens int
 	ErrorP       float64 // the error probability that was applied
+	// Decode is the decode-stage share of the FINAL serving attempt (see
+	// llm.Served.Decode): the trailing window during which the response
+	// was streaming and the agent's next-step preparation could already
+	// run. The async pipeline (core.AgentConfig.Pipeline) credits it
+	// against the next step's sensing/retrieval charges.
+	Decode time.Duration
 }
 
 // Client issues grounded queries against one model profile, charging
@@ -129,14 +135,17 @@ func (c *Client) retryDraws() int {
 // draw the error channel, charge serving latency, record the trace event.
 func (c *Client) Complete(req Request) Response {
 	resp, fitted := c.draw(req)
-	lat := c.serve(req.Agent, fitted, resp.PromptTokens, req.OutTokens)
+	served := c.serve(req.Agent, fitted, resp.PromptTokens, req.OutTokens)
+	lat := served.Latency
+	resp.Decode = served.Decode
 	// Each retry attempt pays the full serving latency.
 	attempts := c.retryDraws()
 	resp.Latency = time.Duration(attempts) * lat
 	if c.backend != nil && attempts > 1 {
 		// Each retry is a fresh submission to the shared endpoint, issued
 		// after the failed attempt completes — it queues again and may land
-		// in a different batch.
+		// in a different batch. The decode share is the LAST attempt's (the
+		// only one whose tail the caller can overlap).
 		total := lat
 		for a := 1; a < attempts; a++ {
 			s := c.backend.Serve(Call{
@@ -144,6 +153,7 @@ func (c *Client) Complete(req Request) Response {
 				Prompt: fitted, PromptTokens: resp.PromptTokens, OutTokens: req.OutTokens,
 			})
 			total += s.Latency
+			resp.Decode = s.Decode
 		}
 		resp.Latency = total
 	}

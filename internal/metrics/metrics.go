@@ -58,6 +58,17 @@ type Serving struct {
 	// continuous-batching joins extend it).
 	QueueWaitHist Hist
 	LatencyHist   Hist
+	// Disaggregated-endpoint accounting (internal/serve Prefill/Decode
+	// pools). All zero on monolithic endpoints. PrefillService/DecodeService
+	// split Service by stage, PrefillWait/DecodeWait split QueueWait;
+	// HandoffTime and HandoffTokens sum the priced prefill→decode KV
+	// transfers. All sums, merging like every flow field above.
+	PrefillService time.Duration
+	DecodeService  time.Duration
+	PrefillWait    time.Duration
+	DecodeWait     time.Duration
+	HandoffTime    time.Duration
+	HandoffTokens  int
 	// Autoscaler accounting. ReplicaTime integrates active replicas over
 	// the run (replica-seconds — the cost axis autoscaling trades against
 	// the tail); it stays zero on fixed-replica endpoints, where cost is
@@ -82,6 +93,12 @@ func (s Serving) Merge(o Serving) Serving {
 		s.CacheTokensPeak = o.CacheTokensPeak
 	}
 	s.EvictedTokens += o.EvictedTokens
+	s.PrefillService += o.PrefillService
+	s.DecodeService += o.DecodeService
+	s.PrefillWait += o.PrefillWait
+	s.DecodeWait += o.DecodeWait
+	s.HandoffTime += o.HandoffTime
+	s.HandoffTokens += o.HandoffTokens
 	s.QueueWaitHist = s.QueueWaitHist.Merge(o.QueueWaitHist)
 	s.LatencyHist = s.LatencyHist.Merge(o.LatencyHist)
 	s.ReplicaTime += o.ReplicaTime

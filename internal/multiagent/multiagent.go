@@ -70,6 +70,12 @@ type Options struct {
 	// can shift is belief staleness (assessed at the step's start for all
 	// agents instead of mid-step).
 	Aggregate bool
+	// Pipeline turns on the async agent pipeline for every agent in the
+	// run (core.AgentConfig.Pipeline): each plan/act-select call's decode
+	// window is credited against the agent's next-step sensing and
+	// retrieval charges. Latency accounting only — decisions and
+	// submission order are identical with it off.
+	Pipeline bool
 }
 
 // servingStats is the seam finish() reads episode serving statistics
@@ -85,6 +91,7 @@ type servingStats interface {
 // an endpoint carries timeline state, and per-episode construction is
 // what keeps parallel episode runs bit-identical to sequential ones.
 func (o Options) newEndpoint(cfg *core.AgentConfig) servingStats {
+	cfg.Pipeline = cfg.Pipeline || o.Pipeline
 	if o.Backend != nil {
 		cfg.Backend = o.Backend
 		if s, ok := o.Backend.(servingStats); ok {

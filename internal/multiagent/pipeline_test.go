@@ -1,0 +1,138 @@
+package multiagent
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"embench/internal/env/boxworld"
+	"embench/internal/rng"
+	"embench/internal/serve"
+	"embench/internal/serve/obs"
+	"embench/internal/trace"
+	"embench/internal/world"
+)
+
+func pipelineServe() serve.Config {
+	return serve.Config{
+		Replicas: 1, MaxBatch: 4, MaxWait: 1500 * time.Millisecond, CacheEntries: 64,
+	}
+}
+
+func pipelineRun(pipe bool, sink obs.Sink) Outcome {
+	d := boxworld.New(boxworld.Config{Agents: 3, Difficulty: world.Easy}, rng.New(17))
+	sc := pipelineServe()
+	return RunDecentralized(d, coelaCfg(), Options{
+		Seed: 17, Parallel: true, Serve: &sc, Sink: sink, Pipeline: pipe,
+	})
+}
+
+// decisions strips an event stream to its decision-relevant shape: what
+// was called, in what order, with which tokens — everything except the
+// virtual-time charges the pipeline is allowed to move.
+func decisions(tr *trace.Trace) []trace.Event {
+	out := make([]trace.Event, len(tr.Events))
+	for i, ev := range tr.Events {
+		ev.Latency = 0
+		out[i] = ev
+	}
+	return out
+}
+
+// TestPipelineDecisionsUnchanged is the pipeline's core contract: overlap
+// moves virtual time only. The same seed makes the same decisions, issues
+// the same calls in the same order with the same token counts, and
+// succeeds or fails identically. SimDuration must move (the credit
+// applied) but its sign is not pinned here: earlier submissions reshape
+// the shared endpoint's join windows, so contention can eat the saving.
+func TestPipelineDecisionsUnchanged(t *testing.T) {
+	off := pipelineRun(false, nil)
+	on := pipelineRun(true, nil)
+	if off.Episode.Steps != on.Episode.Steps || off.Episode.Success != on.Episode.Success ||
+		off.Episode.LLMCalls != on.Episode.LLMCalls ||
+		off.Episode.PromptTokens != on.Episode.PromptTokens ||
+		off.Episode.OutputTokens != on.Episode.OutputTokens {
+		t.Fatalf("pipeline changed decisions:\noff %+v\non  %+v", off.Episode, on.Episode)
+	}
+	if !reflect.DeepEqual(decisions(off.Trace), decisions(on.Trace)) {
+		t.Fatal("pipeline changed the call sequence")
+	}
+	if on.Episode.SimDuration == off.Episode.SimDuration {
+		t.Fatal("pipeline hid nothing; the overlap credit never applied")
+	}
+}
+
+// TestPipelineFasterOnDedicatedServing: without a shared endpoint there
+// is no contention feedback, so the overlap credit can only reduce
+// charges — the pipelined run must be strictly faster and decide
+// identically.
+func TestPipelineFasterOnDedicatedServing(t *testing.T) {
+	run := func(pipe bool) Outcome {
+		d := boxworld.New(boxworld.Config{Agents: 3, Difficulty: world.Easy}, rng.New(17))
+		return RunDecentralized(d, coelaCfg(), Options{Seed: 17, Parallel: true, Pipeline: pipe})
+	}
+	off, on := run(false), run(true)
+	if !reflect.DeepEqual(decisions(off.Trace), decisions(on.Trace)) {
+		t.Fatal("pipeline changed the call sequence on dedicated serving")
+	}
+	if on.Episode.SimDuration >= off.Episode.SimDuration {
+		t.Fatalf("pipeline did not speed up dedicated serving: %v >= %v",
+			on.Episode.SimDuration, off.Episode.SimDuration)
+	}
+}
+
+// TestPipelinePerAgentArrivalsMonotone: the overlap credit reduces
+// charges but never rewinds a clock, so each agent's endpoint submissions
+// stay monotone in virtual time — an agent's own steps cannot reorder.
+func TestPipelinePerAgentArrivalsMonotone(t *testing.T) {
+	rec := obs.NewRecorder()
+	pipelineRun(true, rec)
+	last := map[string]time.Duration{}
+	submits := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind != obs.KindSubmit {
+			continue
+		}
+		submits++
+		if prev, ok := last[ev.Agent]; ok && ev.T < prev {
+			t.Fatalf("agent %s submitted at %v after %v", ev.Agent, ev.T, prev)
+		}
+		last[ev.Agent] = ev.T
+	}
+	if submits == 0 {
+		t.Fatal("no submissions recorded")
+	}
+}
+
+// TestPipelineDeterministic: the overlapped run reproduces bit for bit.
+func TestPipelineDeterministic(t *testing.T) {
+	a, b := pipelineRun(true, nil), pipelineRun(true, nil)
+	if !reflect.DeepEqual(a.Episode, b.Episode) {
+		t.Fatalf("pipeline run not reproducible:\n%+v\n%+v", a.Episode, b.Episode)
+	}
+	if !reflect.DeepEqual(a.Trace.Events, b.Trace.Events) {
+		t.Fatal("pipeline traces diverged")
+	}
+}
+
+// TestPipelineOffIsSeedPath: Options.Pipeline false must leave every
+// observable — including the endpoint submission timeline — identical to
+// an Options value that never mentions the field.
+func TestPipelineOffIsSeedPath(t *testing.T) {
+	run := func(opt Options) (Outcome, []obs.Event) {
+		d := boxworld.New(boxworld.Config{Agents: 3, Difficulty: world.Easy}, rng.New(17))
+		rec := obs.NewRecorder()
+		sc := pipelineServe()
+		opt.Seed, opt.Parallel, opt.Serve, opt.Sink = 17, true, &sc, rec
+		return RunDecentralized(d, coelaCfg(), opt), rec.Events()
+	}
+	base, baseEv := run(Options{})
+	off, offEv := run(Options{Pipeline: false})
+	if !reflect.DeepEqual(base.Episode, off.Episode) {
+		t.Fatalf("Pipeline:false diverged from the zero value:\n%+v\n%+v",
+			base.Episode, off.Episode)
+	}
+	if !reflect.DeepEqual(baseEv, offEv) {
+		t.Fatal("Pipeline:false changed the recorded serving timeline")
+	}
+}

@@ -5,11 +5,15 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"embench/internal/core"
 	"embench/internal/llm"
+	"embench/internal/metrics"
 	"embench/internal/multiagent"
+	"embench/internal/serve"
 	"embench/internal/systems"
+	"embench/internal/trace"
 	"embench/internal/world"
 )
 
@@ -243,5 +247,38 @@ func TestConcurrentRunsAreIndependent(t *testing.T) {
 func TestDefaultParallelism(t *testing.T) {
 	if DefaultParallelism() < 1 {
 		t.Fatalf("DefaultParallelism() = %d, want >= 1", DefaultParallelism())
+	}
+}
+
+// TestPipelinedDisaggBatchMatchesAcrossWorkers: the async agent pipeline
+// over a disaggregated endpoint is the most timing-sensitive configuration
+// the suite can run; its batches must still be a pure function of the
+// specs, independent of the worker count.
+func TestPipelinedDisaggBatchMatchesAcrossWorkers(t *testing.T) {
+	sc := serve.Config{
+		MaxWait:      500 * time.Millisecond,
+		CacheEntries: 64,
+		Prefill:      serve.PoolConfig{Replicas: 2, MaxBatch: 4},
+		Decode:       serve.PoolConfig{Replicas: 2, MaxBatch: 4},
+		Handoff:      serve.Handoff{Latency: 25 * time.Millisecond, TokensPerSec: 100000},
+	}
+	opt := multiagent.Options{Parallel: true, Serve: &sc, Pipeline: true}
+	run := func(parallelism int) ([]metrics.Episode, []*trace.Trace) {
+		eps, traces, err := Batch(context.Background(), get(t, "CoELA"), world.Easy,
+			0, nil, opt, 3, 29, parallelism)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return eps, traces
+	}
+	wantEps, wantTraces := run(1)
+	for _, p := range []int{2, 4} {
+		eps, traces := run(p)
+		if !reflect.DeepEqual(eps, wantEps) {
+			t.Fatalf("parallelism %d: pipelined disagg episodes diverged", p)
+		}
+		if !reflect.DeepEqual(traces, wantTraces) {
+			t.Fatalf("parallelism %d: pipelined disagg traces diverged", p)
+		}
 	}
 }

@@ -95,6 +95,12 @@ type Endpoint struct {
 	sink  obs.Sink
 	shard int
 	reqID int64
+	// dis, when non-nil, makes this endpoint a disaggregated parent: every
+	// serving entry point dispatches to the prefill/decode stage pools (see
+	// disagg.go) and the fields above except sink/shard go unused. nil — the
+	// default for every monolithic config — leaves all paths byte-identical
+	// to builds predating disaggregation.
+	dis *disaggState
 }
 
 // Compile-time checks: an endpoint is a drop-in serving backend for llm
@@ -104,8 +110,20 @@ var (
 	_ llm.BatchBackend = (*Endpoint)(nil)
 )
 
-// New builds an endpoint from cfg (zero fields defaulted).
+// New builds an endpoint from cfg (zero fields defaulted). A config with
+// both Prefill and Decode pools set builds a disaggregated endpoint — two
+// inner stage pools behind one Backend-compatible front (see disagg.go).
+// New panics on a config Validate rejects; callers that want a clean error
+// (the CLI) should Validate first.
 func New(cfg Config) *Endpoint {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Disaggregated() {
+		d := cfg.withDefaults()
+		d.Replicas = 0 // the monolithic pool does not exist
+		return &Endpoint{cfg: d, dis: newDisagg(d)}
+	}
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
 		cfg:      cfg,
@@ -139,6 +157,9 @@ func (e *Endpoint) Config() Config { return e.cfg }
 // endpoint's own buffers are left alone, so a later join can still restate
 // them).
 func (e *Endpoint) Stats() metrics.Serving {
+	if e.dis != nil {
+		return e.dis.fold()
+	}
 	s := e.stats
 	s.ReplicaRequests = make([]int, len(e.replicas))
 	for i := range e.replicas {
@@ -178,6 +199,13 @@ func (e *Endpoint) ServingStats() metrics.Serving { return e.Stats() }
 
 // Reset clears timeline, caches, statistics and autoscaler state for reuse.
 func (e *Endpoint) Reset() {
+	if e.dis != nil {
+		e.dis.prefill.Reset()
+		e.dis.decode.Reset()
+		e.dis.stats = metrics.Serving{}
+		e.reqID = 0
+		return
+	}
 	for i := range e.replicas {
 		e.replicas[i] = replica{cache: newPrefixCache(e.cfg.CacheEntries, e.cfg.CacheTokens)}
 	}
@@ -205,6 +233,9 @@ func (e *Endpoint) Reset() {
 // reported completions of earlier members. The routing policy picks the
 // replica (see RoutingPolicy).
 func (e *Endpoint) Serve(c llm.Call) llm.Served {
+	if e.dis != nil {
+		return e.dis.serve(e, c)
+	}
 	e.maybeAutoscale(c.Arrival)
 	// Hash the prompt's prefix chain exactly once; routing probes and
 	// admission pricing below all share this key.
@@ -278,9 +309,20 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		if e.sink != nil {
 			e.emitComplete(req, c.Agent, ri, end, end-c.Arrival, wait, r.batchN, cached, total)
 		}
+		// Decode share: the member's in-batch time minus the batch priced at
+		// zero output, clamped to its own as-served latency (a late joiner's
+		// latency can be shorter than the batch span it rode).
+		dec := (end - r.batchStart) - e.cfg.Profile.BatchServiceTime(r.batchN, r.batchTok, 0)
+		if dec < 0 {
+			dec = 0
+		}
+		if lat := end - c.Arrival; dec > lat {
+			dec = lat
+		}
 		return llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: r.batchN, CachedTokens: cached, PromptTokens: total,
+			Decode: dec,
 		}
 	}
 
@@ -311,9 +353,14 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		e.emitBatchStart(start, ri, 1, totalEff, maxOut, service)
 		e.emitComplete(req, c.Agent, ri, end, end-c.Arrival, wait, 1, members[0].cached, members[0].total)
 	}
+	dec := service - e.cfg.Profile.BatchServiceTime(1, totalEff, 0)
+	if dec < 0 {
+		dec = 0
+	}
 	return llm.Served{
 		Latency: end - c.Arrival, QueueWait: wait,
 		BatchSize: 1, CachedTokens: members[0].cached, PromptTokens: members[0].total,
+		Decode: dec,
 	}
 }
 
@@ -329,6 +376,9 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 	}
 	if len(calls) == 1 {
 		return []llm.Served{e.Serve(calls[0])}
+	}
+	if e.dis != nil {
+		return e.dis.serveBatch(e, calls)
 	}
 	arrival := calls[0].Arrival
 	for _, c := range calls[1:] {
@@ -391,6 +441,10 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 		}
 		e.emitBatchStart(start, ri, len(calls), totalEff, maxOut, service)
 	}
+	dec := service - e.cfg.Profile.BatchServiceTime(len(calls), totalEff, 0)
+	if dec < 0 {
+		dec = 0
+	}
 	out := make([]llm.Served, len(calls))
 	for i, c := range calls {
 		wait := start - c.Arrival
@@ -402,7 +456,7 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: len(calls), CachedTokens: members[i].cached,
-			PromptTokens: members[i].total,
+			PromptTokens: members[i].total, Decode: dec,
 		}
 	}
 	return out

@@ -43,6 +43,10 @@ func serveBatchFresh(e *Endpoint, calls []llm.Call) []llm.Served {
 	e.sealFrontier(r)
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)
 	e.busyAcc += service
+	dec := service - e.cfg.Profile.BatchServiceTime(len(calls), totalEff, 0)
+	if dec < 0 {
+		dec = 0
+	}
 	out := make([]llm.Served, len(calls))
 	for i, c := range calls {
 		wait := start - c.Arrival
@@ -51,7 +55,7 @@ func serveBatchFresh(e *Endpoint, calls []llm.Call) []llm.Served {
 		out[i] = llm.Served{
 			Latency: end - c.Arrival, QueueWait: wait,
 			BatchSize: len(calls), CachedTokens: members[i].cached,
-			PromptTokens: members[i].total,
+			PromptTokens: members[i].total, Decode: dec,
 		}
 	}
 	return out

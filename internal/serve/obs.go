@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"embench/internal/prompt"
@@ -29,6 +30,20 @@ func (e *Endpoint) SetSink(s obs.Sink) { e.setSinkShard(s, 0) }
 // each shard's endpoint so one recorder can absorb all shards).
 func (e *Endpoint) setSinkShard(s obs.Sink, shard int) {
 	e.sink, e.shard = s, shard
+	if e.dis != nil {
+		// A disaggregated parent wires the shared sink to its stage pools
+		// through stageSink tags; the pools' own config events (Stage
+		// "prefill"/"decode") describe the deployment, so the parent emits
+		// none of its own. The parent keeps the raw sink for handoff events.
+		if s == nil {
+			e.dis.prefill.setSinkShard(nil, shard)
+			e.dis.decode.setSinkShard(nil, shard)
+			return
+		}
+		e.dis.prefill.setSinkShard(stageSink{sink: s, stage: "prefill"}, shard)
+		e.dis.decode.setSinkShard(stageSink{sink: s, stage: "decode", dropSubmit: true}, shard)
+		return
+	}
 	if s == nil {
 		return
 	}
@@ -162,31 +177,50 @@ func (sf *ShardedFleet) SetSink(s obs.Sink) {
 // record-once-replay-many loop: capture a closed-loop episode with a
 // Recorder, persist it as JSONL, and feed it back through Replay.
 //
-// Replay reproduces the live run's metrics.Serving exactly when the
+// Replay reproduces the live run's metrics.Serving exactly only when the
 // recorded stream's serving decisions cannot depend on information the
-// open-loop event loop lacks: submissions arrive in non-decreasing virtual
-// time (one closed-loop client, or a merged fleet — the merge admits in
-// arrival order), MaxBatch is 1 (no join-window races against future
-// arrivals) and routing is least-loaded (cache-affinity routes among ALL
-// replicas at submission, replay among the IDLE ones at launch, so their
-// placements can diverge). Outside those conditions the replay is still a
-// faithful open-loop rerun of the same trace — just not bit-equal.
-func TraceRequests(events []obs.Event) []Request {
+// open-loop event loop lacks, and TraceRequests enforces the two
+// machine-checkable preconditions instead of silently misreconstructing:
+//
+//   - Submissions must arrive in non-decreasing virtual time within each
+//     shard (one closed-loop client, or a merged fleet — the merge admits
+//     in arrival order). A decreasing submit time means several
+//     independent clients were recorded into one stream without a merge;
+//     their interleaving encodes goroutine scheduling, not workload, so
+//     the reconstruction would be unreproducible. Error, not guess.
+//   - No recorded endpoint may have MaxBatch > 1 (config events carry it):
+//     closed-loop join windows race against future arrivals the open-loop
+//     replay cannot see, so the trace under-determines the batches.
+//
+// Routing divergence (cache-affinity routes among ALL replicas at
+// submission, replay among the IDLE ones at launch) is not detectable from
+// the stream and remains a documented caveat: such replays are faithful
+// open-loop reruns of the same trace, just not bit-equal.
+func TraceRequests(events []obs.Event) ([]Request, error) {
 	var out []Request
-	for _, ev := range events {
-		if ev.Kind != obs.KindSubmit {
-			continue
+	lastArrival := map[int]time.Duration{}
+	for i, ev := range events {
+		switch ev.Kind {
+		case obs.KindConfig:
+			if ev.Batch > 1 {
+				return nil, fmt.Errorf("serve: trace event %d: recorded endpoint (shard %d, stage %q) has MaxBatch %d > 1; join-window races cannot be reconstructed from a trace — re-record with MaxBatch 1", i, ev.Shard, ev.Stage, ev.Batch)
+			}
+		case obs.KindSubmit:
+			if last, ok := lastArrival[ev.Shard]; ok && ev.T < last {
+				return nil, fmt.Errorf("serve: trace event %d: submit at %v precedes the previous submit at %v on shard %d; non-monotone submissions mean unmerged concurrent clients — record a single client or a merged fleet", i, ev.T, last, ev.Shard)
+			}
+			lastArrival[ev.Shard] = ev.T
+			secs := make([]prompt.Section, len(ev.Sections))
+			for j, s := range ev.Sections {
+				secs[j] = prompt.Section{Name: s.Name, Text: s.Text, Tokens: s.Tokens, Droppable: s.Droppable}
+			}
+			out = append(out, Request{
+				Agent: ev.Agent, Priority: ev.Priority, Arrival: ev.T,
+				Prompt: prompt.Prompt{Sections: secs}, OutTokens: ev.Out,
+			})
 		}
-		secs := make([]prompt.Section, len(ev.Sections))
-		for i, s := range ev.Sections {
-			secs[i] = prompt.Section{Name: s.Name, Text: s.Text, Tokens: s.Tokens, Droppable: s.Droppable}
-		}
-		out = append(out, Request{
-			Agent: ev.Agent, Priority: ev.Priority, Arrival: ev.T,
-			Prompt: prompt.Prompt{Sections: secs}, OutTokens: ev.Out,
-		})
 	}
-	return out
+	return out, nil
 }
 
 // ReplayObserved is Replay with a flight-recorder sink attached to the

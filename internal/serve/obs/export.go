@@ -96,6 +96,13 @@ func Validate(events []Event) error {
 			if ev.Active < 0 {
 				return fmt.Errorf("obs: event %d: %s with negative active count", i, ev.Kind)
 			}
+		case KindHandoff:
+			if ev.Dur < 0 {
+				return fmt.Errorf("obs: event %d: handoff with negative transfer time %v", i, ev.Dur)
+			}
+			if ev.Tokens < 0 {
+				return fmt.Errorf("obs: event %d: handoff with negative tokens", i)
+			}
 		}
 	}
 	return nil

@@ -93,6 +93,11 @@ const (
 	// NEW active replica count.
 	KindScaleUp   Kind = "scale_up"
 	KindScaleDown Kind = "scale_down"
+	// KindHandoff is a disaggregated endpoint's prefill→decode KV transfer:
+	// T is when prefill finished, Tokens the prompt KV pages moved, Dur the
+	// priced transfer time (the decode pool sees the request at T + Dur).
+	// Stage is "handoff"; stage-pool events carry Stage "prefill"/"decode".
+	KindHandoff Kind = "handoff"
 )
 
 // knownKinds is the schema's closed kind set (Validate).
@@ -101,7 +106,7 @@ var knownKinds = map[Kind]bool{
 	KindBatchStart: true, KindBatchJoin: true, KindBatchSeal: true,
 	KindComplete: true, KindCacheHit: true, KindCacheMiss: true,
 	KindCacheEvict: true, KindCacheFlush: true, KindScaleTick: true,
-	KindScaleUp: true, KindScaleDown: true,
+	KindScaleUp: true, KindScaleDown: true, KindHandoff: true,
 }
 
 // Section is one prompt section's recorded identity: enough to rebuild the
@@ -144,6 +149,12 @@ type Event struct {
 
 	Active int     `json:"active,omitempty"` // active replicas (scale/config)
 	Util   float64 `json:"util,omitempty"`   // window utilization (scale_tick)
+
+	// Stage tags disaggregated-endpoint events with the pool that emitted
+	// them ("prefill"/"decode") or "handoff" for the transfer itself; empty
+	// on monolithic endpoints, so their JSONL is byte-identical to
+	// pre-disaggregation traces.
+	Stage string `json:"stage,omitempty"`
 
 	Sections []Section `json:"sections,omitempty"` // prompt chain (submit)
 }

@@ -306,7 +306,10 @@ func TestRecordReplayDeterminism(t *testing.T) {
 	}
 	liveStats := live.Stats()
 
-	reqs := TraceRequests(rec.Events())
+	reqs, err := TraceRequests(rec.Events())
+	if err != nil {
+		t.Fatalf("TraceRequests: %v", err)
+	}
 	if len(reqs) != len(calls) {
 		t.Fatalf("trace reconstructed %d requests, want %d", len(reqs), len(calls))
 	}
@@ -319,17 +322,21 @@ func TestRecordReplayDeterminism(t *testing.T) {
 
 // TestReplayTraceRoundTrip closes the record-once-replay-many loop in the
 // open-loop direction: a replay's own recorded trace, reconstructed and
-// replayed again, reproduces the first replay bit for bit — for ANY config,
-// because both runs are the same pure event loop over the same requests.
+// replayed again, reproduces the first replay bit for bit. MaxBatch is 1
+// because TraceRequests refuses batched recordings outright (see
+// TestTraceRequestsRejectsBatchedRecording).
 func TestReplayTraceRoundTrip(t *testing.T) {
-	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 4,
-		MaxWait: time.Second, CacheTokens: 2048, Routing: RouteCacheAffinity,
+	cfg := Config{Profile: noJitter, Replicas: 2, MaxBatch: 1,
+		CacheTokens: 2048, Routing: RouteCacheAffinity,
 		Identity: IdentityContent}
 	reqs := testTrace(4, 5, 8*time.Second, 200*time.Millisecond)
 	rec := obs.NewRecorder()
 	first := ReplayObserved(cfg, reqs, rec)
 
-	rebuilt := TraceRequests(rec.Events())
+	rebuilt, err := TraceRequests(rec.Events())
+	if err != nil {
+		t.Fatalf("TraceRequests: %v", err)
+	}
 	second := Replay(cfg, rebuilt)
 	if !reflect.DeepEqual(first, second) {
 		t.Fatal("replaying a replay's recorded trace diverged")

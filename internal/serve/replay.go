@@ -17,16 +17,24 @@ type Request struct {
 	OutTokens int
 }
 
-// Completion describes how one replayed request was served.
+// Completion describes how one replayed request was served. On a
+// monolithic endpoint Start/Done bracket the request's single batch and
+// the stage fields stay zero; on a disaggregated endpoint Start is the
+// PREFILL batch launch, PrefillDone its completion, Done the DECODE batch
+// completion, QueueWait the prefill-pool wait and DecodeWait the
+// decode-pool wait (so Start - Arrival still equals QueueWait, per stage).
 type Completion struct {
 	Agent        string
 	Arrival      time.Duration
 	Start        time.Duration // batch launch time
 	Done         time.Duration // batch completion time
 	QueueWait    time.Duration // Start - Arrival
-	BatchSize    int           // sequences in the request's batch
+	BatchSize    int           // sequences in the request's (decode) batch
 	PromptTokens int
 	CachedTokens int
+	// Disaggregated-endpoint stage split; zero on monolithic replays.
+	PrefillDone time.Duration // prefill batch completion (handoff begins)
+	DecodeWait  time.Duration // decode-pool admission-queue delay
 }
 
 // ReplayResult bundles a replay's per-request completions (in submission
@@ -66,6 +74,9 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 // arrival order — so an exported replay trace is itself replayable — and
 // every batch launch emits route/cache/batch_start/complete events.
 func replayOn(e *Endpoint, reqs []Request) ReplayResult {
+	if e.dis != nil {
+		return replayDisagg(e, reqs)
+	}
 	res := ReplayResult{Completions: make([]Completion, len(reqs))}
 	if len(reqs) == 0 {
 		return res

@@ -57,6 +57,9 @@
 package serve
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"embench/internal/llm"
@@ -118,6 +121,155 @@ type Config struct {
 	// is the pool ceiling. The zero value keeps every replica active —
 	// byte-identical to fixed-replica serving. See Autoscale.
 	Autoscale Autoscale
+	// Prefill and Decode, when both have Replicas > 0, disaggregate the
+	// endpoint into two stage pools: every request runs its prompt
+	// processing on the prefill pool, pays the KV Handoff, then queues on
+	// the decode pool for token generation. Each pool batches and caches
+	// independently (decode-pool caches are forced off — there is no
+	// prompt left to share). Replicas must stay 0 when pools are set: the
+	// monolithic knobs describe a deployment that no longer exists. Both
+	// zero (the default) keeps the single-pool endpoint, byte-identical
+	// to configs that predate disaggregation.
+	Prefill PoolConfig
+	// Decode configures the token-generation pool; see Prefill. Decode
+	// admission orders queued requests by (Priority, handoff arrival,
+	// submission index), so Request.Priority is honored where decode
+	// contention actually forms.
+	Decode PoolConfig
+	// Handoff prices the prefill→decode KV transfer. The zero value is a
+	// free, instantaneous handoff.
+	Handoff Handoff
+}
+
+// PoolConfig sizes one stage pool of a disaggregated endpoint. Fields
+// mirror the monolithic Config knobs; a pool with CacheTokens and
+// CacheEntries both 0 inherits the parent Config's cache budgets (prefill
+// pool only — the decode pool never caches).
+type PoolConfig struct {
+	// Replicas is the pool size; > 0 on both pools enables disaggregation.
+	Replicas int
+	// MaxBatch caps sequences per continuous batch in this pool (<= 1
+	// disables batching, same as Config.MaxBatch).
+	MaxBatch int
+	// MaxWait is this pool's batching window (see Config.MaxWait).
+	MaxWait time.Duration
+	// CacheTokens / CacheEntries bound this pool's per-replica prefix
+	// caches; both 0 on the prefill pool means "inherit the parent
+	// Config budgets".
+	CacheTokens  int
+	CacheEntries int
+}
+
+// Handoff prices the KV-cache transfer between the prefill and decode
+// pools: a fixed per-request latency plus a token-proportional term
+// (prompt KV pages streamed at TokensPerSec). The zero value transfers
+// for free, instantly — useful for differential tests against the
+// monolithic endpoint.
+type Handoff struct {
+	// Latency is the fixed per-request transfer setup cost.
+	Latency time.Duration
+	// TokensPerSec streams the prompt's KV pages; 0 means the
+	// token-proportional term is free.
+	TokensPerSec float64
+}
+
+// cost prices one request's handoff for a prompt of the given token count.
+func (h Handoff) cost(promptTokens int) time.Duration {
+	d := h.Latency
+	if h.TokensPerSec > 0 && promptTokens > 0 {
+		d += time.Duration(float64(promptTokens) / h.TokensPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// ParseHandoff parses a handoff spec of the form "lat=DURATION,rate=TOKENS_PER_SEC"
+// (either key may be omitted). "" and "off" mean the zero (free) handoff.
+func ParseHandoff(s string) (Handoff, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return Handoff{}, nil
+	}
+	var h Handoff
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Handoff{}, fmt.Errorf("serve: handoff spec %q: want key=value, got %q", s, part)
+		}
+		switch strings.TrimSpace(k) {
+		case "lat":
+			d, err := time.ParseDuration(strings.TrimSpace(v))
+			if err != nil {
+				return Handoff{}, fmt.Errorf("serve: handoff lat: %v", err)
+			}
+			if d < 0 {
+				return Handoff{}, fmt.Errorf("serve: handoff lat must be >= 0, got %v", d)
+			}
+			h.Latency = d
+		case "rate":
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return Handoff{}, fmt.Errorf("serve: handoff rate: %v", err)
+			}
+			if f < 0 {
+				return Handoff{}, fmt.Errorf("serve: handoff rate must be >= 0, got %v", f)
+			}
+			h.TokensPerSec = f
+		default:
+			return Handoff{}, fmt.Errorf("serve: handoff spec %q: unknown key %q", s, k)
+		}
+	}
+	return h, nil
+}
+
+// Disaggregated reports whether the config splits the endpoint into
+// prefill and decode pools.
+func (c Config) Disaggregated() bool {
+	return c.Prefill.Replicas > 0 && c.Decode.Replicas > 0
+}
+
+// Validate rejects configurations that cannot describe a deployment.
+// New panics on an invalid config; callers that want a clean error (the
+// CLI) should Validate first.
+func (c Config) Validate() error {
+	if (c.Prefill.Replicas > 0) != (c.Decode.Replicas > 0) {
+		return fmt.Errorf("serve: disaggregation needs both pools: prefill replicas %d, decode replicas %d", c.Prefill.Replicas, c.Decode.Replicas)
+	}
+	if c.Disaggregated() {
+		if c.Replicas > 0 {
+			return fmt.Errorf("serve: Replicas (%d) is the monolithic pool; leave it 0 when Prefill/Decode pools are set", c.Replicas)
+		}
+		if c.Autoscale.enabled() {
+			return fmt.Errorf("serve: autoscaling is monolithic-only; disable it when Prefill/Decode pools are set")
+		}
+	}
+	for _, p := range []struct {
+		name string
+		cfg  PoolConfig
+	}{{"prefill", c.Prefill}, {"decode", c.Decode}} {
+		if p.cfg.Replicas < 0 {
+			return fmt.Errorf("serve: %s pool replicas must be >= 0, got %d", p.name, p.cfg.Replicas)
+		}
+		if p.cfg.MaxBatch < 0 {
+			return fmt.Errorf("serve: %s pool max batch must be >= 0, got %d", p.name, p.cfg.MaxBatch)
+		}
+		if p.cfg.MaxWait < 0 {
+			return fmt.Errorf("serve: %s pool max wait must be >= 0, got %v", p.name, p.cfg.MaxWait)
+		}
+		if p.cfg.CacheTokens < 0 || p.cfg.CacheEntries < 0 {
+			return fmt.Errorf("serve: %s pool cache budgets must be >= 0", p.name)
+		}
+	}
+	if c.Handoff.Latency < 0 {
+		return fmt.Errorf("serve: handoff latency must be >= 0, got %v", c.Handoff.Latency)
+	}
+	if c.Handoff.TokensPerSec < 0 {
+		return fmt.Errorf("serve: handoff rate must be >= 0, got %v", c.Handoff.TokensPerSec)
+	}
+	return nil
 }
 
 // withDefaults fills zero fields.
