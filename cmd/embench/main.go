@@ -11,7 +11,10 @@
 //	embench -run CoELA -serve-fleet 4 -serve-routing cache-affinity  # fleet of episodes, one endpoint
 //	embench -run CoELA -serve-fleet 64 -serve-shards 4    # ... sharded across 4 endpoints
 //	embench -run CoELA -serve-fleet 4 -trace-jsonl t.jsonl -trace-out t.json  # flight-record the run
+//	embench -run CoELA -serve-fleet 4 -serve-faults on    # fault-injected fleet (seeded crash-restart)
 //	embench -replay-trace t.jsonl -serve-replicas 2 -serve-batch 4  # re-run a recorded trace open-loop
+//	embench -replay-trace t.jsonl -serve-replicas 2 -serve-faults on -serve-deadline 40s -serve-retry on  # ... resiliently
+//	embench -exp fig14                                    # fault injection x resilience-policy sweep
 //	embench -list                                         # list workloads/experiments
 //
 // Experiments fan episodes out over -procs workers (default: all CPUs).
@@ -62,7 +65,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig12, table1, table2, opts, calibrate)")
+		exp      = flag.String("exp", "", "experiments to regenerate, comma-separated (fig2..fig14, table1, table2, opts, calibrate)")
 		run      = flag.String("run", "", "workload to run once (e.g. CoELA)")
 		diff     = flag.String("diff", "medium", "task difficulty: easy|medium|hard")
 		agents   = flag.Int("agents", 0, "team size (0 = workload default)")
@@ -100,6 +103,16 @@ func main() {
 			"fig12 end-to-end latency SLO (0 = default 60s; must not be negative)")
 		srvAutoscale = flag.String("serve-autoscale", "",
 			"fig12 autoscaled-deployment policy: 'on', or 'interval=30s,cold=15s,up=0.7,down=0.25,min=2,max=8' ('' = fig12 default)")
+		srvFaults = flag.String("serve-faults", "",
+			"deterministic replica fault injection on the shared endpoint: 'on' (mtbf=5m,mttr=30s), or 'mtbf=DUR,mttr=DUR,straggle=DUR,for=DUR,slow=F,seed=N' (''/'off' = none)")
+		srvRetry = flag.String("serve-retry", "",
+			"client retry policy for -replay-trace: 'on' (max=2,jitter=0.2), or 'max=N,base=DUR,factor=F,jitter=F' (''/'off' = none; needs -serve-deadline to trigger)")
+		srvHedge = flag.String("serve-hedge", "",
+			"client request hedging for -replay-trace: 'on' (delay=2s), or 'delay=DUR' (''/'off' = none)")
+		srvShed = flag.String("serve-shed", "",
+			"admission load shedding for -replay-trace: 'on' (queue=32), or 'queue=N,wait=DUR,prio=N' (''/'off' = none)")
+		srvDeadline = flag.Duration("serve-deadline", 0,
+			"per-attempt deadline stamped on every -replay-trace request (0 = none)")
 		traceJSONL = flag.String("trace-jsonl", "",
 			"flight-record a served -run (or -replay-trace rerun) and write the event log as JSONL to this path")
 		traceOut = flag.String("trace-out", "",
@@ -247,6 +260,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		faults, retry, hedge, shed := resilienceFlags(*srvFaults, *srvRetry, *srvHedge, *srvShed)
+		if *srvDeadline < 0 {
+			fatal(fmt.Errorf("-serve-deadline must not be negative, got %v", *srvDeadline))
+		}
 		f, err := os.Open(*replayTrace)
 		if err != nil {
 			fatal(err)
@@ -282,9 +299,17 @@ func main() {
 				Replicas: *srvDecodeReplicas, MaxBatch: *srvDecodeBatch, MaxWait: *srvDecodeWindow,
 			},
 			Handoff: handoff,
+			Faults:  faults, Retry: retry, Hedge: hedge, Shed: shed,
 		}
-		if err := sc.Validate(); err != nil {
+		// TryNew, not Validate: exercise the real construction path so a
+		// bad flag combo errors here instead of panicking inside Replay.
+		if _, err := serve.TryNew(sc); err != nil {
 			fatal(err)
+		}
+		if *srvDeadline > 0 {
+			for i := range reqs {
+				reqs[i].Deadline = *srvDeadline
+			}
 		}
 		var rec *obs.Recorder
 		var res serve.ReplayResult
@@ -301,6 +326,7 @@ func main() {
 			s.Replicas, sc.Routing, s.MeanQueueWait().Seconds(),
 			s.BatchOccupancy(), 100*s.CacheHitRate(), res.Throughput())
 		printPercentiles(s)
+		printResilience(s)
 		if rec != nil {
 			if err := writeTraces(rec, *traceJSONL, *traceOut); err != nil {
 				fatal(err)
@@ -319,6 +345,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		faults, retry, hedge, shed := resilienceFlags(*srvFaults, *srvRetry, *srvHedge, *srvShed)
 		// Negative serving sizes are configuration mistakes: fail with a
 		// clear message instead of silently clamping to a default.
 		for _, v := range []struct {
@@ -355,8 +382,11 @@ func main() {
 				Replicas: *srvDecodeReplicas, MaxBatch: *srvDecodeBatch, MaxWait: *srvDecodeWindow,
 			},
 			Handoff: handoff,
+			Faults:  faults, Retry: retry, Hedge: hedge, Shed: shed,
 		}
-		if err := sc.Validate(); err != nil {
+		// TryNew, not Validate: exercise the real construction path so a
+		// bad flag combo errors here instead of panicking mid-episode.
+		if _, err := serve.TryNew(sc); err != nil {
 			fatal(err)
 		}
 		// The flight recorder attaches to the shared endpoint, so tracing a
@@ -399,6 +429,7 @@ func main() {
 			fmt.Printf("kv cache    %.2f max replica share, %d peak cached tokens, %d evicted tokens\n",
 				s.MaxReplicaShare(), s.CacheTokensPeak, s.EvictedTokens)
 			printPercentiles(s)
+			printResilience(s)
 			if rec != nil {
 				if err := writeTraces(rec, *traceJSONL, *traceOut); err != nil {
 					fatal(err)
@@ -467,6 +498,40 @@ func printPercentiles(s metrics.Serving) {
 	fmt.Printf("latency     p50=%.1fs p95=%.1fs p99=%.1fs end-to-end; queue p50=%.1fs p95=%.1fs p99=%.1fs\n",
 		q(s.LatencyHist, 0.50), q(s.LatencyHist, 0.95), q(s.LatencyHist, 0.99),
 		q(s.QueueWaitHist, 0.50), q(s.QueueWaitHist, 0.95), q(s.QueueWaitHist, 0.99))
+}
+
+// printResilience renders the fault/resilience counters; quiet when no
+// failure machinery fired, so fault-free output is unchanged.
+func printResilience(s metrics.Serving) {
+	if s.ShedRequests == 0 && s.Retries == 0 && s.HedgesIssued == 0 &&
+		s.TimedOut == 0 && s.FailedBatches == 0 && s.ReplicaDowntime == 0 {
+		return
+	}
+	fmt.Printf("resilience  %d shed, %d retries, %d hedges (%d won), %d timed out; %d batches crash-killed, %.0fs replica downtime\n",
+		s.ShedRequests, s.Retries, s.HedgesIssued, s.HedgeWins, s.TimedOut,
+		s.FailedBatches, s.ReplicaDowntime.Seconds())
+}
+
+// resilienceFlags parses the fault/resilience flag strings, exiting with
+// the flag name attached on a bad spec.
+func resilienceFlags(faults, retry, hedge, shed string) (serve.Faults, serve.RetryPolicy, serve.HedgePolicy, serve.ShedPolicy) {
+	fx, err := embench.ParseFaults(faults)
+	if err != nil {
+		fatal(fmt.Errorf("-serve-faults: %w", err))
+	}
+	rp, err := embench.ParseRetry(retry)
+	if err != nil {
+		fatal(fmt.Errorf("-serve-retry: %w", err))
+	}
+	hp, err := embench.ParseHedge(hedge)
+	if err != nil {
+		fatal(fmt.Errorf("-serve-hedge: %w", err))
+	}
+	sp, err := embench.ParseShed(shed)
+	if err != nil {
+		fatal(fmt.Errorf("-serve-shed: %w", err))
+	}
+	return fx, rp, hp, sp
 }
 
 // writeTraces persists a recorded event stream in the requested formats:

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"embench/internal/benchjson"
 )
@@ -58,6 +60,7 @@ func main() {
 		fatal(fmt.Errorf("%s carries no experiment entries", *in))
 	}
 
+	warnStaleLabel(*history, *label)
 	prev := baselineWallTimes(*history, *window)
 	regressed := false
 	for _, e := range bf.Entries {
@@ -96,6 +99,74 @@ func main() {
 	if regressed && *fail {
 		os.Exit(1)
 	}
+}
+
+// warnStaleLabel flags a record label that does not advance the
+// trajectory sequence: an exact repeat of the previous record's label, or
+// a "prN-..." label whose number is at or below the previous record's.
+// (The history already carries one mislabeled line — a later PR landed
+// under the previous PR's label — because nothing checked this.) CI
+// labels records by commit SHA, which the prN check deliberately ignores;
+// repeated SHAs still warn, since re-measuring the same commit is usually
+// a pipeline mistake.
+func warnStaleLabel(path, label string) {
+	last := lastLabel(path)
+	if last == "" {
+		return
+	}
+	if label == last {
+		fmt.Fprintf(os.Stderr, "perftrack: warning: label %q repeats the previous record's label — give each measured change its own label so the trajectory stays attributable\n", label)
+		return
+	}
+	if ln, ok := prSeq(last); ok {
+		if nn, ok := prSeq(label); ok && nn <= ln {
+			fmt.Fprintf(os.Stderr, "perftrack: warning: label %q does not advance the previous record's %q — check the sequence number\n", label, last)
+		}
+	}
+}
+
+// prSeq extracts N from a "prN..." label.
+func prSeq(s string) (int, bool) {
+	if !strings.HasPrefix(s, "pr") {
+		return 0, false
+	}
+	digits := s[2:]
+	end := 0
+	for end < len(digits) && digits[end] >= '0' && digits[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits[:end])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// lastLabel reports the most recent parseable record's label ("" when the
+// history is missing or holds none), tolerating corrupt lines the same
+// way baselineWallTimes does.
+func lastLabel(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	last := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r benchjson.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			continue
+		}
+		if r.Label != "" {
+			last = r.Label
+		}
+	}
+	return last
 }
 
 // baselineWallTimes scans the history and reports, per run configuration

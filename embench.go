@@ -102,6 +102,45 @@ type HandoffCost = serve.Handoff
 // not a usable fallback.
 func ParseHandoff(s string) (HandoffCost, error) { return serve.ParseHandoff(s) }
 
+// FaultConfig is a deterministic replica fault process (seeded
+// crash-restart plus straggler episodes); the zero value disables it. See
+// serve.Faults.
+type FaultConfig = serve.Faults
+
+// ParseFaults converts a faults spec (""/"off" = disabled, "on" =
+// mtbf=5m,mttr=30s, or "mtbf=DUR,mttr=DUR,straggle=DUR,for=DUR,slow=F,
+// seed=N"). On error the returned config is the zero value, not a usable
+// fallback.
+func ParseFaults(s string) (FaultConfig, error) { return serve.ParseFaults(s) }
+
+// RetryPolicy re-issues deadline-expired replayed requests with seeded
+// exponential backoff; the zero value disables it. See serve.RetryPolicy.
+type RetryPolicy = serve.RetryPolicy
+
+// ParseRetry converts a retry spec (""/"off" = disabled, "on" = the
+// default max=2,jitter=0.2, or "max=N,base=DUR,factor=F,jitter=F"). On
+// error the returned policy is the zero value, not a usable fallback.
+func ParseRetry(s string) (RetryPolicy, error) { return serve.ParseRetry(s) }
+
+// HedgePolicy duplicates a replayed request that has waited past its delay
+// (first completion wins); the zero value disables it. See
+// serve.HedgePolicy.
+type HedgePolicy = serve.HedgePolicy
+
+// ParseHedge converts a hedge spec (""/"off" = disabled, "on" = delay=2s,
+// or "delay=DUR"). On error the returned policy is the zero value, not a
+// usable fallback.
+func ParseHedge(s string) (HedgePolicy, error) { return serve.ParseHedge(s) }
+
+// ShedPolicy is priority-aware admission load shedding for replayed
+// requests; the zero value disables it. See serve.ShedPolicy.
+type ShedPolicy = serve.ShedPolicy
+
+// ParseShed converts a shed spec (""/"off" = disabled, "on" = queue=32, or
+// "queue=N,wait=DUR,prio=N"). On error the returned policy is the zero
+// value, not a usable fallback.
+func ParseShed(s string) (ShedPolicy, error) { return serve.ParseShed(s) }
+
 // Workloads lists the benchmark suite's fourteen systems in the paper's
 // order.
 func Workloads() []string {
@@ -226,6 +265,10 @@ var experiments = map[string]func(cfg bench.Config) experimentOut{
 	"fig13": func(cfg bench.Config) experimentOut {
 		rep := bench.Fig13(cfg)
 		return experimentOut{report: bench.RenderFig13(rep), metrics: bench.Fig13Metrics(rep)}
+	},
+	"fig14": func(cfg bench.Config) experimentOut {
+		rep := bench.Fig14(cfg)
+		return experimentOut{report: bench.RenderFig14(rep), metrics: bench.Fig14Metrics(rep)}
 	},
 	"opts": plain(func(cfg bench.Config) string {
 		return bench.RenderOptimizations(bench.Optimizations(cfg), bench.Batching())

@@ -58,7 +58,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	want := []string{"calibrate", "fig10", "fig11", "fig12", "fig13", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
+	want := []string{"calibrate", "fig10", "fig11", "fig12", "fig13", "fig14", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "opts", "table1", "table2"}
 	if len(exps) != len(want) {
 		t.Fatalf("experiments = %v", exps)
 	}

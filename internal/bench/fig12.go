@@ -158,11 +158,11 @@ func Fig12(cfg Config) Fig12Report {
 				rep.Rows = append(rep.Rows, Fig12Row{
 					Arrival: kind, Tenants: n, Deploy: d.name, Replicas: d.replicas,
 					Requests: len(res.Completions), Makespan: res.Makespan,
-					P50:        s.LatencyHist.Quantile(0.50),
-					P95:        s.LatencyHist.Quantile(0.95),
-					P99:        s.LatencyHist.Quantile(0.99),
-					QueueP99:   s.QueueWaitHist.Quantile(0.99),
-					Attainment: s.SLOAttainment(slo),
+					P50:            s.LatencyHist.Quantile(0.50),
+					P95:            s.LatencyHist.Quantile(0.95),
+					P99:            s.LatencyHist.Quantile(0.99),
+					QueueP99:       s.QueueWaitHist.Quantile(0.99),
+					Attainment:     s.SLOAttainment(slo),
 					ReplicaSeconds: cost,
 					ScaleUps:       s.ScaleUps,
 					ScaleDowns:     s.ScaleDowns,

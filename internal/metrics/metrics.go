@@ -76,6 +76,22 @@ type Serving struct {
 	ReplicaTime time.Duration
 	ScaleUps    int
 	ScaleDowns  int
+	// Fault-injection and client-resilience accounting (internal/serve
+	// Faults / Retry / Hedge / Shed). All zero on fault-free runs; all sums,
+	// so fleets and episode batches merge exactly like every flow field.
+	// ShedRequests counts admission-shed logical requests, Retries
+	// re-issued attempts after a deadline timeout, HedgesIssued duplicate
+	// hedge attempts and HedgeWins the hedges that finished first, TimedOut
+	// logical requests abandoned with an exhausted retry budget,
+	// FailedBatches in-flight batches killed by a replica crash, and
+	// ReplicaDowntime integrates crash-window time on active replicas.
+	ShedRequests    int
+	Retries         int
+	HedgesIssued    int
+	HedgeWins       int
+	TimedOut        int
+	FailedBatches   int
+	ReplicaDowntime time.Duration
 }
 
 // Merge combines two serving aggregates (e.g. across episodes).
@@ -104,6 +120,13 @@ func (s Serving) Merge(o Serving) Serving {
 	s.ReplicaTime += o.ReplicaTime
 	s.ScaleUps += o.ScaleUps
 	s.ScaleDowns += o.ScaleDowns
+	s.ShedRequests += o.ShedRequests
+	s.Retries += o.Retries
+	s.HedgesIssued += o.HedgesIssued
+	s.HedgeWins += o.HedgeWins
+	s.TimedOut += o.TimedOut
+	s.FailedBatches += o.FailedBatches
+	s.ReplicaDowntime += o.ReplicaDowntime
 	if len(o.ReplicaRequests) > 0 {
 		if len(o.ReplicaRequests) > len(s.ReplicaRequests) {
 			grown := make([]int, len(o.ReplicaRequests))

@@ -141,7 +141,13 @@ func RunFleet(ctx context.Context, g FleetGroup) (FleetResult, error) {
 	if n == 0 {
 		return res, nil
 	}
-	fleet := serve.NewShardedFleet(g.fleetServe(), n, g.Shards)
+	sc := g.fleetServe()
+	// Validate through TryNew so a bad group config surfaces as an error
+	// from RunFleet instead of a construction panic inside the shard loop.
+	if _, err := serve.TryNew(sc); err != nil {
+		return FleetResult{}, err
+	}
+	fleet := serve.NewShardedFleet(sc, n, g.Shards)
 	if g.Sink != nil {
 		fleet.SetSink(g.Sink)
 	}

@@ -197,6 +197,13 @@ func (e *Endpoint) evalAutoscale(now time.Duration) {
 			// A reactivated replica was retired idle (freeAt <= its
 			// retirement tick <= now), so the warm-up window starts now.
 			e.replicas[i].freeAt = now + a.ColdStart
+			if e.fx != nil {
+				// Crash windows that elapsed while the replica was parked
+				// never interrupted service: drop them uncounted (its cache
+				// is already cold). Windows overlapping the activation stay
+				// pending and apply as idle crashes.
+				e.dropFaultsBefore(i, now)
+			}
 		}
 		e.active = want
 		e.stats.ScaleUps++

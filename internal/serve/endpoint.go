@@ -95,6 +95,11 @@ type Endpoint struct {
 	sink  obs.Sink
 	shard int
 	reqID int64
+	// fx, when non-nil, is the fault-injection state (see faults.go): the
+	// per-replica crash and straggler schedules plus the serving-path hooks
+	// that apply them. nil — the zero-value Faults default — leaves every
+	// path byte-identical to fault-free builds, same contract as sink/dis.
+	fx *faultState
 	// dis, when non-nil, makes this endpoint a disaggregated parent: every
 	// serving entry point dispatches to the prefill/decode stage pools (see
 	// disagg.go) and the fields above except sink/shard go unused. nil — the
@@ -138,7 +143,20 @@ func New(cfg Config) *Endpoint {
 		e.active = cfg.Autoscale.Min
 		e.asNext = cfg.Autoscale.Interval
 	}
+	if cfg.Faults.enabled() {
+		e.fx = newFaultState(cfg.Faults, cfg.Replicas)
+	}
 	return e
+}
+
+// TryNew is New with the panic turned into an error: it validates cfg and
+// builds the endpoint, so flag-driven callers (the CLI, experiment sweeps)
+// can reject a bad config cleanly instead of crashing.
+func TryNew(cfg Config) (*Endpoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
 }
 
 // chainInto hashes a prompt's prefix chain under the endpoint's configured
@@ -217,6 +235,10 @@ func (e *Endpoint) Reset() {
 		e.active = e.cfg.Autoscale.Min
 		e.asNext = e.cfg.Autoscale.Interval
 	}
+	if e.cfg.Faults.enabled() {
+		// Fresh streams: a reset endpoint replays the same fault schedule.
+		e.fx = newFaultState(e.cfg.Faults, e.cfg.Replicas)
+	}
 }
 
 // Serve is the closed-loop entry point: one live request, submitted at the
@@ -236,6 +258,11 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 	if e.dis != nil {
 		return e.dis.serve(e, c)
 	}
+	if e.fx != nil {
+		// Apply every crash window that has begun by the arrival watermark
+		// first, so routing and the autoscaler below see live replicas only.
+		e.applyFaults(c.Arrival)
+	}
 	e.maybeAutoscale(c.Arrival)
 	// Hash the prompt's prefix chain exactly once; routing probes and
 	// admission pricing below all share this key.
@@ -251,9 +278,14 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		e.emitRoute(req, c.Arrival, r, k)
 	}
 
-	// Join the in-flight frontier batch when the window allows.
+	// Join the in-flight frontier batch when the window allows. Under fault
+	// injection a join must also prove the extended batch still ends before
+	// the replica's next scheduled crash (joinSafe probes without mutating);
+	// an unsafe join falls through to the new-batch path, whose crash-retry
+	// loop re-routes the request.
 	if e.cfg.MaxBatch > 1 && r.batchN > 0 && r.batchN < e.cfg.MaxBatch &&
-		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival {
+		c.Arrival <= r.batchStart+e.cfg.MaxWait && r.freeAt > c.Arrival &&
+		(e.fx == nil || e.joinSafe(r, k, c.OutTokens)) {
 		var ri, evBefore int
 		if e.sink != nil {
 			ri = e.rindex(r)
@@ -266,7 +298,15 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		if c.OutTokens > r.batchOut {
 			r.batchOut = c.OutTokens
 		}
-		end := r.batchStart + e.cfg.Profile.BatchServiceTime(r.batchN, r.batchTok, r.batchOut)
+		svc := e.cfg.Profile.BatchServiceTime(r.batchN, r.batchTok, r.batchOut)
+		if e.fx != nil {
+			// The in-flight batch launched under this straggler factor; its
+			// extension pays the same slowdown.
+			if f := e.fx.clocks[e.rindex(r)].batchFactor; f > 1 {
+				svc = time.Duration(float64(svc) * f)
+			}
+		}
+		end := r.batchStart + svc
 		if end < r.batchEnd {
 			end = r.batchEnd
 		}
@@ -326,19 +366,69 @@ func (e *Endpoint) Serve(c llm.Call) llm.Served {
 		}
 	}
 
-	// Start a new batch: queue behind the replica's frontier if busy.
-	start := c.Arrival
-	if r.freeAt > start {
-		start = r.freeAt
+	// Start a new batch: queue behind the replica's frontier if busy. Under
+	// fault injection the admission may fail — the batch's service span hits
+	// a scheduled crash — in which case the crash kills the batch and the
+	// request re-enters admission at the crash time, routing again among the
+	// surviving replicas (deterministically: the schedule is seeded).
+	e.oneKey[0], e.oneOut[0] = k, c.OutTokens
+	var (
+		start, service time.Duration
+		members        []admitted
+		totalEff       float64
+		maxOut         int
+		ri, evBefore   int
+	)
+	arrival := c.Arrival
+	for {
+		start = arrival
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+		if e.fx != nil {
+			// Crash windows opening while the replica sits idle (or warms up
+			// after a scale-up) push its availability back before the batch
+			// can begin.
+			fi := e.rindex(r)
+			e.applyIdleCrashes(r, fi, start)
+			if r.freeAt > start {
+				start = r.freeAt
+			}
+		}
+		if e.sink != nil {
+			ri = e.rindex(r)
+			_, _, evBefore = r.cache.stats()
+		}
+		service, members, totalEff, maxOut = e.admitBatch(r, e.oneKey[:], e.oneOut[:])
+		if e.fx == nil {
+			break
+		}
+		fi := e.rindex(r)
+		f := e.stragFactor(fi, start)
+		if f > 1 {
+			service = time.Duration(float64(service) * f)
+		}
+		if w, hit := e.crashIn(fi, start, start+service); hit {
+			// Undo the admission the crash voided: the replica never served
+			// the request (its count reverts), but the span it burned until
+			// the crash is real occupancy — the autoscaler sees failures as
+			// scale-up pressure. crashReplica flushes the cache, erasing the
+			// admission's inserted prefixes along with the warm state.
+			r.requests--
+			e.busyAcc += w.start - start
+			e.crashReplica(r, fi, w, 1)
+			e.applyFaults(w.start)
+			arrival = w.start
+			r = e.route(arrival, k, c.OutTokens)
+			if e.sink != nil {
+				e.emitRoute(req, arrival, r, k)
+			}
+			continue
+		}
+		e.fx.clocks[fi].batchFactor = f
+		break
 	}
 	wait := start - c.Arrival
-	e.oneKey[0], e.oneOut[0] = k, c.OutTokens
-	var ri, evBefore int
-	if e.sink != nil {
-		ri = e.rindex(r)
-		_, _, evBefore = r.cache.stats()
-	}
-	service, members, totalEff, maxOut := e.admitBatch(r, e.oneKey[:], e.oneOut[:])
 	end := start + service
 	e.sealFrontier(r)
 	r.startBatch(start, end, 1, totalEff, maxOut, service)
@@ -410,24 +500,69 @@ func (e *Endpoint) ServeBatch(calls []llm.Call) []llm.Served {
 		arena = arena[:len(arena)+len(keys[i].secs)]
 		outs[i] = c.OutTokens
 	}
-	r := e.routeBatch(arrival, keys, calls[0].OutTokens)
-	start := arrival
-	if r.freeAt > start {
-		start = r.freeAt
+	if e.fx != nil {
+		e.applyFaults(arrival)
 	}
-	var ri, evBefore int
+	r := e.routeBatch(arrival, keys, calls[0].OutTokens)
 	var reqIDs []int64
 	if e.sink != nil {
-		ri = e.rindex(r)
 		reqIDs = make([]int64, len(calls))
 		for i, c := range calls {
 			reqIDs[i] = e.nextReq()
 			e.emitSubmit(reqIDs[i], c.Agent, c.Arrival, c.Prompt, c.OutTokens, 0)
 		}
 		e.emitRoute(reqIDs[0], arrival, r, keys[0])
-		_, _, evBefore = r.cache.stats()
 	}
-	service, members, totalEff, maxOut := e.admitBatch(r, keys, outs)
+	// Same crash-retry shape as Serve's new-batch path: an explicit batch
+	// whose span hits a scheduled crash dies whole and re-enters admission
+	// at the crash time.
+	var (
+		start, service time.Duration
+		members        []admitted
+		totalEff       float64
+		maxOut         int
+		ri, evBefore   int
+	)
+	for {
+		start = arrival
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+		if e.fx != nil {
+			fi := e.rindex(r)
+			e.applyIdleCrashes(r, fi, start)
+			if r.freeAt > start {
+				start = r.freeAt
+			}
+		}
+		if e.sink != nil {
+			ri = e.rindex(r)
+			_, _, evBefore = r.cache.stats()
+		}
+		service, members, totalEff, maxOut = e.admitBatch(r, keys, outs)
+		if e.fx == nil {
+			break
+		}
+		fi := e.rindex(r)
+		f := e.stragFactor(fi, start)
+		if f > 1 {
+			service = time.Duration(float64(service) * f)
+		}
+		if w, hit := e.crashIn(fi, start, start+service); hit {
+			r.requests -= len(calls)
+			e.busyAcc += w.start - start
+			e.crashReplica(r, fi, w, len(calls))
+			e.applyFaults(w.start)
+			arrival = w.start
+			r = e.routeBatch(arrival, keys, calls[0].OutTokens)
+			if e.sink != nil {
+				e.emitRoute(reqIDs[0], arrival, r, keys[0])
+			}
+			continue
+		}
+		e.fx.clocks[fi].batchFactor = f
+		break
+	}
 	end := start + service
 	e.sealFrontier(r)
 	r.startBatch(start, end, len(calls), totalEff, maxOut, service)

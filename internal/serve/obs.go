@@ -152,6 +152,37 @@ func (e *Endpoint) emitComplete(req int64, agent string, ri int, end, lat, wait 
 	})
 }
 
+// emitRetry records a deadline-triggered re-issue entering admission:
+// attempt is the retry number (1 = first retry), backoff the seeded delay
+// it waited after the timeout.
+func (e *Endpoint) emitRetry(req int64, t, backoff time.Duration, attempt int) {
+	e.sink.Event(obs.Event{
+		Kind: obs.KindRetry, T: t, Shard: e.shard,
+		Req: req, Dur: backoff, Batch: attempt,
+	})
+}
+
+// emitHedge records a duplicate hedged attempt entering admission.
+func (e *Endpoint) emitHedge(req int64, t time.Duration) {
+	e.sink.Event(obs.Event{Kind: obs.KindHedge, T: t, Shard: e.shard, Req: req})
+}
+
+// emitShed records a load-shedding rejection with the priority class the
+// decision honored.
+func (e *Endpoint) emitShed(req int64, t time.Duration, priority int) {
+	e.sink.Event(obs.Event{
+		Kind: obs.KindShed, T: t, Shard: e.shard, Req: req, Priority: priority,
+	})
+}
+
+// emitTimeout records one attempt's deadline expiring before its batch
+// launched.
+func (e *Endpoint) emitTimeout(req int64, t, deadline time.Duration) {
+	e.sink.Event(obs.Event{
+		Kind: obs.KindTimeout, T: t, Shard: e.shard, Req: req, Dur: deadline,
+	})
+}
+
 // SetSink attaches a flight-recorder sink to the fleet's shared endpoint.
 // Call before any episode issues a request (like SetGate). Fleet-merge
 // admissions appear as admit events, each immediately followed by the

@@ -103,6 +103,24 @@ func Validate(events []Event) error {
 			if ev.Tokens < 0 {
 				return fmt.Errorf("obs: event %d: handoff with negative tokens", i)
 			}
+		case KindReplicaDown:
+			if ev.Dur <= 0 {
+				return fmt.Errorf("obs: event %d: replica_down with non-positive repair window %v", i, ev.Dur)
+			}
+			if ev.Tokens < 0 || ev.Batch < 0 {
+				return fmt.Errorf("obs: event %d: replica_down with negative flushed tokens/killed batch", i)
+			}
+		case KindRetry:
+			if ev.Dur < 0 {
+				return fmt.Errorf("obs: event %d: retry with negative backoff %v", i, ev.Dur)
+			}
+			if ev.Batch < 1 {
+				return fmt.Errorf("obs: event %d: retry with attempt number %d < 1", i, ev.Batch)
+			}
+		case KindTimeout:
+			if ev.Dur <= 0 {
+				return fmt.Errorf("obs: event %d: timeout with non-positive deadline %v", i, ev.Dur)
+			}
 		}
 	}
 	return nil

@@ -98,6 +98,33 @@ const (
 	// priced transfer time (the decode pool sees the request at T + Dur).
 	// Stage is "handoff"; stage-pool events carry Stage "prefill"/"decode".
 	KindHandoff Kind = "handoff"
+	// KindReplicaDown is an injected replica crash (serve.Faults): T is the
+	// crash time, Tokens the warm cache tokens the crash destroyed (the
+	// restart comes back cold), Dur the scheduled repair window, Batch the
+	// in-flight sequences the crash killed (0 for an idle-replica crash —
+	// killed requests re-enter admission and re-serve or shed, never vanish).
+	KindReplicaDown Kind = "replica_down"
+	// KindReplicaUp is the matching restart: T is the repair-window end at
+	// which Replica takes traffic again, with a cold cache.
+	KindReplicaUp Kind = "replica_up"
+	// KindRetry is a client re-issue after a deadline timeout: T is when the
+	// retried attempt re-enters admission, Dur the seeded backoff it waited,
+	// Batch the attempt number (1 = first retry).
+	KindRetry Kind = "retry"
+	// KindHedge is a duplicate hedged attempt: the request had waited
+	// HedgePolicy.Delay without completing, so a second copy entered
+	// admission at T. First completion wins; the loser is cancelled (and
+	// priced, if it reached a batch).
+	KindHedge Kind = "hedge"
+	// KindShed is a load-shedding rejection: admission refused the request
+	// at T under queue pressure (ShedPolicy). Priority carries the class the
+	// decision honored. Shed requests are surfaced, not silently dropped.
+	KindShed Kind = "shed"
+	// KindTimeout is a deadline expiry: the attempt had not started service
+	// by T (its arrival plus Request.Deadline, carried in Dur). A retry
+	// event follows while budget remains; otherwise the request resolves
+	// timed-out.
+	KindTimeout Kind = "timeout"
 )
 
 // knownKinds is the schema's closed kind set (Validate).
@@ -107,6 +134,8 @@ var knownKinds = map[Kind]bool{
 	KindComplete: true, KindCacheHit: true, KindCacheMiss: true,
 	KindCacheEvict: true, KindCacheFlush: true, KindScaleTick: true,
 	KindScaleUp: true, KindScaleDown: true, KindHandoff: true,
+	KindReplicaDown: true, KindReplicaUp: true, KindRetry: true,
+	KindHedge: true, KindShed: true, KindTimeout: true,
 }
 
 // Section is one prompt section's recorded identity: enough to rebuild the

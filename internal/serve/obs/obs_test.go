@@ -216,6 +216,11 @@ func TestValidateRejections(t *testing.T) {
 		{"cached exceeds total", []Event{{Kind: KindCacheHit, Cached: 10, Tokens: 5}}, "outside total"},
 		{"negative evict", []Event{{Kind: KindCacheEvict, Tokens: -1}}, "negative tokens"},
 		{"negative active", []Event{{Kind: KindScaleUp, Active: -2}}, "negative active"},
+		{"down without window", []Event{{Kind: KindReplicaDown}}, "non-positive repair window"},
+		{"down negative kill", []Event{{Kind: KindReplicaDown, Dur: 1, Batch: -1}}, "negative flushed tokens/killed batch"},
+		{"retry attempt zero", []Event{{Kind: KindRetry}}, "attempt number 0 < 1"},
+		{"retry negative backoff", []Event{{Kind: KindRetry, Dur: -1, Batch: 1}}, "negative backoff"},
+		{"timeout without deadline", []Event{{Kind: KindTimeout}}, "non-positive deadline"},
 	}
 	for _, tc := range cases {
 		err := Validate(tc.evs)
@@ -225,6 +230,20 @@ func TestValidateRejections(t *testing.T) {
 	}
 	if err := Validate(handStream()); err != nil {
 		t.Errorf("hand stream should validate: %v", err)
+	}
+	// A well-formed fault/resilience lifecycle must validate: every new
+	// kind in one stream, Seq monotone across them.
+	faultStream := []Event{
+		{Seq: 0, Kind: KindConfig, Active: 1, Replica: 1, Batch: 1},
+		{Seq: 1, Kind: KindShed, T: sec(0.5), Req: 1},
+		{Seq: 2, Kind: KindRetry, T: sec(1), Req: 2, Dur: sec(0.5), Batch: 1},
+		{Seq: 3, Kind: KindHedge, T: sec(1.5), Req: 3},
+		{Seq: 4, Kind: KindReplicaDown, T: sec(2), Replica: 0, Dur: sec(5), Tokens: 100, Batch: 2},
+		{Seq: 5, Kind: KindTimeout, T: sec(3), Req: 2, Dur: sec(2)},
+		{Seq: 6, Kind: KindReplicaUp, T: sec(7), Replica: 0},
+	}
+	if err := Validate(faultStream); err != nil {
+		t.Errorf("fault lifecycle stream should validate: %v", err)
 	}
 }
 

@@ -15,6 +15,15 @@ type Request struct {
 	Arrival   time.Duration
 	Prompt    prompt.Prompt
 	OutTokens int
+	// Deadline is the client's per-attempt timeout: an attempt whose batch
+	// has not LAUNCHED within Deadline of the attempt entering admission is
+	// abandoned (an in-flight batch always runs to completion). Expiry
+	// triggers the config's RetryPolicy while budget remains; otherwise the
+	// request resolves timed-out. 0 — the default — means no deadline, and
+	// any resilient replay feature (this, retries, hedging, shedding,
+	// fault injection) routes the trace through the resilient event loop;
+	// all-zero traces on fault-free configs take the seed loop unchanged.
+	Deadline time.Duration
 }
 
 // Completion describes how one replayed request was served. On a
@@ -35,6 +44,18 @@ type Completion struct {
 	// Disaggregated-endpoint stage split; zero on monolithic replays.
 	PrefillDone time.Duration // prefill batch completion (handoff begins)
 	DecodeWait  time.Duration // decode-pool admission-queue delay
+	// Outcome labels resilient-replay resolutions: OutcomeServed (the zero
+	// value — every fault-free replay's label), OutcomeShed (admission
+	// rejected the request under load), or OutcomeTimedOut (deadline expired
+	// with the retry budget exhausted). Shed and timed-out completions carry
+	// Done = the resolution time and zero batch fields.
+	Outcome Outcome
+	// Retries / Hedged record how hard the client worked for a resilient
+	// completion: re-issued attempts and whether a hedge duplicate was ever
+	// issued (a served request with Hedged=true may have been won by either
+	// copy).
+	Retries int
+	Hedged  bool
 }
 
 // ReplayResult bundles a replay's per-request completions (in submission
@@ -76,6 +97,12 @@ func Replay(cfg Config, reqs []Request) ReplayResult {
 func replayOn(e *Endpoint, reqs []Request) ReplayResult {
 	if e.dis != nil {
 		return replayDisagg(e, reqs)
+	}
+	if e.fx != nil || e.cfg.resilient() || anyDeadline(reqs) {
+		// Fault injection and client resilience run in their own event loop
+		// (resilience.go); the seed loop below stays byte-identical for every
+		// fault-free, policy-free trace.
+		return replayResilient(e, reqs)
 	}
 	res := ReplayResult{Completions: make([]Completion, len(reqs))}
 	if len(reqs) == 0 {

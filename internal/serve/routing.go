@@ -66,24 +66,38 @@ func ParseIdentity(s string) (CacheIdentity, error) {
 func (e *Endpoint) route(arrival time.Duration, k promptKey, outTokens int) *replica {
 	switch e.cfg.Routing {
 	case RouteCacheAffinity:
-		return e.routeCacheAffinity(k)
+		return e.routeCacheAffinity(arrival, k)
 	case RouteShortestCompletion:
 		return e.routeShortestCompletion(arrival, k, outTokens)
 	default:
-		return e.routeLeastLoaded()
+		return e.routeLeastLoaded(arrival)
 	}
 }
 
 // routeLeastLoaded returns the replica with the earliest freeAt, lowest
 // index on ties — the router every multi-replica deployment runs. Like
 // every routing loop, it scans only the active replicas (replicas[:active]
-// — the full set unless autoscaling has parked some).
-func (e *Endpoint) routeLeastLoaded() *replica {
+// — the full set unless autoscaling has parked some), and under fault
+// injection only the LIVE ones — a crashed replica takes no traffic until
+// its repair window ends (fxDown), unless every candidate is down, in which
+// case the earliest restart wins (the fallback every routing loop shares).
+func (e *Endpoint) routeLeastLoaded(t time.Duration) *replica {
 	act := e.replicas[:e.active]
-	best := &act[0]
-	for i := 1; i < len(act); i++ {
-		if act[i].freeAt < best.freeAt {
+	var best *replica
+	for i := range act {
+		if e.fxDown(i, t) {
+			continue
+		}
+		if best == nil || act[i].freeAt < best.freeAt {
 			best = &act[i]
+		}
+	}
+	if best == nil {
+		best = &act[0]
+		for i := 1; i < len(act); i++ {
+			if act[i].freeAt < best.freeAt {
+				best = &act[i]
+			}
 		}
 	}
 	return best
@@ -105,16 +119,22 @@ func affinityScore(r *replica, k promptKey) (score, hit int) {
 // routeCacheAffinity returns the replica with the best capacity-adjusted
 // prefix coverage of the keyed prompt; ties fall back to least-loaded, then
 // lowest index.
-func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
+func (e *Endpoint) routeCacheAffinity(t time.Duration, k promptKey) *replica {
 	act := e.replicas[:e.active]
-	best := &act[0]
-	bestScore, _ := affinityScore(best, k)
-	for i := 1; i < len(act); i++ {
+	var best *replica
+	bestScore := 0
+	for i := range act {
+		if e.fxDown(i, t) {
+			continue
+		}
 		r := &act[i]
 		score, _ := affinityScore(r, k)
-		if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
+		if best == nil || score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
 			best, bestScore = r, score
 		}
+	}
+	if best == nil {
+		return e.routeLeastLoaded(t)
 	}
 	return best
 }
@@ -126,13 +146,19 @@ func (e *Endpoint) routeCacheAffinity(k promptKey) *replica {
 // routers, it prices the request as if it ran alone.
 func (e *Endpoint) routeShortestCompletion(arrival time.Duration, k promptKey, outTokens int) *replica {
 	act := e.replicas[:e.active]
-	best := &act[0]
-	bestDone := e.estimateCompletion(best, arrival, k, outTokens)
-	for i := 1; i < len(act); i++ {
+	var best *replica
+	var bestDone time.Duration
+	for i := range act {
+		if e.fxDown(i, arrival) {
+			continue
+		}
 		r := &act[i]
-		if done := e.estimateCompletion(r, arrival, k, outTokens); done < bestDone {
+		if done := e.estimateCompletion(r, arrival, k, outTokens); best == nil || done < bestDone {
 			best, bestDone = r, done
 		}
+	}
+	if best == nil {
+		return e.routeLeastLoaded(arrival)
 	}
 	return best
 }
@@ -181,28 +207,40 @@ func (e *Endpoint) routeBatch(arrival time.Duration, keys []promptKey, outTokens
 	act := e.replicas[:e.active]
 	switch e.cfg.Routing {
 	case RouteCacheAffinity:
-		best := &act[0]
-		bestScore := best.cache.matchKey(keys[0]) - e.batchPressure(best, keys)
-		for i := 1; i < len(act); i++ {
+		var best *replica
+		bestScore := 0
+		for i := range act {
+			if e.fxDown(i, arrival) {
+				continue
+			}
 			r := &act[i]
 			score := r.cache.matchKey(keys[0]) - e.batchPressure(r, keys)
-			if score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
+			if best == nil || score > bestScore || (score == bestScore && r.freeAt < best.freeAt) {
 				best, bestScore = r, score
 			}
 		}
+		if best == nil {
+			return e.routeLeastLoaded(arrival)
+		}
 		return best
 	case RouteShortestCompletion:
-		best := &act[0]
-		bestDone := e.estimateBatchCompletion(best, arrival, keys, outTokens)
-		for i := 1; i < len(act); i++ {
+		var best *replica
+		var bestDone time.Duration
+		for i := range act {
+			if e.fxDown(i, arrival) {
+				continue
+			}
 			r := &act[i]
-			if done := e.estimateBatchCompletion(r, arrival, keys, outTokens); done < bestDone {
+			if done := e.estimateBatchCompletion(r, arrival, keys, outTokens); best == nil || done < bestDone {
 				best, bestDone = r, done
 			}
 		}
+		if best == nil {
+			return e.routeLeastLoaded(arrival)
+		}
 		return best
 	default:
-		return e.routeLeastLoaded()
+		return e.routeLeastLoaded(arrival)
 	}
 }
 

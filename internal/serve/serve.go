@@ -139,6 +139,20 @@ type Config struct {
 	// Handoff prices the prefill→decode KV transfer. The zero value is a
 	// free, instantaneous handoff.
 	Handoff Handoff
+	// Faults injects deterministic replica failures: seeded per-replica
+	// crash-restart (MTBF/MTTR) and straggler (service-multiplier) processes,
+	// independent of traffic. The zero value disables injection and keeps
+	// every serving path byte-identical to fault-free builds. See Faults.
+	Faults Faults
+	// Retry, Hedge and Shed are the client-resilience policies open-loop
+	// replay applies around the endpoint: deadline-triggered seeded-backoff
+	// retries, duplicate hedged attempts (first completion wins), and
+	// priority-aware admission shedding. All zero values disable. Resilience
+	// acts in Replay (the front-door model) only; closed-loop episode calls
+	// resolve synchronously and rely on server-side crash re-admission.
+	Retry RetryPolicy
+	Hedge HedgePolicy
+	Shed  ShedPolicy
 }
 
 // PoolConfig sizes one stage pool of a disaggregated endpoint. Fields
@@ -245,6 +259,9 @@ func (c Config) Validate() error {
 		if c.Autoscale.enabled() {
 			return fmt.Errorf("serve: autoscaling is monolithic-only; disable it when Prefill/Decode pools are set")
 		}
+		if c.Faults.enabled() || c.Retry.enabled() || c.Hedge.enabled() || c.Shed.enabled() {
+			return fmt.Errorf("serve: fault injection and client resilience are monolithic-only; disable them when Prefill/Decode pools are set")
+		}
 	}
 	for _, p := range []struct {
 		name string
@@ -268,6 +285,18 @@ func (c Config) Validate() error {
 	}
 	if c.Handoff.TokensPerSec < 0 {
 		return fmt.Errorf("serve: handoff rate must be >= 0, got %v", c.Handoff.TokensPerSec)
+	}
+	if err := c.Faults.validate(); err != nil {
+		return err
+	}
+	if c.Retry.Max < 0 || c.Retry.Base < 0 || c.Retry.Factor < 0 || c.Retry.Jitter < 0 {
+		return fmt.Errorf("serve: retry policy fields must be >= 0")
+	}
+	if c.Hedge.Delay < 0 {
+		return fmt.Errorf("serve: hedge delay must be >= 0, got %v", c.Hedge.Delay)
+	}
+	if c.Shed.Queue < 0 || c.Shed.Wait < 0 {
+		return fmt.Errorf("serve: shed thresholds must be >= 0")
 	}
 	return nil
 }
@@ -302,5 +331,7 @@ func (c Config) withDefaults() Config {
 		c.CachedPrefillFrac = 1
 	}
 	c.Autoscale = c.Autoscale.withDefaults(c.Replicas)
+	c.Faults = c.Faults.withDefaults()
+	c.Retry = c.Retry.withDefaults()
 	return c
 }

@@ -147,8 +147,8 @@ func TestReplayArrivalTieBreak(t *testing.T) {
 	// Two tenants collide at t=0 and again at t=5s; tenant B is submitted
 	// first at the second collision but tenant A outranks it there.
 	reqs := []Request{
-		mk("tenantA-0", 0, 0),          // index 0: ties with index 1 → first
-		mk("tenantB-0", 0, 0),          // index 1
+		mk("tenantA-0", 0, 0),             // index 0: ties with index 1 → first
+		mk("tenantB-0", 0, 0),             // index 1
 		mk("tenantB-1", 5*time.Second, 1), // index 2: loses the t=5s tie on priority
 		mk("tenantA-1", 5*time.Second, 0), // index 3
 	}
