@@ -1,0 +1,239 @@
+// Command detlint runs the suite's determinism-and-mergeability analyzers
+// (internal/analysis): maprange, wallclock, rawrand, mergefields.
+//
+// Standalone, from the module root:
+//
+//	go run ./cmd/detlint ./...          # exit 0 clean, 1 on findings
+//	go run ./cmd/detlint -maprange=false ./internal/serve/...
+//
+// As a vet tool, so findings ride the build cache and gate exactly like
+// vet's own checks:
+//
+//	go build -o /tmp/detlint ./cmd/detlint
+//	go vet -vettool=/tmp/detlint ./...
+//
+// The vettool mode speaks cmd/go's vet protocol: -V=full prints a
+// content-derived build ID for action caching, -flags enumerates the
+// analyzer toggles as JSON, and a single *.cfg argument is a vet config
+// whose PackageFile map supplies the export data every import resolves
+// from — the same files `go list -export` names, so no network, no
+// GOPATH, no golang.org/x/tools.
+//
+// Findings print as file:line:col: analyzer: message. Suppression is the
+// //detlint:allow directive (see internal/analysis); stale or
+// unjustified directives are findings too.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"embench/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go vet protocol: -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go vet protocol)")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: detlint [flags] [package pattern ...] | vet.cfg\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *versionFlag != "":
+		return printVersion(*versionFlag)
+	case *flagsFlag:
+		return printFlags(fs)
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], analyzers)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(rest, analyzers)
+}
+
+// printVersion implements the -V=full handshake: cmd/go derives the vet
+// action cache key from this line, so it embeds a digest of the detlint
+// binary itself — rebuilding detlint invalidates cached vet results.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("detlint version devel")
+		return 0
+	}
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("detlint version devel buildID=%x\n", h.Sum(nil)[:12])
+	return 0
+}
+
+// printFlags implements the -flags handshake: cmd/go asks the tool which
+// flags it understands so `go vet -vettool=detlint -maprange=false` can
+// route them through.
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		_, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// runStandalone loads the packages matching the patterns via the go
+// command and analyzes them all in one process.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors cmd/go/internal/work's vet config JSON (the fields
+// detlint consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by a cmd/go vet config.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// detlint computes no cross-package facts, so its vetx output is
+	// always empty; writing it anyway lets cmd/go cache the (empty)
+	// result instead of re-running dependency actions every build.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, no reporting — and we have no facts.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	imp := analysis.NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	typesPkg, info, err := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "detlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}
+	findings, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -141,6 +141,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate mode-independent serving flags up front so a malformed spec
+	// fails the same way no matter which mode consumes it.
+	if *srvDeadline < 0 {
+		fatal(fmt.Errorf("-serve-deadline must not be negative, got %v", *srvDeadline))
+	}
+
 	switch {
 	case *list:
 		fmt.Println("workloads: ", strings.Join(embench.Workloads(), ", "))
@@ -181,6 +187,7 @@ func main() {
 			if name == "" {
 				continue
 			}
+			//detlint:allow wallclock harness wall-timing for the run footer; not simulation time
 			start := time.Now()
 			report, metrics, err := embench.ExperimentFull(name, embench.ExperimentConfig{
 				Episodes: *episodes, Seed: *seed, Parallelism: *procs,
@@ -191,6 +198,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			//detlint:allow wallclock harness wall-timing for the run footer; not simulation time
 			wall := time.Since(start)
 			fmt.Print(report)
 			// The axis is rendered from the EFFECTIVE parsed axes —
@@ -261,9 +269,6 @@ func main() {
 			fatal(err)
 		}
 		faults, retry, hedge, shed := resilienceFlags(*srvFaults, *srvRetry, *srvHedge, *srvShed)
-		if *srvDeadline < 0 {
-			fatal(fmt.Errorf("-serve-deadline must not be negative, got %v", *srvDeadline))
-		}
 		f, err := os.Open(*replayTrace)
 		if err != nil {
 			fatal(err)

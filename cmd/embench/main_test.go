@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the embench binary into a temp dir; every CLI
+// error-surface case execs the same artifact, so the table exercises the
+// real flag plumbing, not a re-implementation of it.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "embench-cli-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	bin := filepath.Join(dir, "embench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building embench: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCLIErrorSurface pins the contract that every config-validation
+// failure exits non-zero with a single-line "embench: ..." error naming
+// the offending flag — no panic, no goroutine dump, no partial run.
+func TestCLIErrorSurface(t *testing.T) {
+	bin := buildBinary(t)
+
+	// All resilience specs parse before the trace file opens, so a
+	// nonexistent -replay-trace path reaches the spec error first.
+	replay := []string{"-replay-trace", "does-not-exist.jsonl"}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the one-line stderr
+	}{
+		{"faults missing separator", append(replay, "-serve-faults", "bogus"), "-serve-faults:"},
+		{"faults bad duration", append(replay, "-serve-faults", "mtbf=fast"), "-serve-faults:"},
+		{"faults negative duration", append(replay, "-serve-faults", "mttr=-3s"), "-serve-faults:"},
+		{"retry bad max", append(replay, "-serve-retry", "max=many"), "-serve-retry:"},
+		{"retry zero max", append(replay, "-serve-retry", "max=0"), "-serve-retry:"},
+		{"retry bad base", append(replay, "-serve-retry", "base=0s"), "-serve-retry:"},
+		{"hedge unknown key", append(replay, "-serve-hedge", "after=2s"), "-serve-hedge:"},
+		{"hedge bad delay", append(replay, "-serve-hedge", "delay=soon"), "-serve-hedge:"},
+		{"shed bad queue", append(replay, "-serve-shed", "queue=deep"), "-serve-shed:"},
+		{"shed zero queue", append(replay, "-serve-shed", "queue=0"), "-serve-shed:"},
+		{"deadline negative replay", append(replay, "-serve-deadline", "-40s"), "-serve-deadline"},
+		// The deadline check is mode-independent: it must fire even when
+		// no serving mode would consume the value.
+		{"deadline negative list mode", []string{"-list", "-serve-deadline", "-1s"}, "-serve-deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want non-zero exit, got err=%v stdout=%q stderr=%q", err, stdout.String(), stderr.String())
+			}
+			if code := ee.ExitCode(); code != 1 {
+				t.Errorf("exit code = %d, want 1; stderr=%q", code, stderr.String())
+			}
+			msg := strings.TrimRight(stderr.String(), "\n")
+			if strings.Count(msg, "\n") != 0 {
+				t.Errorf("stderr is not one line:\n%s", stderr.String())
+			}
+			if !strings.HasPrefix(msg, "embench: ") {
+				t.Errorf("stderr %q does not start with %q", msg, "embench: ")
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Errorf("stderr %q does not name the flag (%q)", msg, tc.want)
+			}
+			if strings.Contains(stderr.String(), "goroutine") || strings.Contains(stderr.String(), "panic") {
+				t.Errorf("stderr looks like a crash:\n%s", stderr.String())
+			}
+		})
+	}
+}

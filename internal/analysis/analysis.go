@@ -1,0 +1,274 @@
+// Package analysis is the suite's determinism-and-mergeability lint layer:
+// a small, self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) plus the
+// //detlint:allow suppression directive, built only on the standard
+// library's go/* packages so the suite carries no external dependency.
+//
+// Every result this repository reports — the fig8–fig14 sweeps, their
+// goldens, the sequential-vs-parallel parity tests — rests on
+// byte-reproducibility, and byte-reproducibility rests on four invariants
+// that used to be enforced only by convention:
+//
+//   - map iteration never decides anything (maprange): a planner ranging
+//     over a belief map picks "the first match" in Go's randomized order.
+//     Keys must flow through world.SortedKeys or an explicit sort.
+//   - simulation code never reads the wall clock (wallclock): virtual
+//     time is the only time; time.Now in a cost model makes runs
+//     unrepeatable. Bench harness wall-timing sites are annotated.
+//   - randomness comes only from named seeded streams (rawrand): direct
+//     math/rand use bypasses internal/rng's per-consumer streams, so one
+//     consumer's draws would perturb another's.
+//   - metric types merge exhaustively (mergefields): every field of a
+//     struct with a Merge method must be referenced by it, so "added a
+//     counter, forgot the merge" is a lint failure, not a silent drop at
+//     fleet-aggregation time.
+//
+// cmd/detlint drives the suite standalone (`detlint ./...`) and as a
+// `go vet -vettool`. Findings are suppressed, site by site and with a
+// recorded justification, by the shared directive:
+//
+//	//detlint:allow <analyzer>[,<analyzer>...] <justification>
+//
+// placed at the end of the offending line or on the line directly above
+// it. The justification is mandatory: the set of annotations in the tree
+// is the documented determinism contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one lint pass. The shape mirrors
+// golang.org/x/tools/go/analysis so analyzers port over mechanically if
+// the external module ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //detlint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `detlint -help`.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only
+	Path      string      // package import path
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic: position, owning analyzer, message.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// DirectivePrefix introduces a suppression comment.
+const DirectivePrefix = "//detlint:allow"
+
+// A Directive is one parsed //detlint:allow comment.
+type Directive struct {
+	Pos           token.Position
+	Analyzers     []string // comma-list from the first field
+	Justification string   // everything after the analyzer list
+	used          bool
+}
+
+// parseDirectives scans a file's comments for //detlint:allow lines and
+// indexes them by the line they annotate. A directive suppresses findings
+// on its own line and on the line directly below it (the
+// "comment-above-the-statement" placement).
+func parseDirectives(fset *token.FileSet, file *ast.File) []*Directive {
+	var out []*Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			// Require a separator so e.g. //detlint:allowed is not a directive.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := &Directive{Pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						d.Analyzers = append(d.Analyzers, name)
+					}
+				}
+				d.Justification = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// allows reports whether d suppresses analyzer findings at the position.
+func (d *Directive) allows(analyzer string, pos token.Position) bool {
+	if pos.Filename != d.Pos.Filename {
+		return false
+	}
+	if pos.Line != d.Pos.Line && pos.Line != d.Pos.Line+1 {
+		return false
+	}
+	for _, a := range d.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over pkg and returns the findings that
+// survive //detlint:allow suppression, sorted by position. Test files
+// (*_test.go) are excluded before the analyzers see the package: the
+// determinism contract governs simulation and harness code, and tests are
+// free to e.g. seed their own throwaway math/rand generators.
+//
+// Malformed directives are themselves findings (analyzer "detlint"): a
+// directive naming no known analyzer is a typo that silently suppresses
+// nothing, and a directive with no justification violates the contract
+// that every exemption documents itself.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	var directives []*Directive
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+		directives = append(directives, parseDirectives(pkg.Fset, f)...)
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	var findings []Finding
+	for _, a := range analyzers {
+		known[a.Name] = true
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	diag:
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, dir := range directives {
+				if dir.allows(a.Name, pos) {
+					dir.used = true
+					continue diag
+				}
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+
+	// Directive hygiene: a malformed or stale directive is itself a finding
+	// (analyzer "detlint"). Known names come from the full suite, not just
+	// the analyzers that ran, so disabling one analyzer at the driver does
+	// not turn its directives into "unknown analyzer" noise.
+	suite := make(map[string]bool)
+	for _, a := range All() {
+		suite[a.Name] = true
+	}
+	for _, d := range directives {
+		names := strings.Join(d.Analyzers, ",")
+		switch {
+		case len(d.Analyzers) == 0:
+			findings = append(findings, Finding{
+				Analyzer: "detlint", Pos: d.Pos,
+				Message: "directive names no analyzer (want //detlint:allow <analyzer> <justification>)",
+			})
+		case d.Justification == "":
+			findings = append(findings, Finding{
+				Analyzer: "detlint", Pos: d.Pos,
+				Message: fmt.Sprintf("directive for %q has no justification — every exemption must say why it is safe", names),
+			})
+		default:
+			ok := true
+			ran := true
+			for _, name := range d.Analyzers {
+				if !suite[name] {
+					ok = false
+					findings = append(findings, Finding{
+						Analyzer: "detlint", Pos: d.Pos,
+						Message: fmt.Sprintf("directive names unknown analyzer %q", name),
+					})
+				}
+				if !known[name] {
+					ran = false
+				}
+			}
+			// Only judge staleness when every named analyzer actually ran:
+			// otherwise we cannot know whether the directive would have
+			// suppressed something.
+			if ok && ran && !d.used {
+				findings = append(findings, Finding{
+					Analyzer: "detlint", Pos: d.Pos,
+					Message: fmt.Sprintf("directive for %q suppresses nothing — remove it or move it onto the offending line", names),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// All returns the detlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, RawRand, MergeFields}
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The fixture suite: each analyzer demonstrates at least two true
+// positives and at least one //detlint:allow'd (or structurally exempt)
+// negative, with the import path choosing the scope the fixture is judged
+// under.
+
+func TestMapRangeFixture(t *testing.T) {
+	RunFixture(t, MapRange, "testdata/maprange", "embench/internal/serve")
+}
+
+func TestMapRangeOutOfScope(t *testing.T) {
+	// The same fixture judged as a bench package produces no maprange
+	// findings at all: aggregation/reporting layers are out of scope. The
+	// fixture's directive then counts as stale, which is itself the
+	// expected (and only) finding — proving both the scoping and the
+	// stale-directive hygiene in one move.
+	pkg, err := LoadFixture("testdata/maprange", "embench/internal/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkg, []*Analyzer{MapRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "detlint" {
+		t.Fatalf("want exactly one stale-directive finding out of scope, got %v", findings)
+	}
+}
+
+func TestWallClockFixture(t *testing.T) {
+	RunFixture(t, WallClock, "testdata/wallclock", "embench/internal/bench")
+}
+
+func TestRawRandFixture(t *testing.T) {
+	RunFixture(t, RawRand, "testdata/rawrand", "embench/internal/serve")
+}
+
+func TestRawRandExemptsRNGPackage(t *testing.T) {
+	RunFixture(t, RawRand, "testdata/rawrand_rng", "embench/internal/rng")
+}
+
+func TestMergeFieldsFixture(t *testing.T) {
+	RunFixture(t, MergeFields, "testdata/mergefields", "embench/internal/metrics")
+}
+
+// parseOne parses a single source string as a one-file package for
+// directive-level tests that need no type information.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*Directive) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseDirectives(fset, f)
+}
+
+func TestParseDirectives(t *testing.T) {
+	_, ds := parseOne(t, `package p
+
+//detlint:allow maprange keyed writes, order cannot leak
+var a int
+
+var b int //detlint:allow wallclock,rawrand harness timing
+
+//detlint:allowed not a directive (no separator)
+var c int
+
+//detlint:allow
+var d int
+`)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 directives, got %d: %+v", len(ds), ds)
+	}
+	if got := ds[0].Analyzers; len(got) != 1 || got[0] != "maprange" {
+		t.Errorf("directive 0 analyzers = %v", got)
+	}
+	if ds[0].Justification != "keyed writes, order cannot leak" {
+		t.Errorf("directive 0 justification = %q", ds[0].Justification)
+	}
+	if got := ds[1].Analyzers; len(got) != 2 || got[0] != "wallclock" || got[1] != "rawrand" {
+		t.Errorf("directive 1 analyzers = %v", got)
+	}
+	if len(ds[2].Analyzers) != 0 {
+		t.Errorf("bare directive should name no analyzers, got %v", ds[2].Analyzers)
+	}
+}
+
+func TestDirectiveAllowsSameAndNextLineOnly(t *testing.T) {
+	d := &Directive{
+		Pos:       token.Position{Filename: "f.go", Line: 10},
+		Analyzers: []string{"maprange"},
+	}
+	cases := []struct {
+		file string
+		line int
+		want bool
+	}{
+		{"f.go", 10, true},
+		{"f.go", 11, true},
+		{"f.go", 9, false},
+		{"f.go", 12, false},
+		{"g.go", 10, false}, // other file, same line: must not suppress
+	}
+	for _, c := range cases {
+		got := d.allows("maprange", token.Position{Filename: c.file, Line: c.line})
+		if got != c.want {
+			t.Errorf("allows(%s:%d) = %v, want %v", c.file, c.line, got, c.want)
+		}
+	}
+	if d.allows("wallclock", token.Position{Filename: "f.go", Line: 10}) {
+		t.Error("directive for maprange must not suppress wallclock")
+	}
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture parses and type-checks the fixture directory dir as a package
+// with the given import path, runs analyzer a over it (directive hygiene
+// included), and compares the findings against the fixture's // want
+// comments — the golang.org/x/tools/go/analysis/analysistest convention,
+// reimplemented on the stdlib:
+//
+//	for k := range m { // want `randomized order`
+//
+// Each // want comment carries one or more quoted regexps (backquoted or
+// double-quoted); every finding on that line must be matched by one of
+// them, and every want must match a finding. Lines with no want comment
+// must produce no finding — which is exactly how the fixtures demonstrate
+// their //detlint:allow'd negatives.
+//
+// The import path matters: analyzers scope themselves by package path
+// (maprange polices internal/{core,env,...}; rawrand exempts
+// internal/rng), so fixtures choose the path they want to be judged as.
+func RunFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := LoadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(text[idx+len("want "):]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding at %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var leftover []key
+	for k, res := range wants {
+		if len(res) > 0 {
+			leftover = append(leftover, k)
+		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		if leftover[i].file != leftover[j].file {
+			return leftover[i].file < leftover[j].file
+		}
+		return leftover[i].line < leftover[j].line
+	})
+	for _, k := range leftover {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: want %q matched no finding", k.file, k.line, re)
+		}
+	}
+}
+
+// splitQuoted extracts the quoted segments ("..." or `...`) of a want
+// comment's payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			return out
+		}
+		end := strings.IndexByte(s[1:], s[0])
+		if end < 0 {
+			return out
+		}
+		quoted := s[:end+2]
+		if u, err := strconv.Unquote(quoted); err == nil {
+			out = append(out, u)
+		}
+		s = s[end+2:]
+	}
+}
+
+// LoadFixture parses and type-checks one fixture directory as importPath.
+// Fixture imports (stdlib and intra-module alike) resolve through
+// `go list -deps -export`, the same export-data path the real loader uses.
+func LoadFixture(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+		for path := range imports {
+			args = append(args, path)
+		}
+		sort.Strings(args[4:])
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list fixture imports: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	typesPkg, info, err := TypeCheck(fset, importPath, files, NewExportImporter(fset, nil, exports))
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", dir, err)
+	}
+	return &Package{
+		Path:      importPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates, parses and type-checks the packages matching patterns,
+// resolving every import — standard library and intra-module alike — from
+// compiler export data produced by `go list -deps -export`. This is what
+// lets the suite type-check itself offline with no dependency on
+// golang.org/x/tools: the build cache already holds (or builds on demand)
+// the export data for every dependency, exactly as `go vet` consumes it.
+//
+// dir is the directory to run `go list` in (the module root or below).
+// Test files are listed but excluded later by Run; packages reached only
+// as dependencies are imported from export data, never re-analyzed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, nil, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		typesPkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      t.ImportPath,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     typesPkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// TypeCheck type-checks one package's parsed files with the given
+// importer, returning the package and a fully populated Info.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves import paths
+// through importMap (vet's source-path → canonical-path map; nil means
+// identity) and reads compiler export data files named by exportFiles
+// (canonical path → file). The underlying reader is the standard gc
+// importer, so anything `go build` can compile, this can import.
+func NewExportImporter(fset *token.FileSet, importMap map[string]string, exportFiles map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		importMap: importMap,
+		gc:        importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+type exportImporter struct {
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	return e.gc.Import(path)
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapRangeScope lists the simulation subtrees in which ranging over a map
+// is a determinism hazard: these packages decide episode outcomes, so an
+// iteration-order-dependent pick makes runs differ byte for byte. The
+// bench/report layers are out of scope — they aggregate already-merged
+// results — as is internal/metrics, whose map loops are pure sums.
+var mapRangeScope = []string{
+	"core", "env", "world", "serve", "multiagent", "prompt", "llm",
+}
+
+// MapRange flags `for ... range m` over a map in the simulation packages.
+// Go randomizes map iteration order on purpose, so any loop that selects,
+// orders, or emits based on the visit sequence is nondeterministic — the
+// exact bug class PR 1 fixed by hand in four planners. Keys must flow
+// through world.SortedKeys (or an explicit sort) instead.
+//
+// A bare `for range m` with neither key nor value variable is exempt: the
+// body cannot observe which element the iteration is on, so order cannot
+// leak. Order-insensitive aggregation loops (pure keyed writes, sums,
+// set-builds) are suppressed site by site with
+// //detlint:allow maprange <justification>.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flags range-over-map in simulation packages; map iteration order is randomized, " +
+		"so keys must flow through world.SortedKeys or an explicit sort",
+	Run: runMapRange,
+}
+
+// inMapRangeScope reports whether the package path lies in one of the
+// internal/<name> subtrees the analyzer polices.
+func inMapRangeScope(path string) bool {
+	for _, sub := range mapRangeScope {
+		marker := "/internal/" + sub
+		if i := strings.Index(path, marker); i >= 0 {
+			rest := path[i+len(marker):]
+			if rest == "" || rest[0] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runMapRange(pass *Pass) error {
+	if !inMapRangeScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				// The body cannot see the element, so order cannot matter.
+				return true
+			}
+			pass.Reportf(rs.Range,
+				"range over %s iterates in randomized order; range world.SortedKeys(m) or sort explicitly (or annotate //detlint:allow maprange <why> if order provably cannot leak)",
+				typeLabel(tv.Type))
+			return true
+		})
+	}
+	return nil
+}
+
+// typeLabel renders a type tersely for messages (map[K]V, no package
+// qualifiers beyond the last path element).
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

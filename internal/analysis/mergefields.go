@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MergeFields enforces struct-field exhaustiveness on merge methods: for
+// every named struct type T declared in the package with a method
+// `Merge(T) ...` (receiver or parameter may be pointers), every field of
+// T must be referenced somewhere in that method's body — as a selector
+// (s.Field, o.Field, &s.Field, range s.Field, ...) or as a keyed field in
+// a composite literal of T.
+//
+// This is the "added a counter, forgot the merge" hazard turned into a
+// build break: metrics.Serving, metrics.Hist and obs.Series all promise
+// exact mergeability, and PRs 6/8/9 each grew Serving with fields that
+// Merge must not silently drop. A field that is deliberately not merged
+// (say, a cached derived value) carries //detlint:allow mergefields on
+// its declaration line, with the reason.
+var MergeFields = &Analyzer{
+	Name: "mergefields",
+	Doc: "every field of a struct with a Merge method must be referenced by that method; " +
+		"unmerged fields silently vanish from fleet/episode aggregates",
+	Run: runMergeFields,
+}
+
+func runMergeFields(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Merge" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			named := namedStructOf(sig.Recv().Type())
+			if named == nil || named.Obj().Pkg() != pass.Pkg {
+				continue
+			}
+			// Merge must take exactly one argument of the receiver's type:
+			// that is the "combine two aggregates" shape the contract covers.
+			if sig.Params().Len() != 1 || namedStructOf(sig.Params().At(0).Type()) != named {
+				continue
+			}
+			st := named.Underlying().(*types.Struct)
+
+			referenced := map[*types.Var]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+						if v, ok := sel.Obj().(*types.Var); ok {
+							referenced[v] = true
+						}
+					}
+				case *ast.CompositeLit:
+					if tv, ok := pass.TypesInfo.Types[n]; !ok || namedStructOf(tv.Type) != named {
+						return true
+					}
+					for _, el := range n.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+								referenced[v] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if referenced[field] {
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"field %s of %s is never referenced by its Merge method — merged aggregates would silently drop it (merge it, or annotate //detlint:allow mergefields <why>)",
+					field.Name(), named.Obj().Name())
+			}
+		}
+	}
+	return nil
+}
+
+// namedStructOf unwraps pointers and reports the named struct type behind
+// t, or nil if t is not a (pointer to a) named struct.
+func namedStructOf(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// rawRandPackages are the import paths that expose unseeded/global or
+// ad-hoc randomness.
+var rawRandPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// RawRand flags imports of math/rand outside internal/rng. All simulation
+// randomness flows through internal/rng's named seeded streams: two runs
+// with one root seed draw identical sequences, and adding a consumer
+// cannot perturb existing streams. A direct math/rand import bypasses
+// that — worst case the global source, which is seeded from runtime
+// entropy — so the import itself is the finding, before any call site
+// exists.
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc: "flags math/rand imports outside internal/rng; all randomness must come from " +
+		"named seeded rng.Source streams",
+	Run: runRawRand,
+}
+
+func runRawRand(pass *Pass) error {
+	if pass.Path == "internal/rng" || strings.HasSuffix(pass.Path, "/internal/rng") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !rawRandPackages[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s outside internal/rng; draw from a named seeded stream (rng.Source.Stream) so seeds stay reproducible and streams independent",
+				path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean is the zero-findings gate: the full analyzer suite
+// over the whole module must report nothing. Every justified exception in
+// the tree carries a //detlint:allow directive; a new finding here means
+// either a real determinism/mergeability hazard or a missing (or stale)
+// justification — both are build-worthy failures.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		findings, err := Run(pkg, All())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("module not clean: %s", f)
+		}
+	}
+}
+
+// TestMergeFieldsCatchesSeededRegression is the negative control for the
+// gate above: delete one real field-merge line from the production
+// metrics package and mergefields must fire on that field. This pins the
+// acceptance criterion that dropping any reference from Serving.Merge
+// fails the build — if the analyzer ever regresses into silence, this
+// test catches it with a true mutation, not a synthetic fixture.
+func TestMergeFieldsCatchesSeededRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks the metrics package")
+	}
+	const droppedLine = "s.Retries += o.Retries"
+
+	// The mutant must live inside the module so its embench/internal/...
+	// imports resolve through `go list` export data.
+	dir, err := os.MkdirTemp(".", "mutant-metrics-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+
+	src := filepath.Join("..", "metrics")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := false
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		if strings.Contains(text, droppedLine) {
+			text = strings.Replace(text, droppedLine, "", 1)
+			dropped = true
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dropped {
+		t.Fatalf("seed line %q not found in %s; update the mutation", droppedLine, src)
+	}
+
+	pkg, err := LoadFixture(dir, "embench/internal/metrics")
+	if err != nil {
+		t.Fatalf("loading mutant: %v", err)
+	}
+	findings, err := Run(pkg, []*Analyzer{MergeFields})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "mergefields" && strings.Contains(f.Message, "Retries") {
+			return // the dropped merge was caught
+		}
+	}
+	t.Fatalf("mergefields missed the dropped %q; findings: %v", droppedLine, findings)
+}

@@ -1,0 +1,64 @@
+// Fixture for the maprange analyzer, judged as a package inside
+// embench/internal/serve (in scope). Positives select on iteration order;
+// negatives either cannot observe it (bare range, sorted keys) or declare
+// why it cannot leak.
+package fixture
+
+import "embench/internal/world"
+
+// pickFirst is the PR 1 bug class: "first" depends on randomized order.
+func pickFirst(m map[string]int) string {
+	for k := range m { // want `range over map\[string\]int iterates in randomized order`
+		return k
+	}
+	return ""
+}
+
+// emit leaks order into an output stream even without selecting.
+func emit(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `range over map\[int\]string iterates in randomized order`
+		out = append(out, v)
+	}
+	return out
+}
+
+// argmax is order-dependent on ties: the winner is whichever key the
+// iteration happens to visit first.
+func argmax(m map[string]float64) string {
+	best, bestV := "", 0.0
+	for k, v := range m { // want `randomized order`
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// count cannot observe which element the iteration is on: exempt.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// viaSortedKeys ranges over a slice, the sanctioned pattern.
+func viaSortedKeys(m map[string]int) []string {
+	var out []string
+	for _, k := range world.SortedKeys(m) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// mirror performs keyed writes only; the result is independent of visit
+// order, and the annotation records that argument.
+func mirror(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { //detlint:allow maprange keyed writes into a fresh map; the result is identical under any visit order
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Fixture for the mergefields analyzer: every field of a struct with a
+// Merge method must be referenced by that method, or carry an annotation
+// saying why not.
+package fixture
+
+// Acc drops two fields on merge — the "added a counter, forgot the merge"
+// hazard.
+type Acc struct {
+	Requests int
+	Dropped  int // want `field Dropped of Acc is never referenced by its Merge method`
+	peak     int // want `field peak of Acc is never referenced by its Merge method`
+}
+
+func (a Acc) Merge(o Acc) Acc {
+	a.Requests += o.Requests
+	return a
+}
+
+// Lit merges through a keyed composite literal; keyed fields count as
+// references, missing ones are findings.
+type Lit struct {
+	A int
+	B int
+	C int // want `field C of Lit is never referenced by its Merge method`
+}
+
+func (l Lit) Merge(o Lit) Lit {
+	return Lit{A: l.A + o.A, B: l.B + o.B}
+}
+
+// Annotated documents a deliberately unmerged cache field.
+type Annotated struct {
+	N     int
+	cache int //detlint:allow mergefields derived cache, recomputed on demand; merging it would double-count
+}
+
+func (a *Annotated) Merge(o *Annotated) {
+	a.N += o.N
+}
+
+// Pointers exercises pointer receiver and parameter with field access
+// through methods on both sides.
+type Pointers struct {
+	Hits   int
+	Misses int
+}
+
+func (p *Pointers) Merge(o *Pointers) {
+	p.Hits += o.Hits
+	p.Misses += o.Misses
+}
+
+// NotMerge's method is not the two-aggregate Merge shape the contract
+// covers; it is ignored even though X is never referenced.
+type NotMerge struct {
+	X int
+}
+
+func (n NotMerge) Merge(k int) int {
+	return k
+}

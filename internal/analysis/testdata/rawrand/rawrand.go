@@ -1,0 +1,17 @@
+// Fixture for the rawrand analyzer, judged as a package outside
+// internal/rng: importing math/rand at all is the finding.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand outside internal/rng`
+
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/rng`
+
+	bench "math/rand" //detlint:allow rawrand locally-seeded shuffle for a synthetic micro-benchmark input, never simulation state
+)
+
+var (
+	_ = rand.Int
+	_ = randv2.Int
+	_ = bench.Int
+)

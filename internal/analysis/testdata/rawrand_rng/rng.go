@@ -1,0 +1,12 @@
+// Fixture for the rawrand analyzer judged as embench/internal/rng itself:
+// the one package allowed to touch math/rand, because it is the seam that
+// wraps it into named seeded streams.
+package fixture
+
+import "math/rand"
+
+// Stream hands out a deterministic generator; no finding anywhere in this
+// package.
+func Stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,44 @@
+// Fixture for the wallclock analyzer. Simulation code must run on virtual
+// time; the only sanctioned wall-clock reads are annotated harness-timing
+// sites.
+package fixture
+
+import (
+	"time"
+
+	wall "time"
+)
+
+// latency prices a request off the machine clock: runs stop being
+// reproducible.
+func latency() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	return elapsed(start)
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// throttle stalls the simulator on real time.
+func throttle() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// aliased imports do not dodge the check: resolution is type-based.
+func aliased() wall.Time {
+	return wall.Now() // want `time\.Now reads the wall clock`
+}
+
+// units are values, not clock reads: no finding.
+func window() time.Duration {
+	return 1500 * time.Millisecond
+}
+
+// benchStamp is the sanctioned shape: genuine harness wall-timing, with
+// the annotation carrying the reason.
+func benchStamp() time.Duration {
+	start := time.Now() //detlint:allow wallclock harness wall-timing of a figure regeneration, never part of simulated state
+	//detlint:allow wallclock harness wall-timing, paired with the stamp above
+	return time.Since(start)
+}

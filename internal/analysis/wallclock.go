@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or consume the
+// machine's real clock. time.Duration arithmetic, time.Millisecond and
+// friends are fine — they are units, not clock reads.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+// WallClock flags reads of the machine's wall clock anywhere in the
+// module. The simulator runs on virtual time (internal/simclock, trace
+// spans, serve's discrete-event clock); a time.Now in a cost model or
+// scheduler makes two runs of the same seed diverge and breaks the
+// sequential-vs-parallel parity the whole suite is gated on.
+//
+// The only legitimate wall-clock sites are the bench harness's own
+// wall-time measurements (how long did regenerating fig10 take on this
+// machine) — those carry //detlint:allow wallclock annotations, which is
+// exactly the documented list of places real time is allowed to exist.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/Since/Until/Sleep; simulation code runs on virtual time only, " +
+		"and harness wall-timing sites must carry //detlint:allow wallclock",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulation runs on virtual time — use the simulated clock, or annotate //detlint:allow wallclock <why> for genuine harness timing",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ package boxworld
 
 import (
 	"fmt"
+	"slices"
 
 	"embench/internal/core"
 	"embench/internal/modules/execution"
@@ -234,6 +235,7 @@ func (c *Corridor) BuildBelief(agent int, recs []memory.Record) core.Belief {
 		}
 	}
 	known, stale := 0, 0
+	//detlint:allow maprange counting loop; only totals leave it
 	for id, f := range b.boxes {
 		if f.Cell == f.Goal {
 			continue
@@ -345,6 +347,7 @@ func stepToward(from, goal int) int {
 }
 
 func claimedByOther(claims map[int]int, agent, boxID int) bool {
+	//detlint:allow maprange existence check; any order yields the same answer
 	for a, bx := range claims {
 		if a != agent && bx == boxID {
 			return true
@@ -539,8 +542,21 @@ func (c *Corridor) Tick() {
 	for _, li := range c.lifts {
 		counts[[2]int{li.box, li.dest}]++
 	}
-	for key, n := range counts {
-		if n >= 2 && !c.moved[key[0]] {
+	// A box can attract two-lifter coalitions toward both neighbors in the
+	// same step; only one may win, and the winner must not depend on map
+	// iteration order. Resolve candidates in (box, dest) order.
+	keys := make([][2]int, 0, len(counts))
+	for key := range counts { //detlint:allow maprange keys collected then sorted below
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for _, key := range keys {
+		if counts[key] >= 2 && !c.moved[key[0]] {
 			c.boxes[key[0]].cell = key[1]
 			c.moved[key[0]] = true
 		}

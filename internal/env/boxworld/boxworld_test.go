@@ -287,3 +287,28 @@ func TestCorruptionsDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestTickResolvesConflictingCoalitionsDeterministically(t *testing.T) {
+	// A heavy box can attract full two-lifter coalitions toward both
+	// neighbors in the same step. Only one coalition may win, and the
+	// winner must be the same on every run: Tick resolves candidates in
+	// sorted (box, dest) order, so the lower destination wins here.
+	for i := 0; i < 200; i++ {
+		c := New(Config{Agents: 4, Difficulty: world.Medium, Boxes: 1}, rng.New(uint64(i)))
+		b := c.boxes[0]
+		if !b.heavy {
+			t.Fatal("first medium box should be heavy")
+		}
+		b.cell = 2
+		c.lifts = []liftIntent{
+			{agent: 0, box: 0, dest: 3},
+			{agent: 1, box: 0, dest: 3},
+			{agent: 2, box: 0, dest: 1},
+			{agent: 3, box: 0, dest: 1},
+		}
+		c.Tick()
+		if got := c.BoxCell(0); got != 1 {
+			t.Fatalf("run %d: conflicting coalitions sent box to %d, want deterministic winner 1", i, got)
+		}
+	}
+}

@@ -248,7 +248,9 @@ func dependencyClosure(target Item) []Item {
 			}
 			return
 		}
-		for in := range r.In {
+		// Walk inputs in sorted order so the closure list (a plan skeleton)
+		// is canonical, not a map-iteration artifact.
+		for _, in := range world.SortedKeys(r.In) {
 			walk(in)
 		}
 		if r.Station != "" {
@@ -304,6 +306,7 @@ func (w *World) Observe(agent int) core.Observation {
 		})
 	}
 	inv := map[Item]int{}
+	//detlint:allow maprange keyed copy into fresh map; order-independent
 	for k, v := range w.inv {
 		inv[k] = v
 	}
@@ -487,6 +490,7 @@ func (w *World) corruptions(b belief, good core.Subgoal) []core.Subgoal {
 	// Premature craft of the final target.
 	if c, ok := Recipes[w.target]; ok {
 		missing := false
+		//detlint:allow maprange existence check; any order yields the same answer
 		for in, qty := range c.In {
 			if b.inv[in] < qty {
 				missing = true
@@ -578,12 +582,14 @@ func (w *World) execCraft(sg Craft) execution.Result {
 		res.Note = "missing station"
 		return res
 	}
+	//detlint:allow maprange read-only sufficiency check; order-independent
 	for in, qty := range r.In {
 		if w.inv[in] < qty {
 			res.Note = "missing ingredients"
 			return res
 		}
 	}
+	//detlint:allow maprange keyed decrements commute; order-independent
 	for in, qty := range r.In {
 		w.inv[in] -= qty
 	}

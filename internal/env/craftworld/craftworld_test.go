@@ -276,3 +276,21 @@ func TestBeliefStalenessFromOldInventory(t *testing.T) {
 		t.Fatal("old inventory record should induce staleness")
 	}
 }
+
+func TestDependencyClosureCanonicalOrder(t *testing.T) {
+	// The closure is a plan skeleton: its order must be a canonical
+	// function of the recipe graph, not of map iteration. Repeated calls
+	// must agree element-for-element.
+	want := dependencyClosure(DiamondPickaxe)
+	for i := 0; i < 100; i++ {
+		got := dependencyClosure(DiamondPickaxe)
+		if len(got) != len(want) {
+			t.Fatalf("closure length varies: %v vs %v", got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("closure order varies at %d: %v vs %v", j, got, want)
+			}
+		}
+	}
+}

@@ -318,6 +318,7 @@ func (h *House) BuildBelief(agent int, recs []memory.Record) core.Belief {
 	// Staleness: fraction of believed-fetchable objects that are actually
 	// gone (delivered or picked up by someone else since last seen).
 	known, stale := 0, 0
+	//detlint:allow maprange counting loop; only totals leave it
 	for id, f := range b.objects {
 		if f.Delivered || (f.CarriedBy != -1 && f.CarriedBy != agent) {
 			continue
@@ -486,6 +487,7 @@ func roomsByStaleness(b belief) [4]int {
 }
 
 func claimedByOther(claims map[int]int, agent, obj int) bool {
+	//detlint:allow maprange existence check; any order yields the same answer
 	for a, o := range claims {
 		if a != agent && o == obj {
 			return true

@@ -314,6 +314,7 @@ func (g *Game) BuildBelief(agent int, recs []memory.Record) core.Belief {
 	// Staleness: fraction of believed-open orders whose believed next stage
 	// lags the truth (someone progressed or served them unseen).
 	known, stale := 0, 0
+	//detlint:allow maprange counting loop; only totals leave it
 	for id := range b.orders {
 		o := g.orderByID(id)
 		if o == nil {
@@ -406,6 +407,7 @@ func (g *Game) bestOp(b belief, agent int) core.Subgoal {
 }
 
 func claimed(claims map[int]ClaimFact, agent, order, stage int) bool {
+	//detlint:allow maprange existence check; any order yields the same answer
 	for a, c := range claims {
 		if a != agent && c.Order == order && c.Stage == stage {
 			return true

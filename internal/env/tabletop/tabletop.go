@@ -281,6 +281,7 @@ func (t *Table) BuildBelief(agent int, recs []memory.Record) core.Belief {
 		}
 	}
 	known, stale := 0, 0
+	//detlint:allow maprange counting loop; only totals leave it
 	for id, f := range b.objects {
 		if f.Delivered {
 			continue
@@ -441,6 +442,7 @@ func (t *Table) overlapPoint(a, b int) (geom.Point, bool) {
 }
 
 func claimedByOther(claims map[int]int, agent, obj int) bool {
+	//detlint:allow maprange existence check; any order yields the same answer
 	for a, o := range claims {
 		if a != agent && o == obj {
 			return true
@@ -496,6 +498,7 @@ func (t *Table) ProposeJoint(bel core.Belief) core.Proposal {
 	taken := map[int]bool{}
 	for a := 0; a < len(t.arms); a++ {
 		sub := belief{objects: map[int]ObjFact{}, objStep: b.objStep, claims: map[int]int{}}
+		//detlint:allow maprange keyed filtered copy into fresh map; order-independent
 		for id, f := range b.objects {
 			if !taken[id] {
 				sub.objects[id] = f

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fillSentinels sets every field of a Serving to a distinct nonzero
+// sentinel via reflection, so the struct definition itself drives the
+// test: adding a field without touching this file still covers it (and
+// adding a field of an unhandled kind fails loudly instead of silently
+// passing).
+func fillSentinels(t *testing.T, s *Serving) {
+	t.Helper()
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		sentinel := int64(1000 + i) // distinct per field, all nonzero
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64: // int and time.Duration fields
+			f.SetInt(sentinel)
+		case reflect.Slice: // ReplicaRequests
+			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+			f.Index(0).SetInt(sentinel)
+		case reflect.Struct: // Hist fields: mark one bucket
+			counts := f.FieldByName("Counts")
+			if !counts.IsValid() {
+				t.Fatalf("field %s: struct kind with no Counts; teach fillSentinels about it",
+					v.Type().Field(i).Name)
+			}
+			counts.Index(0).SetInt(sentinel)
+		default:
+			t.Fatalf("field %s has unhandled kind %s; teach fillSentinels about it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+}
+
+// TestServingMergePropagatesEveryField is the mergeability contract from
+// the other side of the mergefields analyzer: not just "Merge references
+// every field" but "Merge carries every field's value through". Merging a
+// fully sentinel-filled Serving into a zero one must leave no field at
+// its zero value — a field that Merge reads but then drops (or merges
+// into the wrong slot) shows up here as a zero survivor.
+func TestServingMergePropagatesEveryField(t *testing.T) {
+	var o Serving
+	fillSentinels(t, &o)
+
+	for name, got := range map[string]Serving{
+		"zero.Merge(sentinels)": Serving{}.Merge(o),
+		"sentinels.Merge(zero)": o.Merge(Serving{}),
+	} {
+		v := reflect.ValueOf(got)
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).IsZero() {
+				t.Errorf("%s: field %s was lost (zero after merge)",
+					name, v.Type().Field(i).Name)
+			}
+		}
+	}
+}
+
+// TestServingMergeSums cross-checks the reflection sweep on a couple of
+// concrete fields: flows sum, capacity facts take the max.
+func TestServingMergeSums(t *testing.T) {
+	a := Serving{Requests: 3, Retries: 2, Replicas: 4, CacheTokensPeak: 100}
+	b := Serving{Requests: 5, Retries: 1, Replicas: 2, CacheTokensPeak: 250}
+	m := a.Merge(b)
+	for _, c := range []struct {
+		name      string
+		got, want int
+	}{
+		{"Requests", m.Requests, 8},
+		{"Retries", m.Retries, 3},
+		{"Replicas", m.Replicas, 4},
+		{"CacheTokensPeak", m.CacheTokensPeak, 250},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// sanity: the sentinel filler really touches every field (guards against
+// a refactor that makes it skip fields by accident).
+func TestFillSentinelsLeavesNothingZero(t *testing.T) {
+	var s Serving
+	fillSentinels(t, &s)
+	v := reflect.ValueOf(s)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Fatalf("fillSentinels left %s zero", v.Type().Field(i).Name)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Printf("sentinel-filled %d fields\n", v.NumField())
+	}
+}

@@ -223,6 +223,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 
 	// Name the processes and lanes so Perfetto's track list reads like the
 	// deployment: shard processes, a queue lane, replica lanes.
+	//detlint:allow maprange metadata block is re-sorted by (pid, tid, name) before encoding
 	for shard := range shards {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: shard,
@@ -232,6 +233,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			Args: map[string]any{"name": "queue"},
 		})
 	}
+	//detlint:allow maprange metadata block is re-sorted by (pid, tid, name) before encoding
 	for key := range replicas {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: key[0], Tid: key[1] + 1,

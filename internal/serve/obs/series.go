@@ -187,9 +187,11 @@ func Sample(events []Event, interval time.Duration) Series {
 	}
 
 	// Close every step function at its shard's horizon.
+	//detlint:allow maprange flushes keyed spans; row content independent of visit order
 	for shard, l := range active {
 		flushActive(l, ends[shard])
 	}
+	//detlint:allow maprange flushes keyed spans; row content independent of visit order
 	for key, l := range cache {
 		flushCache(key, l, ends[key[0]])
 	}
@@ -201,6 +203,7 @@ func Sample(events []Event, interval time.Duration) Series {
 			n = len(*f)
 		}
 	}
+	//detlint:allow maprange max over values only; order-independent
 	for _, r := range s.Replicas {
 		if len(r.BusyNs) > n {
 			n = len(r.BusyNs)
@@ -213,6 +216,7 @@ func Sample(events []Event, interval time.Duration) Series {
 	s.QueueNs = grow(s.QueueNs, n)
 	s.ActiveNs = grow(s.ActiveNs, n)
 	s.EvictedTokens = grow(s.EvictedTokens, n)
+	//detlint:allow maprange keyed in-place pad; order-independent
 	for _, r := range s.Replicas {
 		r.BusyNs = grow(r.BusyNs, n)
 		r.CacheTokNs = grow(r.CacheTokNs, n)
@@ -245,12 +249,14 @@ func (s Series) Merge(o Series) Series {
 	out.ActiveNs = sumInto(sumInto(nil, s.ActiveNs), o.ActiveNs)
 	out.Completions = sumInto(sumInto(nil, s.Completions), o.Completions)
 	out.EvictedTokens = sumInto(sumInto(nil, s.EvictedTokens), o.EvictedTokens)
+	//detlint:allow maprange keyed copy into fresh map; order-independent
 	for key, r := range s.Replicas {
 		out.Replicas[key] = &ReplicaSeries{
 			BusyNs:     sumInto(nil, r.BusyNs),
 			CacheTokNs: sumInto(nil, r.CacheTokNs),
 		}
 	}
+	//detlint:allow maprange keyed union via commutative sumInto; order-independent
 	for key, r := range o.Replicas {
 		dst, ok := out.Replicas[key]
 		if !ok {
@@ -267,6 +273,7 @@ func (s Series) Merge(o Series) Series {
 			n = len(f)
 		}
 	}
+	//detlint:allow maprange max over values only; order-independent
 	for _, r := range out.Replicas {
 		if len(r.BusyNs) > n {
 			n = len(r.BusyNs)
@@ -279,6 +286,7 @@ func (s Series) Merge(o Series) Series {
 	out.ActiveNs = grow(out.ActiveNs, n)
 	out.Completions = grow(out.Completions, n)
 	out.EvictedTokens = grow(out.EvictedTokens, n)
+	//detlint:allow maprange keyed in-place pad; order-independent
 	for _, r := range out.Replicas {
 		r.BusyNs = grow(r.BusyNs, n)
 		r.CacheTokNs = grow(r.CacheTokNs, n)

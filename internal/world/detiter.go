@@ -15,6 +15,7 @@ import (
 // loop selects rather than aggregates.
 func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
 	keys := make([]K, 0, len(m))
+	//detlint:allow maprange this is the collector SortedKeys itself sorts below
 	for k := range m {
 		keys = append(keys, k)
 	}
